@@ -1,0 +1,68 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate the paper's tables on a scaled-down synthetic
+workload.  The scale (procedures generated per SPEC benchmark profile) is
+controlled by the ``REPRO_BENCH_SCALE`` environment variable and defaults
+to a value that keeps the whole suite comfortably under a few minutes of
+pure Python.
+
+Every table a benchmark produces is registered with ``record_table`` and
+echoed in the terminal summary at the end of the run, so
+``pytest benchmarks/ --benchmark-only`` leaves the measured-vs-paper
+comparison in plain sight (and in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.workload import build_workload
+from repro.synth.spec_profiles import SPEC_PROFILES
+
+#: Default number of procedures generated per SPEC profile.
+DEFAULT_SCALE = 10
+
+_TABLES: dict[str, str] = {}
+
+
+def bench_scale() -> int:
+    """The per-benchmark procedure count used throughout the suite."""
+    return int(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    """Session-wide workload scale."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def workloads(scale):
+    """One generated workload (procedures + recorded queries) per profile."""
+    return {
+        profile.name: build_workload(profile, scale=scale, seed=2008)
+        for profile in SPEC_PROFILES
+    }
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Register a rendered table for the end-of-run summary."""
+
+    def _record(name: str, text: str) -> None:
+        _TABLES[name] = text
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Echo every recorded table after the benchmark results."""
+    if not _TABLES:
+        return
+    terminalreporter.section("paper reproduction tables")
+    for name in sorted(_TABLES):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(_TABLES[name])
+        terminalreporter.write_line("")

@@ -1,0 +1,73 @@
+"""Ablation — memory break-even point (Section 6.1 discussion).
+
+The paper argues that the quadratic ``R``/``T`` bitsets stay cheaper than
+the native sorted-array live sets as long as procedures have fewer blocks
+than the live-set arrays have bits — roughly 32 × 32 = 1024 blocks for
+32-entry arrays of 32-bit pointers — and that block counts beyond a few
+thousand make the precomputation's memory the limiting factor.
+
+This benchmark measures both representations' payload sizes on generated
+procedures of increasing size and locates the empirical crossover.
+"""
+
+import random
+
+from repro.bench.reporting import format_table
+from repro.core.precompute import LivenessPrecomputation
+from repro.liveness.dataflow import DataflowLiveness
+from repro.synth.spec_profiles import generate_function_with_blocks
+
+BLOCK_TARGETS = (8, 16, 32, 64, 128, 256, 512)
+
+
+def measure_memory(block_targets=BLOCK_TARGETS, seed=7):
+    rng = random.Random(seed)
+    rows = []
+    for target in block_targets:
+        function = generate_function_with_blocks(
+            rng, target, name=f"mem_{target}", attempts=5
+        )
+        graph = function.build_cfg()
+        pre = LivenessPrecomputation(graph)
+        dataflow = DataflowLiveness(function)
+        dataflow.prepare()
+        rows.append(
+            {
+                "blocks": len(graph),
+                "variables": len(function.variables()),
+                "checker_bits": pre.storage_bits(),
+                "dataflow_bits": dataflow.storage_bits(),
+            }
+        )
+    return rows
+
+
+def test_memory_breakeven(benchmark, record_table):
+    rows = benchmark.pedantic(measure_memory, iterations=1, rounds=1)
+
+    table_rows = [
+        [
+            row["blocks"],
+            row["variables"],
+            row["checker_bits"],
+            row["dataflow_bits"],
+            f"{row['checker_bits'] / max(row['dataflow_bits'], 1):.2f}",
+        ]
+        for row in rows
+    ]
+    table = format_table(
+        ["Blocks", "Vars", "Checker bits (R+T)", "Sorted-array bits", "Ratio"],
+        table_rows,
+        title="Ablation — memory break-even (Section 6.1 discussion)",
+    )
+    record_table("memory_breakeven", table)
+
+    # The checker's footprint grows quadratically with the block count…
+    small = rows[0]
+    large = rows[-1]
+    blocks_growth = large["blocks"] / small["blocks"]
+    checker_growth = large["checker_bits"] / small["checker_bits"]
+    assert checker_growth > blocks_growth
+    # …and for small, SPEC-sized procedures it stays comparable to (or
+    # cheaper than) the sorted-array live sets, as the paper claims.
+    assert small["checker_bits"] <= 4 * small["dataflow_bits"]

@@ -1,0 +1,115 @@
+"""Table 2 — precomputation and query runtime, native vs. new.
+
+Reproduces the paper's runtime experiment on the synthetic workload: for
+every benchmark profile the native (data-flow) and new (checker)
+precomputations are timed per procedure, and the liveness-query stream
+recorded from SSA destruction is replayed against both engines.
+
+Expected shape (not absolute numbers — this is pure Python, the paper used
+a tuned C compiler on a Pentium M):
+
+* precomputation speed-up > 1 (the paper reports 1.7–4.8×),
+* per-query speed-up < 1 (the checker's query is slower than a set lookup),
+* the combined speed-up is driven by queries-per-procedure, with crafty-like
+  query-heavy profiles benefiting least.
+"""
+
+import pytest
+
+from repro.bench.table2 import compute_row, compute_table2, format_table2
+from repro.bench.workload import ProcedureWorkload
+from repro.core.live_checker import FastLivenessChecker
+from repro.core.precompute import LivenessPrecomputation
+from repro.liveness.dataflow import DataflowLiveness
+from repro.synth.spec_profiles import SPEC_PROFILES
+
+
+def _largest_procedure(workload) -> ProcedureWorkload:
+    return max(workload.procedures, key=lambda proc: proc.num_blocks)
+
+
+@pytest.mark.parametrize("profile", SPEC_PROFILES[:4], ids=lambda p: p.name)
+def test_native_precomputation(benchmark, workloads, profile):
+    """Native baseline: data-flow liveness restricted to φ-related variables."""
+    proc = _largest_procedure(workloads[profile.name])
+
+    def run():
+        engine = DataflowLiveness(proc.function, variables=proc.phi_related)
+        engine.prepare()
+        return engine
+
+    engine = benchmark(run)
+    assert engine.live_variables() == proc.phi_related
+
+
+@pytest.mark.parametrize("profile", SPEC_PROFILES[:4], ids=lambda p: p.name)
+def test_new_precomputation(benchmark, workloads, profile):
+    """New precomputation: R/T bitsets from the CFG alone."""
+    proc = _largest_procedure(workloads[profile.name])
+    graph = proc.function.build_cfg()
+    pre = benchmark(LivenessPrecomputation, graph)
+    assert pre.num_blocks() == proc.num_blocks
+
+
+@pytest.mark.parametrize("profile", SPEC_PROFILES[:4], ids=lambda p: p.name)
+def test_query_replay_native(benchmark, workloads, profile):
+    """Per-query cost of the native engine on the recorded stream."""
+    proc = _largest_procedure(workloads[profile.name])
+    engine = DataflowLiveness(proc.function, variables=proc.phi_related)
+    engine.prepare()
+    queries = proc.queries or [("in", proc.phi_related[0], proc.function.entry.name)]
+
+    def replay():
+        hits = 0
+        for kind, var, block in queries:
+            if kind == "in":
+                hits += engine.is_live_in(var, block)
+            else:
+                hits += engine.is_live_out(var, block)
+        return hits
+
+    benchmark(replay)
+
+
+@pytest.mark.parametrize("profile", SPEC_PROFILES[:4], ids=lambda p: p.name)
+def test_query_replay_new(benchmark, workloads, profile):
+    """Per-query cost of the checker (Algorithm 3) on the same stream."""
+    proc = _largest_procedure(workloads[profile.name])
+    engine = FastLivenessChecker(proc.function, defuse=proc.defuse)
+    engine.prepare()
+    queries = proc.queries or [("in", proc.phi_related[0], proc.function.entry.name)]
+
+    def replay():
+        hits = 0
+        for kind, var, block in queries:
+            if kind == "in":
+                hits += engine.is_live_in(var, block)
+            else:
+                hits += engine.is_live_out(var, block)
+        return hits
+
+    benchmark(replay)
+
+
+def test_table2_full_report(workloads, record_table, benchmark):
+    """Assemble the full Table 2 comparison and check its shape."""
+    rows = benchmark.pedantic(
+        compute_table2, kwargs={"workloads": workloads}, iterations=1, rounds=1
+    )
+    table = format_table2(rows)
+    record_table("table2", table)
+
+    assert len(rows) == len(SPEC_PROFILES)
+    faster_precompute = sum(row.precompute_speedup > 1.0 for row in rows)
+    slower_queries = sum(row.query_speedup < 1.0 for row in rows)
+    # The headline shape of Table 2: precomputation wins nearly everywhere,
+    # individual queries lose everywhere.
+    assert faster_precompute >= len(rows) - 2
+    assert slower_queries == len(rows)
+
+    # Consistency of the two engines on the replayed stream was already
+    # established by the test suite; here we additionally check the
+    # combined speed-up formula behaves sanely.
+    for row in rows:
+        assert row.queries >= 0
+        assert row.combined_speedup > 0.0

@@ -1,0 +1,62 @@
+"""Estimate register pressure with liveness queries only.
+
+Run with::
+
+    python examples/register_pressure.py
+
+Register allocators need, for every block, the number of values that are
+live across it — the register pressure.  With per-block live *sets* this is
+a lookup; with the paper's checker it is a handful of queries per variable,
+but in exchange nothing has to be recomputed when the allocator inserts
+spill code.  This example computes block-level pressure for a generated
+SPEC-shaped procedure with the checker and validates the numbers against
+the data-flow sets.
+"""
+
+import random
+
+from repro import DataflowLiveness, FastLivenessChecker
+from repro.synth.spec_profiles import generate_function_with_blocks
+
+
+def block_pressure(function, oracle) -> dict[str, int]:
+    """Number of variables live-in at each block, per the given oracle."""
+    pressure = {}
+    variables = oracle.live_variables()
+    for block in function.blocks:
+        pressure[block] = sum(1 for var in variables if oracle.is_live_in(var, block))
+    return pressure
+
+
+def main() -> None:
+    rng = random.Random(2008)
+    function = generate_function_with_blocks(rng, target_blocks=30, name="hot_function")
+    print(
+        f"generated procedure '{function.name}' with {len(function.blocks)} blocks "
+        f"and {len(function.variables())} SSA variables"
+    )
+    print()
+
+    checker = FastLivenessChecker(function)
+    checker.prepare()
+    baseline = DataflowLiveness(function)
+
+    from_checker = block_pressure(function, checker)
+    from_sets = block_pressure(function, baseline)
+    assert from_checker == from_sets, "engines disagree on register pressure!"
+
+    print(f"{'block':>22}  {'live-in variables':>18}")
+    for block, count in sorted(from_checker.items(), key=lambda item: -item[1])[:12]:
+        print(f"{block:>22}  {count:>18}")
+    print()
+
+    hottest = max(from_checker.items(), key=lambda item: item[1])
+    print(
+        f"maximum block-level pressure is {hottest[1]} live values at block "
+        f"'{hottest[0]}' — an allocator with fewer registers than that must spill."
+    )
+    print("(checker and data-flow sets agree on every block)")
+
+
+if __name__ == "__main__":
+    main()

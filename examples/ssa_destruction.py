@@ -1,0 +1,100 @@
+"""SSA destruction driven by liveness queries — the paper's benchmark client.
+
+Run with::
+
+    python examples/ssa_destruction.py
+
+The script compiles a function with several φs, runs the Sreedhar-style
+out-of-SSA translation twice — once with the fast liveness checker and once
+with the conventional data-flow analysis — and shows that both engines lead
+to exactly the same coalescing decisions while issuing the same number of
+queries, then verifies the transformed code still computes the same values.
+"""
+
+import copy
+
+from repro import (
+    CountingOracle,
+    DataflowLiveness,
+    FastLivenessChecker,
+    compile_source,
+    destruct_ssa,
+)
+from repro.ir import print_function
+from repro.ir.interp import execute
+
+SOURCE = """
+func polynomial(x, n) {
+    even = 0;
+    odd = 0;
+    i = 0;
+    acc = 1;
+    while (i < n) {
+        acc = acc * x;
+        if (i % 2 == 0) {
+            even = even + acc;
+        } else {
+            odd = odd + acc;
+        }
+        i = i + 1;
+    }
+    return even * 100 + odd;
+}
+"""
+
+
+def run_destruction(oracle_name: str):
+    function = compile_source(SOURCE).function("polynomial")
+    reference = [execute(function, [2, n]).return_value for n in range(6)]
+
+    factories = {
+        "fast checker": lambda fn: CountingOracle(FastLivenessChecker(fn)),
+        "data-flow sets": lambda fn: CountingOracle(DataflowLiveness(fn)),
+    }
+    holder = {}
+
+    def factory(fn):
+        oracle = factories[oracle_name](fn)
+        holder["oracle"] = oracle
+        return oracle
+
+    report = destruct_ssa(function, oracle_factory=factory)
+    oracle = holder["oracle"]
+
+    after = [execute(function, [2, n]).return_value for n in range(6)]
+    assert after == reference, "destruction changed the program's behaviour!"
+    return function, report, oracle
+
+
+def main() -> None:
+    ssa_function = compile_source(SOURCE).function("polynomial")
+    print("SSA form before destruction:")
+    print(print_function(ssa_function))
+    print()
+
+    results = {}
+    for oracle_name in ("fast checker", "data-flow sets"):
+        function, report, oracle = run_destruction(oracle_name)
+        results[oracle_name] = (report, oracle)
+        print(f"--- destruction with the {oracle_name} ---")
+        print(f"  φs processed:          {report.phis_processed}")
+        print(f"  resources coalesced:   {report.resources_coalesced}")
+        print(f"  copies inserted:       {report.copies_inserted}")
+        print(f"  interference tests:    {report.interference_tests}")
+        print(f"  liveness queries:      {oracle.total_queries}")
+        print()
+
+    fast_report, _ = results["fast checker"]
+    dataflow_report, _ = results["data-flow sets"]
+    assert fast_report.copies_inserted == dataflow_report.copies_inserted
+    assert fast_report.resources_coalesced == dataflow_report.resources_coalesced
+    print("both oracles made identical coalescing decisions.")
+    print()
+
+    function, _, _ = run_destruction("fast checker")
+    print("non-SSA code after destruction (checker-driven):")
+    print(print_function(function))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that the
+package can also be installed in minimal offline environments that lack the
+``wheel`` package (``python setup.py develop``), where pip's PEP 660
+editable build is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,125 @@
+"""repro — Fast Liveness Checking for SSA-Form Programs.
+
+A full reproduction of Boissinot, Hack, Grund, Dupont de Dinechin and
+Rastello, *Fast Liveness Checking for SSA-Form Programs* (CGO 2008),
+including every substrate the paper relies on: a small SSA IR with
+construction and destruction passes, the CFG analyses (DFS, dominance,
+reducibility, loop forests), conventional liveness baselines, and the
+paper's liveness checker itself with its bitset engineering, plus the
+benchmark harness reproducing the paper's tables.
+
+Typical use::
+
+    from repro import compile_source, FastLivenessChecker
+
+    module = compile_source('''
+    func count(n) {
+        s = 0;
+        while (n > 0) { s = s + n; n = n - 1; }
+        return s;
+    }
+    ''')
+    function = module.function("count")
+    checker = FastLivenessChecker(function)
+    s = function.variable_by_name("s.3")
+    print(checker.is_live_in(s, "bb2"))
+
+See ``DESIGN.md`` for the module map and ``EXPERIMENTS.md`` for the
+reproduction of the paper's evaluation.
+"""
+
+from repro.cfg import (
+    ControlFlowGraph,
+    DepthFirstSearch,
+    DominanceFrontiers,
+    DominatorTree,
+    EdgeKind,
+    LoopNestingForest,
+    PostDominatorTree,
+    is_reducible,
+)
+from repro.core import (
+    BitsetChecker,
+    FastLivenessChecker,
+    LivenessPrecomputation,
+    LoopForestChecker,
+    ReducedReachability,
+    SetBasedChecker,
+    TargetSets,
+    TransformationSession,
+)
+from repro.frontend import compile_function, compile_source
+from repro.ir import (
+    BasicBlock,
+    Function,
+    FunctionBuilder,
+    Instruction,
+    Module,
+    Phi,
+    Variable,
+    parse_function,
+    print_function,
+    verify_ssa,
+)
+from repro.liveness import (
+    CountingOracle,
+    DataflowLiveness,
+    LivenessOracle,
+    PathExplorationLiveness,
+)
+from repro.ssa import (
+    CopyCoalescer,
+    DefUseChains,
+    InterferenceChecker,
+    construct_ssa,
+    destruct_ssa,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # cfg
+    "ControlFlowGraph",
+    "DepthFirstSearch",
+    "EdgeKind",
+    "DominatorTree",
+    "DominanceFrontiers",
+    "PostDominatorTree",
+    "LoopNestingForest",
+    "is_reducible",
+    # ir
+    "Variable",
+    "Instruction",
+    "Phi",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "FunctionBuilder",
+    "parse_function",
+    "print_function",
+    "verify_ssa",
+    # ssa
+    "DefUseChains",
+    "construct_ssa",
+    "destruct_ssa",
+    "InterferenceChecker",
+    "CopyCoalescer",
+    # liveness
+    "LivenessOracle",
+    "CountingOracle",
+    "DataflowLiveness",
+    "PathExplorationLiveness",
+    # core (the paper)
+    "LivenessPrecomputation",
+    "ReducedReachability",
+    "TargetSets",
+    "SetBasedChecker",
+    "BitsetChecker",
+    "FastLivenessChecker",
+    "LoopForestChecker",
+    "TransformationSession",
+    # frontend
+    "compile_source",
+    "compile_function",
+]

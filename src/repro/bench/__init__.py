@@ -1,0 +1,23 @@
+"""Benchmark harness: regenerate the paper's tables and figures.
+
+Each module computes the rows of one paper artefact on the synthetic
+SPEC-shaped workload and returns them together with the paper's published
+values, so the pytest-benchmark drivers under ``benchmarks/`` (and the
+``python -m repro.bench.table1`` / ``table2`` entry points) can print a
+side-by-side comparison.  See EXPERIMENTS.md for the recorded results.
+"""
+
+from repro.bench.workload import BenchmarkWorkload, build_workload
+from repro.bench.table1 import compute_table1, format_table1
+from repro.bench.table2 import compute_table2, format_table2
+from repro.bench.reporting import format_table
+
+__all__ = [
+    "BenchmarkWorkload",
+    "build_workload",
+    "compute_table1",
+    "format_table1",
+    "compute_table2",
+    "format_table2",
+    "format_table",
+]

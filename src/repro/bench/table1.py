@@ -1,0 +1,148 @@
+"""Table 1 — quantitative evaluation of the workload.
+
+For every benchmark profile the harness generates a scaled procedure
+population, measures the same statistics the paper reports (average and
+total block counts, the ≤32/≤64-block percentiles, the maximum, and the
+uses-per-variable CDF), and prints them next to the published values.
+Absolute totals differ by the scale factor; the distribution columns are
+the ones expected to line up.
+
+Run directly with ``python -m repro.bench.table1 [scale]``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+from repro.bench.reporting import format_table
+from repro.bench.workload import BenchmarkWorkload, build_workload
+from repro.synth.spec_profiles import SPEC_PROFILES, BenchmarkProfile
+
+
+@dataclass
+class Table1Row:
+    """Measured + published statistics for one benchmark."""
+
+    benchmark: str
+    procedures: int
+    avg_blocks: float
+    paper_avg_blocks: float
+    sum_blocks: int
+    pct_le_32: float
+    paper_pct_le_32: float
+    pct_le_64: float
+    paper_pct_le_64: float
+    max_blocks: int
+    paper_max_blocks: int
+    pct_uses_le_1: float
+    paper_pct_uses_le_1: float
+    pct_uses_le_4: float
+    paper_pct_uses_le_4: float
+
+
+def compute_row(workload: BenchmarkWorkload) -> Table1Row:
+    """Measure Table 1's columns for one generated workload."""
+    profile = workload.profile
+    block_counts = [proc.num_blocks for proc in workload.procedures]
+    total_variables = 0
+    uses_le = {1: 0, 4: 0}
+    for proc in workload.procedures:
+        for var in proc.defuse.variables():
+            total_variables += 1
+            uses = proc.defuse.num_uses(var)
+            if uses <= 1:
+                uses_le[1] += 1
+            if uses <= 4:
+                uses_le[4] += 1
+    count = len(block_counts)
+    return Table1Row(
+        benchmark=profile.name,
+        procedures=count,
+        avg_blocks=sum(block_counts) / count,
+        paper_avg_blocks=profile.avg_blocks,
+        sum_blocks=sum(block_counts),
+        pct_le_32=100.0 * sum(b <= 32 for b in block_counts) / count,
+        paper_pct_le_32=profile.pct_blocks_le_32,
+        pct_le_64=100.0 * sum(b <= 64 for b in block_counts) / count,
+        paper_pct_le_64=profile.pct_blocks_le_64,
+        max_blocks=max(block_counts),
+        paper_max_blocks=profile.max_blocks,
+        pct_uses_le_1=100.0 * uses_le[1] / max(total_variables, 1),
+        paper_pct_uses_le_1=profile.pct_uses_le[0],
+        pct_uses_le_4=100.0 * uses_le[4] / max(total_variables, 1),
+        paper_pct_uses_le_4=profile.pct_uses_le[3],
+    )
+
+
+def compute_table1(
+    scale: int = 6,
+    seed: int = 0,
+    profiles: tuple[BenchmarkProfile, ...] = SPEC_PROFILES,
+    workloads: dict[str, BenchmarkWorkload] | None = None,
+) -> list[Table1Row]:
+    """Compute Table 1 rows for every profile (reusing workloads if given)."""
+    rows = []
+    for profile in profiles:
+        if workloads is not None and profile.name in workloads:
+            workload = workloads[profile.name]
+        else:
+            workload = build_workload(profile, scale=scale, seed=seed)
+        rows.append(compute_row(workload))
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render the measured-vs-paper comparison."""
+    headers = [
+        "Benchmark",
+        "#Proc",
+        "Avg blocks",
+        "(paper)",
+        "%<=32",
+        "(paper)",
+        "%<=64",
+        "(paper)",
+        "Max",
+        "(paper)",
+        "%uses<=1",
+        "(paper)",
+        "%uses<=4",
+        "(paper)",
+    ]
+    table_rows = [
+        [
+            row.benchmark,
+            row.procedures,
+            row.avg_blocks,
+            row.paper_avg_blocks,
+            row.pct_le_32,
+            row.paper_pct_le_32,
+            row.pct_le_64,
+            row.paper_pct_le_64,
+            row.max_blocks,
+            row.paper_max_blocks,
+            row.pct_uses_le_1,
+            row.paper_pct_uses_le_1,
+            row.pct_uses_le_4,
+            row.paper_pct_uses_le_4,
+        ]
+        for row in rows
+    ]
+    return format_table(
+        headers,
+        table_rows,
+        title="Table 1 — quantitative evaluation (measured vs. paper)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    args = argv if argv is not None else sys.argv[1:]
+    scale = int(args[0]) if args else 6
+    print(format_table1(compute_table1(scale=scale)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

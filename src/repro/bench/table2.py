@@ -1,0 +1,206 @@
+"""Table 2 — runtime of precomputation and queries, native vs. new.
+
+For every benchmark profile the harness measures, per procedure:
+
+* the *native* precomputation: the conventional data-flow liveness of
+  :class:`repro.liveness.DataflowLiveness`, restricted (like LAO) to the
+  φ-related variables the SSA destruction pass actually queries;
+* the *new* precomputation: the CFG-only ``R``/``T`` construction of
+  :class:`repro.core.LivenessPrecomputation`;
+* the per-query cost of both engines on the *same* recorded query stream
+  (the liveness queries one SSA-destruction run issues).
+
+The combined speed-up uses the paper's formula
+``#proc × avg_precompute + #queries × avg_query``.  Absolute numbers are
+nanoseconds of pure Python rather than Pentium-M cycles, so only the shape
+(precompute ratio > 1, query ratio < 1, combined ratio driven by
+queries-per-procedure) is expected to match; the paper's published
+speed-ups are printed alongside.
+
+Run directly with ``python -m repro.bench.table2 [scale]``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.bench.reporting import format_table
+from repro.bench.workload import BenchmarkWorkload, ProcedureWorkload, build_workload
+from repro.core.live_checker import FastLivenessChecker
+from repro.core.precompute import LivenessPrecomputation
+from repro.liveness.dataflow import DataflowLiveness
+from repro.synth.spec_profiles import SPEC_PROFILES, BenchmarkProfile
+
+
+@dataclass
+class Table2Row:
+    """Measured + published runtime figures for one benchmark."""
+
+    benchmark: str
+    procedures: int
+    native_precompute_ns: float
+    new_precompute_ns: float
+    precompute_speedup: float
+    paper_precompute_speedup: float
+    queries: int
+    native_query_ns: float
+    new_query_ns: float
+    query_speedup: float
+    paper_query_speedup: float
+    combined_speedup: float
+    paper_combined_speedup: float
+
+
+def _time_native_precompute(proc: ProcedureWorkload) -> float:
+    start = time.perf_counter_ns()
+    engine = DataflowLiveness(proc.function, variables=proc.phi_related)
+    engine.prepare()
+    return float(time.perf_counter_ns() - start)
+
+
+def _time_new_precompute(proc: ProcedureWorkload) -> float:
+    graph = proc.function.build_cfg()
+    start = time.perf_counter_ns()
+    LivenessPrecomputation(graph)
+    return float(time.perf_counter_ns() - start)
+
+
+def _replay(oracle, queries) -> float:
+    """Replay a recorded stream and return the elapsed time in nanoseconds."""
+    start = time.perf_counter_ns()
+    for kind, var, block in queries:
+        if kind == "in":
+            oracle.is_live_in(var, block)
+        else:
+            oracle.is_live_out(var, block)
+    return float(time.perf_counter_ns() - start)
+
+
+def measure_procedure(proc: ProcedureWorkload) -> tuple[float, float, float, float, int]:
+    """Return (native pre, new pre, native query total, new query total, #queries)."""
+    native_pre = _time_native_precompute(proc)
+    new_pre = _time_new_precompute(proc)
+
+    native_engine = DataflowLiveness(proc.function, variables=proc.phi_related)
+    native_engine.prepare()
+    new_engine = FastLivenessChecker(proc.function, defuse=proc.defuse)
+    new_engine.prepare()
+
+    queries = proc.queries
+    native_query = _replay(native_engine, queries)
+    new_query = _replay(new_engine, queries)
+    return native_pre, new_pre, native_query, new_query, len(queries)
+
+
+def compute_row(workload: BenchmarkWorkload) -> Table2Row:
+    """Measure Table 2's columns for one generated workload."""
+    profile = workload.profile
+    native_pre_total = 0.0
+    new_pre_total = 0.0
+    native_query_total = 0.0
+    new_query_total = 0.0
+    query_count = 0
+    for proc in workload.procedures:
+        native_pre, new_pre, native_query, new_query, queries = measure_procedure(proc)
+        native_pre_total += native_pre
+        new_pre_total += new_pre
+        native_query_total += native_query
+        new_query_total += new_query
+        query_count += queries
+
+    procedures = len(workload.procedures)
+    native_pre_avg = native_pre_total / procedures
+    new_pre_avg = new_pre_total / procedures
+    native_query_avg = native_query_total / max(query_count, 1)
+    new_query_avg = new_query_total / max(query_count, 1)
+
+    native_combined = procedures * native_pre_avg + query_count * native_query_avg
+    new_combined = procedures * new_pre_avg + query_count * new_query_avg
+    return Table2Row(
+        benchmark=profile.name,
+        procedures=procedures,
+        native_precompute_ns=native_pre_avg,
+        new_precompute_ns=new_pre_avg,
+        precompute_speedup=native_pre_avg / new_pre_avg if new_pre_avg else 0.0,
+        paper_precompute_speedup=profile.precompute_speedup,
+        queries=query_count,
+        native_query_ns=native_query_avg,
+        new_query_ns=new_query_avg,
+        query_speedup=native_query_avg / new_query_avg if new_query_avg else 0.0,
+        paper_query_speedup=profile.query_speedup,
+        combined_speedup=native_combined / new_combined if new_combined else 0.0,
+        paper_combined_speedup=profile.combined_speedup,
+    )
+
+
+def compute_table2(
+    scale: int = 6,
+    seed: int = 0,
+    profiles: tuple[BenchmarkProfile, ...] = SPEC_PROFILES,
+    workloads: dict[str, BenchmarkWorkload] | None = None,
+) -> list[Table2Row]:
+    """Compute Table 2 rows for every profile (reusing workloads if given)."""
+    rows = []
+    for profile in profiles:
+        if workloads is not None and profile.name in workloads:
+            workload = workloads[profile.name]
+        else:
+            workload = build_workload(profile, scale=scale, seed=seed)
+        rows.append(compute_row(workload))
+    return rows
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    """Render the measured-vs-paper comparison."""
+    headers = [
+        "Benchmark",
+        "#Proc",
+        "Pre native ns",
+        "Pre new ns",
+        "Spdup",
+        "(paper)",
+        "#Queries",
+        "Qry native ns",
+        "Qry new ns",
+        "Spdup",
+        "(paper)",
+        "Both",
+        "(paper)",
+    ]
+    table_rows = [
+        [
+            row.benchmark,
+            row.procedures,
+            row.native_precompute_ns,
+            row.new_precompute_ns,
+            row.precompute_speedup,
+            row.paper_precompute_speedup,
+            row.queries,
+            row.native_query_ns,
+            row.new_query_ns,
+            row.query_speedup,
+            row.paper_query_speedup,
+            row.combined_speedup,
+            row.paper_combined_speedup,
+        ]
+        for row in rows
+    ]
+    return format_table(
+        headers,
+        table_rows,
+        title="Table 2 — runtime experiments (measured vs. paper speed-ups)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    args = argv if argv is not None else sys.argv[1:]
+    scale = int(args[0]) if args else 6
+    print(format_table2(compute_table2(scale=scale)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Shared benchmark workloads.
+
+A :class:`BenchmarkWorkload` holds, for one SPEC profile, the generated
+SSA-form procedures together with per-procedure artefacts every table
+needs: def–use chains, the φ-related variable subset and the liveness query
+stream recorded from one SSA-destruction run.  Recording the stream once
+and replaying it against each engine keeps the comparison apples-to-apples
+— exactly the same queries hit both the native and the new implementation,
+as in the paper's measurement setup.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.core import FastLivenessChecker
+from repro.ir.function import Function
+from repro.ir.value import Variable
+from repro.liveness.oracle import LivenessOracle
+from repro.ssa.defuse import DefUseChains
+from repro.ssa.destruction import destruct_ssa, phi_related_variables
+from repro.synth.spec_profiles import BenchmarkProfile, generate_benchmark_functions
+
+
+class RecordingOracle(LivenessOracle):
+    """Wraps an oracle and records every query for later replay."""
+
+    def __init__(self, inner: LivenessOracle) -> None:
+        self.inner = inner
+        #: (kind, variable, block) triples in issue order.
+        self.queries: list[tuple[str, Variable, str]] = []
+
+    def prepare(self) -> None:
+        self.inner.prepare()
+
+    def is_live_in(self, var: Variable, block: str) -> bool:
+        self.queries.append(("in", var, block))
+        return self.inner.is_live_in(var, block)
+
+    def is_live_out(self, var: Variable, block: str) -> bool:
+        self.queries.append(("out", var, block))
+        return self.inner.is_live_out(var, block)
+
+    def live_variables(self) -> list[Variable]:
+        return self.inner.live_variables()
+
+
+@dataclass
+class ProcedureWorkload:
+    """One procedure plus the artefacts the benchmarks replay."""
+
+    function: Function
+    defuse: DefUseChains
+    phi_related: list[Variable]
+    #: Recorded (kind, variable, block) liveness queries from SSA destruction.
+    queries: list[tuple[str, Variable, str]]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.function.blocks)
+
+
+@dataclass
+class BenchmarkWorkload:
+    """All procedures generated for one benchmark profile."""
+
+    profile: BenchmarkProfile
+    scale: int
+    procedures: list[ProcedureWorkload] = field(default_factory=list)
+
+    @property
+    def total_queries(self) -> int:
+        return sum(len(proc.queries) for proc in self.procedures)
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(proc.num_blocks for proc in self.procedures)
+
+
+def build_workload(
+    profile: BenchmarkProfile, scale: int, seed: int = 0
+) -> BenchmarkWorkload:
+    """Generate ``scale`` procedures for ``profile`` and record query streams.
+
+    SSA destruction is run on a *copy* of each function (it mutates its
+    input), so the workload keeps the original SSA form for the engines to
+    analyse, exactly like the paper measures the destruction pass's queries
+    without keeping its output around.
+    """
+    workload = BenchmarkWorkload(profile=profile, scale=scale)
+    for function in generate_benchmark_functions(profile, scale=scale, seed=seed):
+        # Split critical edges up front so the recorded query stream refers
+        # to block names that exist in the retained (SSA) function as well.
+        function.split_critical_edges()
+        scratch = copy.deepcopy(function)
+        recorder = RecordingOracle(FastLivenessChecker(scratch))
+        destruct_ssa(scratch, oracle=recorder)
+        # The recorded queries reference the scratch copy's variables; remap
+        # them onto the original function by (unique) name.
+        by_name = {var.name: var for var in function.variables()}
+        queries = [
+            (kind, by_name[var.name], block)
+            for kind, var, block in recorder.queries
+            if var.name in by_name
+        ]
+        workload.procedures.append(
+            ProcedureWorkload(
+                function=function,
+                defuse=DefUseChains(function),
+                phi_related=phi_related_variables(function),
+                queries=queries,
+            )
+        )
+    return workload

@@ -1,0 +1,224 @@
+"""Depth-first search: spanning tree, numbering and edge classification.
+
+Section 2.1 of the paper classifies CFG edges relative to a DFS spanning
+tree into *tree*, *back*, *forward* and *cross* edges (Figure 1) and defines
+the set of back edges
+
+    E↑ = {(s, t) ∈ E | t is an ancestor of s in the DFS tree}.
+
+Back edges are the load-bearing concept of the whole approach: the reduced
+graph ``G̃`` is the CFG minus its back edges, ``R_v`` is reachability in
+``G̃``, and ``T_v`` collects back-edge *targets*.  The DFS also provides the
+reverse-postorder used as a topological order of ``G̃`` during the
+precomputation (Section 5.2) and the preorder used in the proof of
+Theorem 3.
+
+The implementation is iterative (explicit stack) so that functions with
+thousands of blocks do not hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.cfg.graph import ControlFlowGraph, Edge, Node
+
+
+class EdgeKind(enum.Enum):
+    """Classification of a CFG edge with respect to a DFS spanning tree."""
+
+    TREE = "tree"
+    BACK = "back"
+    FORWARD = "forward"
+    CROSS = "cross"
+
+
+class DepthFirstSearch:
+    """A DFS of a :class:`ControlFlowGraph` from its entry node.
+
+    The traversal visits successors in their insertion order, so results are
+    deterministic for a given graph construction order.  All nodes are
+    assumed reachable from the entry (callers should run
+    :meth:`ControlFlowGraph.validate` first); unreachable nodes are simply
+    absent from the numberings and ``classify_edge`` raises for them.
+    """
+
+    def __init__(self, graph: ControlFlowGraph) -> None:
+        self._graph = graph
+        self._preorder: dict[Node, int] = {}
+        self._postorder: dict[Node, int] = {}
+        self._parent: dict[Node, Node | None] = {}
+        self._preorder_nodes: list[Node] = []
+        self._postorder_nodes: list[Node] = []
+        self._edge_kinds: dict[Edge, EdgeKind] = {}
+        self._back_edges: list[Edge] = []
+        self._run()
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        graph = self._graph
+        entry = graph.entry
+        self._parent[entry] = None
+        # Stack holds (node, iterator over its successors).  A node is
+        # numbered in preorder when pushed and in postorder when its
+        # iterator is exhausted.
+        self._assign_preorder(entry)
+        stack: list[tuple[Node, Iterator[Node]]] = [
+            (entry, iter(graph.successors(entry)))
+        ]
+        on_stack = {entry}
+        while stack:
+            node, succ_iter = stack[-1]
+            advanced = False
+            for succ in succ_iter:
+                edge = Edge(node, succ)
+                if succ not in self._preorder:
+                    # First visit: tree edge.
+                    self._edge_kinds[edge] = EdgeKind.TREE
+                    self._parent[succ] = node
+                    self._assign_preorder(succ)
+                    stack.append((succ, iter(graph.successors(succ))))
+                    on_stack.add(succ)
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    # Target still open: ancestor of the source.
+                    self._edge_kinds[edge] = EdgeKind.BACK
+                    self._back_edges.append(edge)
+                elif self._preorder[node] < self._preorder[succ]:
+                    # Already closed but started later: descendant.
+                    self._edge_kinds[edge] = EdgeKind.FORWARD
+                else:
+                    self._edge_kinds[edge] = EdgeKind.CROSS
+            if not advanced:
+                stack.pop()
+                on_stack.discard(node)
+                self._assign_postorder(node)
+
+    def _assign_preorder(self, node: Node) -> None:
+        self._preorder[node] = len(self._preorder_nodes)
+        self._preorder_nodes.append(node)
+
+    def _assign_postorder(self, node: Node) -> None:
+        self._postorder[node] = len(self._postorder_nodes)
+        self._postorder_nodes.append(node)
+
+    # ------------------------------------------------------------------
+    # Numbering
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> ControlFlowGraph:
+        """The graph that was traversed."""
+        return self._graph
+
+    def preorder_number(self, node: Node) -> int:
+        """DFS preorder (discovery) number of ``node``."""
+        return self._preorder[node]
+
+    def postorder_number(self, node: Node) -> int:
+        """DFS postorder (finish) number of ``node``."""
+        return self._postorder[node]
+
+    def preorder(self) -> list[Node]:
+        """Nodes in DFS preorder."""
+        return list(self._preorder_nodes)
+
+    def postorder(self) -> list[Node]:
+        """Nodes in DFS postorder."""
+        return list(self._postorder_nodes)
+
+    def reverse_postorder(self) -> list[Node]:
+        """Nodes in reverse postorder.
+
+        Reverse postorder is a topological order of the reduced graph
+        (Section 5.2), which is why both the ``R_v`` propagation and the
+        baseline data-flow solver's worklist initialisation use it.
+        """
+        return list(reversed(self._postorder_nodes))
+
+    def visited(self, node: Node) -> bool:
+        """True iff ``node`` was reached by the traversal."""
+        return node in self._preorder
+
+    def parent(self, node: Node) -> Node | None:
+        """DFS-tree parent of ``node`` (``None`` for the entry)."""
+        return self._parent[node]
+
+    def is_ancestor(self, ancestor: Node, descendant: Node) -> bool:
+        """True iff ``ancestor`` is an ancestor of ``descendant`` in the DFS tree.
+
+        A node is considered an ancestor of itself, matching the convention
+        used for back edges (a self-loop is a back edge).
+        """
+        node: Node | None = descendant
+        while node is not None:
+            if node == ancestor:
+                return True
+            node = self._parent[node]
+        return False
+
+    # ------------------------------------------------------------------
+    # Edge classification
+    # ------------------------------------------------------------------
+    def classify_edge(self, source: Node, target: Node) -> EdgeKind:
+        """Return the :class:`EdgeKind` of an existing edge."""
+        edge = Edge(source, target)
+        if edge not in self._edge_kinds:
+            raise KeyError(f"edge {source!r} -> {target!r} was not traversed")
+        return self._edge_kinds[edge]
+
+    def edge_kinds(self) -> dict[Edge, EdgeKind]:
+        """Mapping of every traversed edge to its classification."""
+        return dict(self._edge_kinds)
+
+    def back_edges(self) -> list[Edge]:
+        """The set E↑ of back edges, in traversal order."""
+        return list(self._back_edges)
+
+    def back_edge_targets(self) -> list[Node]:
+        """Distinct targets of back edges, in traversal order."""
+        seen: dict[Node, None] = {}
+        for edge in self._back_edges:
+            seen.setdefault(edge.target, None)
+        return list(seen)
+
+    def is_back_edge(self, source: Node, target: Node) -> bool:
+        """True iff ``source -> target`` is a back edge of this DFS."""
+        return self._edge_kinds.get(Edge(source, target)) is EdgeKind.BACK
+
+    def is_back_edge_target(self, node: Node) -> bool:
+        """True iff some back edge points at ``node``.
+
+        Algorithm 2's live-out check needs this to decide whether a trivial
+        path from ``q`` to itself can be completed into a non-trivial cycle.
+        """
+        return any(edge.target == node for edge in self._back_edges)
+
+    def edge_statistics(self) -> dict[str, int]:
+        """Counts per edge kind plus totals (used by the §6.1 statistics)."""
+        counts = {kind.value: 0 for kind in EdgeKind}
+        for kind in self._edge_kinds.values():
+            counts[kind.value] += 1
+        counts["total"] = len(self._edge_kinds)
+        return counts
+
+
+def reduced_successors(graph: ControlFlowGraph, dfs: DepthFirstSearch) -> dict[Node, list[Node]]:
+    """Successor lists of the reduced graph ``G̃`` (CFG minus back edges).
+
+    The reduced graph is acyclic (every cycle must contain a back edge), so
+    reachability within it — the ``R_v`` sets of Definition 4 — can be
+    computed by a single sweep in reverse topological order; see
+    :mod:`repro.core.reduced_graph`.
+    """
+    result: dict[Node, list[Node]] = {}
+    for node in graph.nodes():
+        result[node] = [
+            succ
+            for succ in graph.successors(node)
+            if not dfs.is_back_edge(node, succ)
+        ]
+    return result

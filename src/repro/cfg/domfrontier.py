@@ -1,0 +1,78 @@
+"""Dominance frontiers (Cytron et al.).
+
+The dominance frontier ``DF(x)`` of a node ``x`` is the set of nodes ``y``
+such that ``x`` dominates a predecessor of ``y`` but does not strictly
+dominate ``y`` itself.  SSA construction places φ-functions for a variable
+at the iterated dominance frontier of its definition sites (Section 2.2 of
+the paper sketches the result; the construction itself lives in
+:mod:`repro.ssa.construction`).
+
+The computation uses the elegant formulation from Cooper–Harvey–Kennedy:
+for every join node (two or more predecessors), walk from each predecessor
+up the dominator tree until the node's immediate dominator is reached,
+adding the join node to the frontier of every node passed on the way.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.dominance import DominatorTree
+from repro.cfg.graph import ControlFlowGraph, Node
+
+
+class DominanceFrontiers:
+    """Per-node dominance frontiers plus the iterated-frontier closure."""
+
+    def __init__(self, graph: ControlFlowGraph, domtree: DominatorTree | None = None) -> None:
+        self._graph = graph
+        self._domtree = domtree if domtree is not None else DominatorTree(graph)
+        self._frontier: dict[Node, list[Node]] = {node: [] for node in graph.nodes()}
+        self._compute()
+
+    def _compute(self) -> None:
+        domtree = self._domtree
+        for node in self._graph.nodes():
+            preds = self._graph.predecessors(node)
+            if len(preds) < 2:
+                continue
+            idom = domtree.immediate_dominator(node)
+            for pred in preds:
+                runner = pred
+                while runner != idom:
+                    frontier = self._frontier[runner]
+                    if node not in frontier:
+                        frontier.append(node)
+                    next_runner = domtree.immediate_dominator(runner)
+                    if next_runner is None:
+                        break
+                    runner = next_runner
+
+    @property
+    def domtree(self) -> DominatorTree:
+        """The dominator tree the frontiers were derived from."""
+        return self._domtree
+
+    def frontier(self, node: Node) -> list[Node]:
+        """``DF(node)`` in deterministic (discovery) order."""
+        return list(self._frontier[node])
+
+    def __getitem__(self, node: Node) -> list[Node]:
+        return self.frontier(node)
+
+    def iterated_frontier(self, nodes: set[Node] | list[Node]) -> set[Node]:
+        """``DF+``: the least fixpoint of ``DF`` over a set of seed nodes.
+
+        This is the set of nodes where SSA construction must place
+        φ-functions for a variable defined at every node in ``nodes``.
+        """
+        result: set[Node] = set()
+        worklist = list(nodes)
+        enqueued = set(worklist)
+        while worklist:
+            node = worklist.pop()
+            for frontier_node in self._frontier[node]:
+                if frontier_node not in result:
+                    result.add(frontier_node)
+                    if frontier_node not in enqueued:
+                        enqueued.add(frontier_node)
+                        worklist.append(frontier_node)
+        return result

@@ -1,0 +1,52 @@
+"""Post-dominator trees.
+
+Post-dominance is dominance on the reverse CFG rooted at a virtual exit
+node.  The fast liveness checker itself does not need post-dominance, but
+two neighbouring pieces of the reproduction do:
+
+* the related-work discussion (Gerlek et al. / SSI, Section 7) places
+  λ-operators at iterated dominance frontiers of the *reverse* CFG, and
+* some of the synthetic-workload sanity checks use post-dominance to reason
+  about which uses are unavoidable.
+
+Keeping it in the library also rounds out the CFG substrate a downstream
+compiler would expect.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.dominance import DominatorTree
+from repro.cfg.graph import ControlFlowGraph, Node
+
+#: Sentinel used as the virtual exit node of the reverse graph.  A plain
+#: module-level object so it can never collide with user node identifiers.
+VIRTUAL_EXIT: object = object()
+
+
+class PostDominatorTree:
+    """Post-dominance queries over a CFG with arbitrarily many exit nodes."""
+
+    def __init__(self, graph: ControlFlowGraph) -> None:
+        self._graph = graph
+        self._reverse = graph.reversed(virtual_exit=VIRTUAL_EXIT)
+        self._domtree = DominatorTree(self._reverse)
+
+    @property
+    def virtual_exit(self) -> object:
+        """The synthetic exit node added to root the reverse graph."""
+        return VIRTUAL_EXIT
+
+    def post_dominates(self, x: Node, y: Node) -> bool:
+        """True iff every path from ``y`` to any exit passes through ``x``."""
+        return self._domtree.dominates(x, y)
+
+    def strictly_post_dominates(self, x: Node, y: Node) -> bool:
+        """Post-dominance with ``x != y``."""
+        return x != y and self.post_dominates(x, y)
+
+    def immediate_post_dominator(self, node: Node) -> Node | None:
+        """The immediate post-dominator, or ``None`` if it is the virtual exit."""
+        idom = self._domtree.immediate_dominator(node)
+        if idom is VIRTUAL_EXIT:
+            return None
+        return idom

@@ -1,0 +1,43 @@
+"""The paper's contribution: fast liveness checking for SSA-form programs.
+
+The package is organised to mirror the paper:
+
+* :mod:`repro.core.reduced_graph` — the reduced graph ``G̃`` and the
+  reduced-reachability sets ``R_v`` (Definition 4, Section 5.2).
+* :mod:`repro.core.targets` — the relevant back-edge-target sets ``T_v``
+  (Definition 5, Equation 1, Theorem 3, Section 5.2), with both the exact
+  per-node construction and the paper's two-pass propagation strategy.
+* :mod:`repro.core.precompute` — :class:`LivenessPrecomputation`, bundling
+  DFS, dominance, ``R`` and ``T`` for one CFG.  This is the part that is
+  *independent of variables* and survives program transformations.
+* :mod:`repro.core.query` — the set-based live-in/live-out checks
+  (Algorithms 1 and 2) used as the readable reference.
+* :mod:`repro.core.bitset_query` — Algorithm 3, the engineered bitset
+  implementation with the reducible-CFG fast path (Theorem 2).
+* :mod:`repro.core.live_checker` — :class:`FastLivenessChecker`, the public
+  oracle tying a function's def–use chains to the precomputation.
+* :mod:`repro.core.loopforest` — the loop-nesting-forest variant sketched
+  in the paper's outlook (Section 8).
+* :mod:`repro.core.invalidation` — a transformation session demonstrating
+  which edits preserve the precomputation (all of them except CFG edits).
+"""
+
+from repro.core.reduced_graph import ReducedReachability
+from repro.core.targets import TargetSets
+from repro.core.precompute import LivenessPrecomputation
+from repro.core.query import SetBasedChecker
+from repro.core.bitset_query import BitsetChecker
+from repro.core.live_checker import FastLivenessChecker
+from repro.core.loopforest import LoopForestChecker
+from repro.core.invalidation import TransformationSession
+
+__all__ = [
+    "ReducedReachability",
+    "TargetSets",
+    "LivenessPrecomputation",
+    "SetBasedChecker",
+    "BitsetChecker",
+    "FastLivenessChecker",
+    "LoopForestChecker",
+    "TransformationSession",
+]

@@ -1,0 +1,120 @@
+"""Algorithm 3: the bitset implementation of the liveness check.
+
+Section 5.1 of the paper engineers Algorithm 1 into a tight loop over two
+bitsets and the def–use chain:
+
+* blocks are numbered in dominance-tree preorder, so the nodes strictly
+  dominated by ``def(a)`` form the contiguous interval
+  ``(num(def), maxnum(def)]`` and ``T_q ∩ sdom(def(a))`` never has to be
+  materialised — the query just scans ``T[q]`` inside that interval with
+  ``next_set_bit``;
+* after testing a candidate ``t``, its whole dominance subtree can be
+  skipped (any ``t'`` dominated by ``t`` satisfies ``R_t' ⊆ R_t``), which
+  is the ``t = maxnum(t) + 1`` jump at the bottom of the loop;
+* on reducible CFGs Theorem 2 guarantees the most-dominating candidate —
+  the first set bit in the interval — already decides the query, so the
+  ``while`` degenerates into an ``if`` (footnote 1).  That fast path is
+  exposed as ``reducible_fast_path`` and benchmarked by the ordering
+  ablation.
+
+The checker works on dominance-preorder block *numbers*; the wrapper in
+:mod:`repro.core.live_checker` translates variables and block names.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.precompute import LivenessPrecomputation
+
+
+class BitsetChecker:
+    """Algorithm 3 plus its live-out counterpart, operating on block numbers."""
+
+    def __init__(
+        self,
+        precomputation: LivenessPrecomputation,
+        reducible_fast_path: bool = True,
+    ) -> None:
+        self._pre = precomputation
+        # Theorem 2 relies on the exact Definition-5 sets being totally
+        # ordered by dominance (Lemma 3); the "propagate" strategy may add
+        # extra targets that break the total order, so the fast path is
+        # only sound with the exact strategy on a reducible CFG.
+        self._fast_path = (
+            reducible_fast_path
+            and precomputation.reducible
+            and precomputation.targets.strategy == "exact"
+        )
+        #: Number of candidate back-edge targets inspected by the last
+        #: query; the T_q-ordering ablation aggregates this counter.
+        self.last_candidates_tested = 0
+
+    @property
+    def precomputation(self) -> LivenessPrecomputation:
+        """The shared variable-independent precomputation."""
+        return self._pre
+
+    @property
+    def uses_fast_path(self) -> bool:
+        """True when the reducible-CFG single-candidate fast path is active."""
+        return self._fast_path
+
+    # ------------------------------------------------------------------
+    # Algorithm 3
+    # ------------------------------------------------------------------
+    def is_live_in(self, def_num: int, use_nums: Sequence[int], query_num: int) -> bool:
+        """Live-in check on dominance-preorder block numbers.
+
+        ``def_num`` is ``num(def(a))``, ``use_nums`` the numbers of the
+        blocks in the def–use chain, ``query_num`` is ``num(q)``.
+        """
+        pre = self._pre
+        max_dom = pre.domtree.maxnum(pre.node_of(def_num))
+        self.last_candidates_tested = 0
+        if query_num <= def_num or max_dom < query_num:
+            return False
+        t_q = pre.targets.bitset(pre.node_of(query_num))
+        t = t_q.next_set_bit(def_num + 1)
+        while t is not None and t <= max_dom:
+            self.last_candidates_tested += 1
+            reach_t = pre.reach.bitset(pre.node_of(t))
+            for use in use_nums:
+                if use in reach_t:
+                    return True
+            if self._fast_path:
+                # Theorem 2: on reducible CFGs the first (most dominating)
+                # candidate already decides the query.
+                return False
+            t = pre.domtree.maxnum(pre.node_of(t)) + 1
+            t = t_q.next_set_bit(t)
+        return False
+
+    # ------------------------------------------------------------------
+    # Live-out variant (Algorithm 2 with bitsets)
+    # ------------------------------------------------------------------
+    def is_live_out(self, def_num: int, use_nums: Sequence[int], query_num: int) -> bool:
+        """Live-out check on dominance-preorder block numbers."""
+        pre = self._pre
+        self.last_candidates_tested = 0
+        if query_num == def_num:
+            return any(use != def_num for use in use_nums)
+        max_dom = pre.domtree.maxnum(pre.node_of(def_num))
+        if query_num <= def_num or max_dom < query_num:
+            return False
+        query_node = pre.node_of(query_num)
+        query_is_back_target = pre.is_back_edge_target(query_node)
+        t_q = pre.targets.bitset(query_node)
+        t = t_q.next_set_bit(def_num + 1)
+        while t is not None and t <= max_dom:
+            self.last_candidates_tested += 1
+            reach_t = pre.reach.bitset(pre.node_of(t))
+            exclude_query_use = t == query_num and not query_is_back_target
+            for use in use_nums:
+                if exclude_query_use and use == query_num:
+                    continue
+                if use in reach_t:
+                    return True
+            t = pre.domtree.maxnum(pre.node_of(t)) + 1
+            t = t_q.next_set_bit(t)
+        return False

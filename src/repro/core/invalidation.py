@@ -1,0 +1,199 @@
+"""Transformation sessions: which edits invalidate which liveness data.
+
+The paper's motivation (Section 1) is that conventional liveness results
+"are easily invalidated by program transformations", whereas the checker's
+precomputation "remains valid upon adding or removing variables or their
+uses" because it only depends on the CFG.  :class:`TransformationSession`
+makes that contract executable: it wraps a function together with a
+:class:`~repro.core.live_checker.FastLivenessChecker` and (optionally) a
+conventional :class:`~repro.liveness.dataflow.DataflowLiveness` engine, and
+routes program edits through methods that do the minimal required
+bookkeeping on each side:
+
+* instruction/variable edits → update def–use chains incrementally, leave
+  the checker's precomputation untouched, but force the data-flow engine to
+  recompute its sets;
+* CFG edits → invalidate both.
+
+The invalidation ablation benchmark and the ``jit_invalidation`` example
+replay realistic edit/query mixes through a session and count how many
+precomputations each engine had to perform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.live_checker import FastLivenessChecker
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction, Opcode
+from repro.ir.value import Variable
+from repro.liveness.dataflow import DataflowLiveness
+from repro.ssa.defuse import DefUseChains
+
+
+@dataclass
+class InvalidationStats:
+    """Counts of recomputations forced on each engine during a session."""
+
+    instruction_edits: int = 0
+    cfg_edits: int = 0
+    checker_precomputations: int = 0
+    dataflow_precomputations: int = 0
+    queries: int = 0
+    log: list[str] = field(default_factory=list)
+
+
+class TransformationSession:
+    """Replay program edits and liveness queries against both engines."""
+
+    def __init__(
+        self,
+        function: Function,
+        track_dataflow: bool = True,
+    ) -> None:
+        self.function = function
+        self.defuse = DefUseChains(function)
+        self.checker = FastLivenessChecker(function, defuse=self.defuse)
+        self.checker.prepare()
+        self._dataflow: DataflowLiveness | None = None
+        self._dataflow_valid = False
+        self._track_dataflow = track_dataflow
+        self.stats = InvalidationStats(checker_precomputations=1)
+        self._copy_counter = 0
+        if track_dataflow:
+            self._refresh_dataflow()
+
+    # ------------------------------------------------------------------
+    # Engine bookkeeping
+    # ------------------------------------------------------------------
+    def _refresh_dataflow(self) -> None:
+        self._dataflow = DataflowLiveness(self.function)
+        self._dataflow.prepare()
+        self._dataflow_valid = True
+        self.stats.dataflow_precomputations += 1
+
+    def _dataflow_engine(self) -> DataflowLiveness | None:
+        if not self._track_dataflow:
+            return None
+        if not self._dataflow_valid:
+            self._refresh_dataflow()
+        return self._dataflow
+
+    # ------------------------------------------------------------------
+    # Instruction-level edits (precomputation survives)
+    # ------------------------------------------------------------------
+    def insert_copy(self, block_name: str, source: Variable) -> Variable:
+        """Insert ``new ← copy source`` before the terminator of a block.
+
+        Models the copies SSA destruction and spill/reload insertion create
+        all the time.  The checker only needs its def–use chains updated;
+        the conventional engine's sets are stale and must be recomputed
+        before the next query.
+        """
+        block = self.function.block(block_name)
+        new_var = Variable(f"{source.name}.copy{self._copy_counter}")
+        self._copy_counter += 1
+        block.insert_before_terminator(
+            Instruction(Opcode.COPY, result=new_var, operands=[source])
+        )
+        self.defuse.add_variable(new_var, block_name)
+        self.defuse.add_use(source, block_name)
+        self._note_instruction_edit(f"insert_copy {source.name} in {block_name}")
+        return new_var
+
+    def add_use(self, var: Variable, block_name: str) -> Instruction:
+        """Append an opaque use of ``var`` (a ``store``) to a block."""
+        block = self.function.block(block_name)
+        inst = Instruction(Opcode.STORE, operands=[var, var])
+        block.insert_before_terminator(inst)
+        self.defuse.add_use(var, block_name)
+        self.defuse.add_use(var, block_name)
+        self._note_instruction_edit(f"add_use {var.name} in {block_name}")
+        return inst
+
+    def remove_instruction(self, inst: Instruction) -> None:
+        """Delete an instruction, updating def–use chains incrementally."""
+        block = inst.block
+        if block is None:
+            raise ValueError("instruction does not belong to a block")
+        for value in inst.used_variables():
+            self.defuse.remove_use(value, block.name)
+        if inst.result is not None:
+            self.defuse.remove_variable(inst.result)
+        block.remove(inst)
+        self._note_instruction_edit(f"remove_instruction in {block.name}")
+
+    def _note_instruction_edit(self, description: str) -> None:
+        self.stats.instruction_edits += 1
+        self.stats.log.append(description)
+        # The fast checker keeps its precomputation; the data-flow sets are
+        # now stale.
+        self._dataflow_valid = False
+
+    # ------------------------------------------------------------------
+    # CFG-level edits (precomputation must be redone)
+    # ------------------------------------------------------------------
+    def split_edge(self, source: str, target: str) -> str:
+        """Split the CFG edge ``source -> target`` with a forwarding block."""
+        source_block = self.function.block(source)
+        terminator = source_block.terminator()
+        if terminator is None or target not in source_block.successors():
+            raise ValueError(f"no edge {source!r} -> {target!r} to split")
+        new_name = f"split.{source}.{target}.{self.stats.cfg_edits}"
+        new_block = self.function.add_block(new_name)
+        new_block.append(Instruction(Opcode.JUMP, targets=[target]))
+        terminator.targets = [
+            new_name if t == target else t for t in terminator.targets
+        ]
+        for phi in self.function.block(target).phis():
+            if source in phi.incoming:
+                incoming_value = phi.incoming[source]
+                phi.rename_predecessor(source, new_name)
+                # A φ operand is used at its predecessor (Definition 1), so
+                # the use site moves from the old predecessor to the new
+                # forwarding block; def–use chains are patched accordingly.
+                if isinstance(incoming_value, Variable) and incoming_value in self.defuse:
+                    self.defuse.remove_use(incoming_value, source)
+                    self.defuse.add_use(incoming_value, new_name)
+        self._note_cfg_edit(f"split_edge {source} -> {target}")
+        return new_name
+
+    def _note_cfg_edit(self, description: str) -> None:
+        self.stats.cfg_edits += 1
+        self.stats.log.append(description)
+        self.checker.notify_cfg_changed()
+        self.checker.prepare()
+        self.stats.checker_precomputations += 1
+        self._dataflow_valid = False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_live_in(self, var: Variable, block: str) -> bool:
+        """Answer a live-in query with the fast checker (and cross-check)."""
+        self.stats.queries += 1
+        answer = self.checker.is_live_in(var, block)
+        dataflow = self._dataflow_engine()
+        if dataflow is not None and var in set(dataflow.live_variables()):
+            reference = dataflow.is_live_in(var, block)
+            if reference != answer:
+                raise AssertionError(
+                    f"engines disagree on live-in({var.name}, {block}): "
+                    f"checker={answer}, dataflow={reference}"
+                )
+        return answer
+
+    def is_live_out(self, var: Variable, block: str) -> bool:
+        """Answer a live-out query with the fast checker (and cross-check)."""
+        self.stats.queries += 1
+        answer = self.checker.is_live_out(var, block)
+        dataflow = self._dataflow_engine()
+        if dataflow is not None and var in set(dataflow.live_variables()):
+            reference = dataflow.is_live_out(var, block)
+            if reference != answer:
+                raise AssertionError(
+                    f"engines disagree on live-out({var.name}, {block}): "
+                    f"checker={answer}, dataflow={reference}"
+                )
+        return answer

@@ -1,0 +1,88 @@
+"""The variable-independent precomputation (Sections 3.2 and 5.2).
+
+:class:`LivenessPrecomputation` bundles everything the checker derives from
+the CFG alone: the DFS (back edges), the dominator tree (preorder
+numbering), the reduced-reachability sets ``R_v`` and the back-edge-target
+sets ``T_v``, plus the reducibility flag that enables the Theorem-2 fast
+path.
+
+Because none of this depends on variables, instructions or def–use chains,
+the object stays valid under every program transformation that leaves the
+CFG untouched — adding or removing instructions, introducing or coalescing
+variables, rewriting uses.  Only CFG edits (adding/removing blocks or
+edges) require building a new instance, which is exactly the invalidation
+contract the paper claims as its main practical advantage.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.dfs import DepthFirstSearch
+from repro.cfg.dominance import DominatorTree
+from repro.cfg.graph import ControlFlowGraph, Node
+from repro.cfg.reducibility import is_reducible
+from repro.core.reduced_graph import ReducedReachability
+from repro.core.targets import TargetSets
+
+
+class LivenessPrecomputation:
+    """All per-CFG data needed to answer liveness queries."""
+
+    def __init__(self, graph: ControlFlowGraph, strategy: str = "exact") -> None:
+        graph.validate()
+        self.graph = graph
+        self.dfs = DepthFirstSearch(graph)
+        self.domtree = DominatorTree(graph, self.dfs)
+        self.reach = ReducedReachability(graph, self.dfs, self.domtree)
+        self.targets = TargetSets(graph, self.dfs, self.domtree, self.reach, strategy)
+        self.reducible = is_reducible(graph, self.dfs, self.domtree)
+        self._back_edge_targets = set(self.dfs.back_edge_targets())
+
+    # ------------------------------------------------------------------
+    # Node numbering helpers (Section 5.1)
+    # ------------------------------------------------------------------
+    def num(self, node: Node) -> int:
+        """Dominance-preorder number of ``node``."""
+        return self.domtree.num(node)
+
+    def maxnum(self, node: Node) -> int:
+        """Largest dominance-preorder number inside ``node``'s subtree."""
+        return self.domtree.maxnum(node)
+
+    def node_of(self, number: int) -> Node:
+        """Inverse of :meth:`num`."""
+        return self.domtree.node_of(number)
+
+    def is_back_edge_target(self, node: Node) -> bool:
+        """True iff a DFS back edge points at ``node`` (Algorithm 2, line 8)."""
+        return node in self._back_edge_targets
+
+    # ------------------------------------------------------------------
+    # Statistics and accounting
+    # ------------------------------------------------------------------
+    def num_blocks(self) -> int:
+        """Number of CFG nodes."""
+        return len(self.graph)
+
+    def num_edges(self) -> int:
+        """Number of CFG edges."""
+        return self.graph.num_edges()
+
+    def num_back_edges(self) -> int:
+        """Number of DFS back edges."""
+        return len(self.dfs.back_edges())
+
+    def storage_bits(self) -> int:
+        """Payload bits of the ``R`` and ``T`` bitsets together.
+
+        This is the quantity the paper's Section 6.1 discussion compares
+        against the sorted-array live sets of the native analysis to locate
+        the memory break-even point.
+        """
+        return self.reach.storage_bits() + self.targets.storage_bits()
+
+    def __repr__(self) -> str:
+        return (
+            f"LivenessPrecomputation(blocks={self.num_blocks()}, "
+            f"edges={self.num_edges()}, back_edges={self.num_back_edges()}, "
+            f"reducible={self.reducible}, strategy={self.targets.strategy!r})"
+        )

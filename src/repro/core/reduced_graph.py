@@ -1,0 +1,83 @@
+"""The reduced graph ``G̃`` and reduced reachability ``R_v`` (Definition 4).
+
+Removing the DFS back edges from a CFG yields an acyclic *reduced graph*.
+The set ``R_v`` contains every node reachable from ``v`` inside the reduced
+graph (including ``v`` itself, via the trivial path).  Section 3.2 of the
+paper uses these sets to answer the easy half of a liveness query — a
+back-edge-free path from the query block to a use proves liveness outright —
+and Section 5.2 notes they can be computed in a single sweep because
+reverse postorder is a topological order of ``G̃``.
+
+The sets are materialised as bitsets indexed by the *dominance-tree
+preorder number* of each block (Section 5.1), because that is the numbering
+the query algorithm needs: it lets ``T_q ∩ sdom(def(a))`` be expressed as a
+contiguous index interval.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.dfs import DepthFirstSearch
+from repro.cfg.dominance import DominatorTree
+from repro.cfg.graph import ControlFlowGraph, Node
+from repro.sets.bitset import BitSet
+
+
+class ReducedReachability:
+    """Per-node reduced-reachability bitsets ``R_v``."""
+
+    def __init__(
+        self,
+        graph: ControlFlowGraph,
+        dfs: DepthFirstSearch,
+        domtree: DominatorTree,
+    ) -> None:
+        self._graph = graph
+        self._dfs = dfs
+        self._domtree = domtree
+        self._universe = len(domtree)
+        self._sets: dict[Node, BitSet] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        """Single sweep in DFS postorder (reverse topological order of G̃).
+
+        In postorder every reduced (non-back) successor of a node has
+        already been processed, so ``R_v = {v} ∪ ⋃ R_w`` is final when
+        first computed — no fixpoint iteration is needed.
+        """
+        domtree = self._domtree
+        for node in self._dfs.postorder():
+            bits = BitSet(self._universe)
+            bits.add(domtree.num(node))
+            for succ in self._graph.successors(node):
+                if self._dfs.is_back_edge(node, succ):
+                    continue
+                bits.update(self._sets[succ])
+            self._sets[node] = bits
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def universe(self) -> int:
+        """Size of the bitset universe (number of blocks)."""
+        return self._universe
+
+    def bitset(self, node: Node) -> BitSet:
+        """The bitset ``R_node`` over dominance-preorder indices."""
+        return self._sets[node]
+
+    def reachable_nodes(self, node: Node) -> list[Node]:
+        """``R_node`` as a list of nodes (dominance-preorder order)."""
+        return [self._domtree.node_of(index) for index in self._sets[node]]
+
+    def is_reduced_reachable(self, source: Node, target: Node) -> bool:
+        """True iff ``target ∈ R_source``."""
+        return self._domtree.num(target) in self._sets[source]
+
+    def storage_bits(self) -> int:
+        """Total payload bits of all ``R_v`` bitsets (memory ablation)."""
+        return sum(bits.storage_bits() for bits in self._sets.values())
+
+    def __len__(self) -> int:
+        return len(self._sets)

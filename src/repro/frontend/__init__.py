@@ -1,0 +1,40 @@
+"""A small imperative front-end.
+
+The liveness algorithms operate on CFGs and def–use chains, but the
+examples, the tests and the synthetic workloads are far more convincing
+when they start from real-looking programs.  This package provides a tiny
+C-like language — integer variables, arithmetic, ``if``/``else``,
+``while``, ``do … while``, ``break``/``continue``, calls, ``return`` — and
+compiles it through the usual pipeline:
+
+    source text → AST → non-SSA IR → (pruned) SSA form
+
+so every downstream component sees exactly the kind of input an SSA-based
+compiler back-end would see.
+
+>>> from repro.frontend import compile_source
+>>> module = compile_source('''
+... func gcd(a, b) {
+...     while (b != 0) { t = b; b = a % b; a = t; }
+...     return a;
+... }
+... ''')
+>>> sorted(module.function("gcd").blocks)[:2]
+['body', 'entry']
+"""
+
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.parser import ParseError, parse_program
+from repro.frontend.lowering import lower_program
+from repro.frontend.compile import compile_function, compile_source
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "ParseError",
+    "parse_program",
+    "lower_program",
+    "compile_source",
+    "compile_function",
+]

@@ -1,0 +1,156 @@
+"""AST node definitions for the mini language.
+
+The AST is a set of small frozen dataclasses; the parser builds them and
+the lowering pass consumes them.  Keeping them immutable makes the AST easy
+to construct in tests and safe to share between passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Node:
+    """Base class for all AST nodes (useful for isinstance checks)."""
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NumberLiteral(Node):
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class VariableRef(Node):
+    """A read of a named variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class UnaryOp(Node):
+    """``-expr`` or ``!expr``."""
+
+    op: str
+    operand: Node
+
+
+@dataclass(frozen=True)
+class BinaryOp(Node):
+    """A binary operation, ``op`` being the surface operator text."""
+
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class CallExpr(Node):
+    """A call ``name(arg, …)``."""
+
+    callee: str
+    args: tuple[Node, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Assignment(Node):
+    """``name = expr;``"""
+
+    name: str
+    value: Node
+
+
+@dataclass(frozen=True)
+class PrintStatement(Node):
+    """``print(expr);`` — lowered to an observable store."""
+
+    value: Node
+
+
+@dataclass(frozen=True)
+class ExpressionStatement(Node):
+    """A bare call used for its (simulated) effect."""
+
+    value: Node
+
+
+@dataclass(frozen=True)
+class ReturnStatement(Node):
+    """``return expr?;``"""
+
+    value: Node | None = None
+
+
+@dataclass(frozen=True)
+class BreakStatement(Node):
+    """``break;``"""
+
+
+@dataclass(frozen=True)
+class ContinueStatement(Node):
+    """``continue;``"""
+
+
+@dataclass(frozen=True)
+class Block(Node):
+    """``{ statements… }``"""
+
+    statements: tuple[Node, ...] = ()
+
+
+@dataclass(frozen=True)
+class IfStatement(Node):
+    """``if (cond) then_block [else else_block]``"""
+
+    condition: Node
+    then_block: Block
+    else_block: Block | None = None
+
+
+@dataclass(frozen=True)
+class WhileStatement(Node):
+    """``while (cond) body``"""
+
+    condition: Node
+    body: Block
+
+
+@dataclass(frozen=True)
+class DoWhileStatement(Node):
+    """``do body while (cond);``"""
+
+    body: Block
+    condition: Node
+
+
+@dataclass(frozen=True)
+class ForStatement(Node):
+    """``for (init; cond; step) body`` with each part optional."""
+
+    init: Node | None
+    condition: Node | None
+    step: Node | None
+    body: Block
+
+
+@dataclass(frozen=True)
+class FunctionDef(Node):
+    """``func name(params) body``"""
+
+    name: str
+    params: tuple[str, ...]
+    body: Block
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    """A whole source file."""
+
+    functions: tuple[FunctionDef, ...] = field(default_factory=tuple)

@@ -1,0 +1,50 @@
+"""One-call compilation pipeline: source text → SSA-form IR module."""
+
+from __future__ import annotations
+
+from repro.frontend.lowering import lower_program
+from repro.frontend.parser import parse_program
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.verify import verify_ssa
+from repro.ssa.construction import construct_ssa
+
+
+def compile_source(
+    source: str,
+    name: str = "module",
+    to_ssa: bool = True,
+    verify: bool = True,
+) -> Module:
+    """Compile mini-language source into an IR module.
+
+    Parameters
+    ----------
+    source:
+        The program text.
+    name:
+        Name of the resulting module.
+    to_ssa:
+        Run SSA construction on every function (default).  Disable to get
+        the raw non-SSA lowering, e.g. to test SSA construction itself.
+    verify:
+        Run the strict-SSA verifier on each function after construction.
+    """
+    module = lower_program(parse_program(source), name=name)
+    if to_ssa:
+        for function in module:
+            construct_ssa(function)
+            if verify:
+                verify_ssa(function)
+    return module
+
+
+def compile_function(source: str, to_ssa: bool = True, verify: bool = True) -> Function:
+    """Compile source that contains exactly one function and return it."""
+    module = compile_source(source, to_ssa=to_ssa, verify=verify)
+    functions = list(module)
+    if len(functions) != 1:
+        raise ValueError(
+            f"expected exactly one function in the source, found {len(functions)}"
+        )
+    return functions[0]

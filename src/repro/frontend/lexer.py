@@ -1,0 +1,128 @@
+"""Lexer for the mini language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Token categories produced by :func:`tokenize`."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "func",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "print",
+    }
+)
+
+#: Multi-character punctuation, longest first so maximal munch works.
+_PUNCTUATIONS = (
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    ",",
+    ";",
+    "!",
+    "&",
+    "|",
+    "^",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+class LexerError(ValueError):
+    """Raised on characters the language does not know."""
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ``source`` into tokens, ending with a single EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#" or source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            text = source[start:index]
+            tokens.append(Token(TokenKind.NUMBER, text, line, column))
+            column += len(text)
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line, column))
+            column += len(text)
+            continue
+        for punct in _PUNCTUATIONS:
+            if source.startswith(punct, index):
+                tokens.append(Token(TokenKind.PUNCT, punct, line, column))
+                index += len(punct)
+                column += len(punct)
+                break
+        else:
+            raise LexerError(f"unexpected character {char!r} at {line}:{column}")
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

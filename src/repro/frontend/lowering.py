@@ -1,0 +1,315 @@
+"""Lowering the mini-language AST to (non-SSA) IR.
+
+The lowering is deliberately conventional: every source variable becomes a
+single :class:`~repro.ir.value.Variable` that may be assigned many times,
+structured control flow becomes explicit blocks and branches, short-circuit
+``&&``/``||`` become control flow (which is what makes the generated CFGs
+interesting for liveness), and ``print`` becomes an observable ``store`` so
+the interpreter-based differential tests have events to compare.
+
+The resulting functions are *not* in SSA form; run
+:func:`repro.ssa.construction.construct_ssa` afterwards (or use
+:func:`repro.frontend.compile.compile_source`, which does both).
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ast_nodes as ast
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.value import Constant, Value, Variable
+
+#: Pseudo memory address targeted by ``print`` statements.
+PRINT_ADDRESS = 1
+
+_BINOP_DETAILS = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "mod",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<": "cmplt",
+    "<=": "cmple",
+    ">": "cmpgt",
+    ">=": "cmpge",
+    "==": "cmpeq",
+    "!=": "cmpne",
+}
+
+
+class LoweringError(ValueError):
+    """Raised on AST constructs that cannot be lowered (e.g. stray break)."""
+
+
+class _FunctionLowerer:
+    """Lowers one function definition."""
+
+    def __init__(self, definition: ast.FunctionDef) -> None:
+        self.definition = definition
+        self.builder = FunctionBuilder(definition.name, parameters=definition.params)
+        self.variables: dict[str, Variable] = {
+            param.name: param for param in self.builder.function.parameters
+        }
+        #: Stack of (continue target, break target) block names.
+        self.loop_stack: list[tuple[str, str]] = []
+        self.terminated = False
+
+    # ------------------------------------------------------------------
+    def lower(self) -> Function:
+        if not self.definition.params:
+            entry = self.builder.add_block("entry")
+            self.builder.set_insertion_point(entry)
+        else:
+            self.builder.set_insertion_point(self.builder.function.block("entry"))
+        self.lower_block(self.definition.body)
+        if not self.terminated:
+            self.builder.ret(Constant(0))
+        _remove_unreachable_blocks(self.builder.function)
+        return self.builder.function
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def lower_block(self, block: ast.Block) -> None:
+        for statement in block.statements:
+            if self.terminated:
+                # Dead code after return/break/continue: skip it entirely so
+                # we never create unreachable blocks.
+                return
+            self.lower_statement(statement)
+
+    def lower_statement(self, statement: ast.Node) -> None:
+        if isinstance(statement, ast.Block):
+            self.lower_block(statement)
+        elif isinstance(statement, ast.Assignment):
+            value = self.lower_expression(statement.value)
+            target = self._variable(statement.name)
+            self.builder.copy(value, result=target)
+        elif isinstance(statement, ast.PrintStatement):
+            value = self.lower_expression(statement.value)
+            self.builder.store(Constant(PRINT_ADDRESS), value)
+        elif isinstance(statement, ast.ExpressionStatement):
+            self.lower_expression(statement.value)
+        elif isinstance(statement, ast.ReturnStatement):
+            value = (
+                self.lower_expression(statement.value)
+                if statement.value is not None
+                else Constant(0)
+            )
+            self.builder.ret(value)
+            self.terminated = True
+        elif isinstance(statement, ast.BreakStatement):
+            if not self.loop_stack:
+                raise LoweringError("'break' outside of a loop")
+            self.builder.jump(self.loop_stack[-1][1])
+            self.terminated = True
+        elif isinstance(statement, ast.ContinueStatement):
+            if not self.loop_stack:
+                raise LoweringError("'continue' outside of a loop")
+            self.builder.jump(self.loop_stack[-1][0])
+            self.terminated = True
+        elif isinstance(statement, ast.IfStatement):
+            self.lower_if(statement)
+        elif isinstance(statement, ast.WhileStatement):
+            self.lower_while(statement)
+        elif isinstance(statement, ast.DoWhileStatement):
+            self.lower_do_while(statement)
+        elif isinstance(statement, ast.ForStatement):
+            self.lower_for(statement)
+        else:
+            raise LoweringError(f"cannot lower statement {statement!r}")
+
+    def lower_if(self, statement: ast.IfStatement) -> None:
+        condition = self.lower_expression(statement.condition)
+        then_block = self.builder.add_block()
+        join_block = self.builder.add_block()
+        if statement.else_block is not None:
+            else_block = self.builder.add_block()
+        else:
+            else_block = join_block
+        self.builder.branch(condition, then_block, else_block)
+
+        self.builder.set_insertion_point(then_block)
+        self.terminated = False
+        self.lower_block(statement.then_block)
+        if not self.terminated:
+            self.builder.jump(join_block)
+
+        if statement.else_block is not None:
+            self.builder.set_insertion_point(else_block)
+            self.terminated = False
+            self.lower_block(statement.else_block)
+            if not self.terminated:
+                self.builder.jump(join_block)
+
+        self.builder.set_insertion_point(join_block)
+        self.terminated = False
+
+    def lower_while(self, statement: ast.WhileStatement) -> None:
+        header = self.builder.add_block()
+        body = self.builder.add_block()
+        exit_block = self.builder.add_block()
+        self.builder.jump(header)
+
+        self.builder.set_insertion_point(header)
+        self.terminated = False
+        condition = self.lower_expression(statement.condition)
+        self.builder.branch(condition, body, exit_block)
+
+        self.builder.set_insertion_point(body)
+        self.terminated = False
+        self.loop_stack.append((header.name, exit_block.name))
+        self.lower_block(statement.body)
+        self.loop_stack.pop()
+        if not self.terminated:
+            self.builder.jump(header)
+
+        self.builder.set_insertion_point(exit_block)
+        self.terminated = False
+
+    def lower_do_while(self, statement: ast.DoWhileStatement) -> None:
+        body = self.builder.add_block()
+        latch = self.builder.add_block()
+        exit_block = self.builder.add_block()
+        self.builder.jump(body)
+
+        self.builder.set_insertion_point(body)
+        self.terminated = False
+        self.loop_stack.append((latch.name, exit_block.name))
+        self.lower_block(statement.body)
+        self.loop_stack.pop()
+        if not self.terminated:
+            self.builder.jump(latch)
+
+        self.builder.set_insertion_point(latch)
+        self.terminated = False
+        condition = self.lower_expression(statement.condition)
+        self.builder.branch(condition, body, exit_block)
+
+        self.builder.set_insertion_point(exit_block)
+        self.terminated = False
+
+    def lower_for(self, statement: ast.ForStatement) -> None:
+        if statement.init is not None:
+            self.lower_statement(statement.init)
+        header = self.builder.add_block()
+        body = self.builder.add_block()
+        step = self.builder.add_block()
+        exit_block = self.builder.add_block()
+        self.builder.jump(header)
+
+        self.builder.set_insertion_point(header)
+        self.terminated = False
+        if statement.condition is not None:
+            condition = self.lower_expression(statement.condition)
+        else:
+            condition = Constant(1)
+        self.builder.branch(condition, body, exit_block)
+
+        self.builder.set_insertion_point(body)
+        self.terminated = False
+        self.loop_stack.append((step.name, exit_block.name))
+        self.lower_block(statement.body)
+        self.loop_stack.pop()
+        if not self.terminated:
+            self.builder.jump(step)
+
+        self.builder.set_insertion_point(step)
+        self.terminated = False
+        if statement.step is not None:
+            self.lower_statement(statement.step)
+        self.builder.jump(header)
+
+        self.builder.set_insertion_point(exit_block)
+        self.terminated = False
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def lower_expression(self, expression: ast.Node) -> Value:
+        if isinstance(expression, ast.NumberLiteral):
+            return self.builder.const(expression.value)
+        if isinstance(expression, ast.VariableRef):
+            if expression.name not in self.variables:
+                raise LoweringError(
+                    f"use of undefined variable {expression.name!r} in "
+                    f"function {self.definition.name!r}"
+                )
+            return self.variables[expression.name]
+        if isinstance(expression, ast.UnaryOp):
+            operand = self.lower_expression(expression.operand)
+            detail = "neg" if expression.op == "-" else "not"
+            return self.builder.unop(detail, operand)
+        if isinstance(expression, ast.BinaryOp):
+            if expression.op in ("&&", "||"):
+                return self._lower_short_circuit(expression)
+            detail = _BINOP_DETAILS[expression.op]
+            left = self.lower_expression(expression.left)
+            right = self.lower_expression(expression.right)
+            return self.builder.binop(detail, left, right)
+        if isinstance(expression, ast.CallExpr):
+            args = [self.lower_expression(arg) for arg in expression.args]
+            return self.builder.call(expression.callee, args)
+        raise LoweringError(f"cannot lower expression {expression!r}")
+
+    def _lower_short_circuit(self, expression: ast.BinaryOp) -> Value:
+        """``a && b`` / ``a || b`` become explicit control flow.
+
+        The boolean result lives in a dedicated mutable temporary that the
+        two arms assign; SSA construction later turns it into a φ at the
+        join, exactly the Figure-2 pattern of the paper.
+        """
+        result = self.builder.fresh_variable("bool")
+        left = self.lower_expression(expression.left)
+        left_bool = self.builder.binop("cmpne", left, Constant(0))
+        self.builder.copy(left_bool, result=result)
+
+        evaluate_right = self.builder.add_block()
+        join = self.builder.add_block()
+        if expression.op == "&&":
+            self.builder.branch(left_bool, evaluate_right, join)
+        else:
+            self.builder.branch(left_bool, join, evaluate_right)
+
+        self.builder.set_insertion_point(evaluate_right)
+        right = self.lower_expression(expression.right)
+        right_bool = self.builder.binop("cmpne", right, Constant(0))
+        # Assigning the same temporary again gives the non-SSA
+        # multiple-assignment shape that SSA construction resolves with a φ.
+        self.builder.copy(right_bool, result=result)
+        self.builder.jump(join)
+
+        self.builder.set_insertion_point(join)
+        return result
+
+    # ------------------------------------------------------------------
+    def _variable(self, name: str) -> Variable:
+        if name not in self.variables:
+            self.variables[name] = Variable(name)
+        return self.variables[name]
+
+
+def lower_function(definition: ast.FunctionDef) -> Function:
+    """Lower a single function definition to non-SSA IR."""
+    return _FunctionLowerer(definition).lower()
+
+
+def lower_program(program: ast.Program, name: str = "module") -> Module:
+    """Lower a whole program to a module of non-SSA functions."""
+    module = Module(name)
+    for definition in program.functions:
+        module.add_function(lower_function(definition))
+    return module
+
+
+def _remove_unreachable_blocks(function: Function) -> None:
+    """Drop blocks that ended up unreachable (dead joins, empty latches)."""
+    cfg = function.build_cfg()
+    reachable = cfg.reachable_from(cfg.entry)
+    for name in list(function.blocks):
+        if name not in reachable:
+            function.remove_block(name)

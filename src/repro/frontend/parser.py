@@ -1,0 +1,226 @@
+"""Recursive-descent parser for the mini language."""
+
+from __future__ import annotations
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+
+class ParseError(ValueError):
+    """Raised when the source does not conform to the grammar."""
+
+
+#: Binary operators grouped by precedence, loosest first.
+_PRECEDENCE_LEVELS: tuple[tuple[str, ...], ...] = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind is not TokenKind.EOF:
+            self._position += 1
+        return token
+
+    def _check(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind in (TokenKind.PUNCT, TokenKind.KEYWORD) and token.text == text
+
+    def _match(self, text: str) -> bool:
+        if self._check(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        if not self._check(text):
+            token = self._peek()
+            raise ParseError(
+                f"expected {text!r} but found {token.text or '<eof>'!r} "
+                f"at {token.line}:{token.column}"
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected identifier but found {token.text or '<eof>'!r} "
+                f"at {token.line}:{token.column}"
+            )
+        self._advance()
+        return token.text
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        functions = []
+        while self._peek().kind is not TokenKind.EOF:
+            functions.append(self.parse_function())
+        return ast.Program(functions=tuple(functions))
+
+    def parse_function(self) -> ast.FunctionDef:
+        self._expect("func")
+        name = self._expect_ident()
+        self._expect("(")
+        params: list[str] = []
+        if not self._check(")"):
+            params.append(self._expect_ident())
+            while self._match(","):
+                params.append(self._expect_ident())
+        self._expect(")")
+        body = self.parse_block()
+        return ast.FunctionDef(name=name, params=tuple(params), body=body)
+
+    def parse_block(self) -> ast.Block:
+        self._expect("{")
+        statements = []
+        while not self._check("}"):
+            statements.append(self.parse_statement())
+        self._expect("}")
+        return ast.Block(statements=tuple(statements))
+
+    def parse_statement(self) -> ast.Node:
+        if self._check("{"):
+            return self.parse_block()
+        if self._match("if"):
+            self._expect("(")
+            condition = self.parse_expression()
+            self._expect(")")
+            then_block = self._statement_as_block()
+            else_block = None
+            if self._match("else"):
+                else_block = self._statement_as_block()
+            return ast.IfStatement(condition, then_block, else_block)
+        if self._match("while"):
+            self._expect("(")
+            condition = self.parse_expression()
+            self._expect(")")
+            body = self._statement_as_block()
+            return ast.WhileStatement(condition, body)
+        if self._match("do"):
+            body = self._statement_as_block()
+            self._expect("while")
+            self._expect("(")
+            condition = self.parse_expression()
+            self._expect(")")
+            self._expect(";")
+            return ast.DoWhileStatement(body, condition)
+        if self._match("for"):
+            self._expect("(")
+            init = None if self._check(";") else self._parse_simple_statement()
+            self._expect(";")
+            condition = None if self._check(";") else self.parse_expression()
+            self._expect(";")
+            step = None if self._check(")") else self._parse_simple_statement()
+            self._expect(")")
+            body = self._statement_as_block()
+            return ast.ForStatement(init, condition, step, body)
+        if self._match("return"):
+            value = None if self._check(";") else self.parse_expression()
+            self._expect(";")
+            return ast.ReturnStatement(value)
+        if self._match("break"):
+            self._expect(";")
+            return ast.BreakStatement()
+        if self._match("continue"):
+            self._expect(";")
+            return ast.ContinueStatement()
+        if self._match("print"):
+            self._expect("(")
+            value = self.parse_expression()
+            self._expect(")")
+            self._expect(";")
+            return ast.PrintStatement(value)
+        statement = self._parse_simple_statement()
+        self._expect(";")
+        return statement
+
+    def _statement_as_block(self) -> ast.Block:
+        statement = self.parse_statement()
+        if isinstance(statement, ast.Block):
+            return statement
+        return ast.Block(statements=(statement,))
+
+    def _parse_simple_statement(self) -> ast.Node:
+        """An assignment or a bare call (used in statements and for-headers)."""
+        token = self._peek()
+        if token.kind is TokenKind.IDENT:
+            next_token = self._tokens[self._position + 1]
+            if next_token.kind is TokenKind.PUNCT and next_token.text == "=":
+                name = self._expect_ident()
+                self._expect("=")
+                value = self.parse_expression()
+                return ast.Assignment(name, value)
+        expression = self.parse_expression()
+        return ast.ExpressionStatement(expression)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expression(self, level: int = 0) -> ast.Node:
+        if level >= len(_PRECEDENCE_LEVELS):
+            return self.parse_unary()
+        left = self.parse_expression(level + 1)
+        operators = _PRECEDENCE_LEVELS[level]
+        while any(self._check(op) for op in operators):
+            op = self._advance().text
+            right = self.parse_expression(level + 1)
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def parse_unary(self) -> ast.Node:
+        if self._check("-") or self._check("!"):
+            op = self._advance().text
+            operand = self.parse_unary()
+            return ast.UnaryOp(op, operand)
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Node:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return ast.NumberLiteral(int(token.text))
+        if token.kind is TokenKind.IDENT:
+            name = self._expect_ident()
+            if self._match("("):
+                args: list[ast.Node] = []
+                if not self._check(")"):
+                    args.append(self.parse_expression())
+                    while self._match(","):
+                        args.append(self.parse_expression())
+                self._expect(")")
+                return ast.CallExpr(name, tuple(args))
+            return ast.VariableRef(name)
+        if self._match("("):
+            inner = self.parse_expression()
+            self._expect(")")
+            return inner
+        raise ParseError(
+            f"unexpected token {token.text or '<eof>'!r} at {token.line}:{token.column}"
+        )
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse a whole source file into a :class:`~repro.frontend.ast_nodes.Program`."""
+    return _Parser(tokenize(source)).parse_program()

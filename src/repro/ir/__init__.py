@@ -1,0 +1,56 @@
+"""A small SSA intermediate representation.
+
+The liveness algorithms only need a CFG, def–use chains and a dominator
+tree, but a credible library has to offer the layer a compiler back-end
+actually works with: named values, instructions, φ-functions, basic blocks
+and functions, plus a textual format and a verifier enforcing the paper's
+prerequisites (strict SSA / dominance property, Section 2.2).
+
+The IR is deliberately conventional:
+
+* :class:`~repro.ir.value.Variable` — a scalar variable; in SSA form it has
+  exactly one defining instruction.
+* :class:`~repro.ir.instruction.Instruction` — ``result ← opcode(operands)``
+  plus branch/jump/return terminators.
+* :class:`~repro.ir.instruction.Phi` — φ-functions with per-predecessor
+  incoming values, whose operands are *used in the predecessor blocks*
+  exactly as Definition 1 of the paper prescribes.
+* :class:`~repro.ir.block.BasicBlock` and
+  :class:`~repro.ir.function.Function` — containers; ``Function.build_cfg``
+  projects the block-level control-flow graph the analyses run on.
+* :mod:`repro.ir.printer` / :mod:`repro.ir.parser` — a round-trippable
+  textual syntax used by the examples and tests.
+* :mod:`repro.ir.verify` — checks CFG sanity, φ well-formedness and the
+  SSA dominance property.
+"""
+
+from repro.ir.value import Constant, Undef, Value, Variable
+from repro.ir.instruction import Instruction, Opcode, Phi
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.builder import FunctionBuilder
+from repro.ir.printer import print_function, print_module
+from repro.ir.parser import parse_function, parse_module
+from repro.ir.verify import IRVerificationError, verify_function, verify_ssa
+
+__all__ = [
+    "Value",
+    "Variable",
+    "Constant",
+    "Undef",
+    "Instruction",
+    "Phi",
+    "Opcode",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "FunctionBuilder",
+    "print_function",
+    "print_module",
+    "parse_function",
+    "parse_module",
+    "verify_function",
+    "verify_ssa",
+    "IRVerificationError",
+]

@@ -1,0 +1,195 @@
+"""A convenience builder for constructing IR functions.
+
+The builder keeps an insertion point (the current block) and offers one
+method per opcode, generating fresh variable names on demand.  The mini
+front-end, the synthetic program generator, the tests and the examples all
+construct IR through this interface, so it doubles as the library's primary
+"how do I make a function" API.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction, Opcode, Phi
+from repro.ir.value import Constant, Value, Variable
+
+
+class FunctionBuilder:
+    """Builds a :class:`~repro.ir.function.Function` block by block."""
+
+    def __init__(self, name: str, parameters: Iterable[str] = ()) -> None:
+        self.function = Function(name)
+        self._current: BasicBlock | None = None
+        self._temp_counter = 0
+        self._block_counter = 0
+        self._used_names: set[str] = set()
+        param_names = list(parameters)
+        if param_names:
+            entry = self.add_block("entry")
+            self.set_insertion_point(entry)
+            for param_name in param_names:
+                self.param(param_name)
+
+    # ------------------------------------------------------------------
+    # Blocks and insertion point
+    # ------------------------------------------------------------------
+    def add_block(self, name: str | None = None) -> BasicBlock:
+        """Create a new block; a unique name is generated when omitted."""
+        if name is None:
+            while True:
+                name = f"bb{self._block_counter}"
+                self._block_counter += 1
+                if name not in self.function:
+                    break
+        return self.function.add_block(name)
+
+    def set_insertion_point(self, block: BasicBlock | str) -> BasicBlock:
+        """Subsequent emissions go to ``block`` (given as object or name)."""
+        if isinstance(block, str):
+            block = self.function.block(block)
+        self._current = block
+        return block
+
+    @property
+    def current_block(self) -> BasicBlock:
+        """The block instructions are currently appended to."""
+        if self._current is None:
+            raise ValueError("no insertion point set; call set_insertion_point")
+        return self._current
+
+    def _emit(self, instruction: Instruction) -> Instruction:
+        return self.current_block.append(instruction)
+
+    # ------------------------------------------------------------------
+    # Values
+    # ------------------------------------------------------------------
+    def fresh_variable(self, hint: str = "t") -> Variable:
+        """Return a new variable with a unique name derived from ``hint``."""
+        while True:
+            name = f"{hint}{self._temp_counter}"
+            self._temp_counter += 1
+            if name not in self._used_names:
+                self._used_names.add(name)
+                return Variable(name)
+
+    # ------------------------------------------------------------------
+    # Non-terminator instructions
+    # ------------------------------------------------------------------
+    def param(self, name: str) -> Variable:
+        """Declare a function parameter (defined at the top of the entry)."""
+        var = Variable(name)
+        self._used_names.add(name)
+        inst = Instruction(Opcode.PARAM, result=var, detail=name)
+        entry = self.function.entry
+        position = sum(
+            1 for existing in entry.instructions if existing.opcode == Opcode.PARAM
+        )
+        entry.insert(position, inst)
+        self.function.parameters.append(var)
+        return var
+
+    def const(self, value: int, result: Variable | None = None) -> Variable:
+        """``result ← const value``."""
+        result = result if result is not None else self.fresh_variable()
+        self._emit(Instruction(Opcode.CONST, result=result, operands=[Constant(value)]))
+        return result
+
+    def copy(self, source: Value, result: Variable | None = None) -> Variable:
+        """``result ← copy source``."""
+        result = result if result is not None else self.fresh_variable()
+        self._emit(Instruction(Opcode.COPY, result=result, operands=[source]))
+        return result
+
+    def unop(self, op: str, operand: Value, result: Variable | None = None) -> Variable:
+        """``result ← op operand`` (e.g. ``neg``, ``not``)."""
+        result = result if result is not None else self.fresh_variable()
+        self._emit(
+            Instruction(Opcode.UNOP, result=result, operands=[operand], detail=op)
+        )
+        return result
+
+    def binop(
+        self,
+        op: str,
+        left: Value,
+        right: Value,
+        result: Variable | None = None,
+    ) -> Variable:
+        """``result ← left op right`` (e.g. ``add``, ``mul``, ``cmplt``)."""
+        result = result if result is not None else self.fresh_variable()
+        self._emit(
+            Instruction(
+                Opcode.BINOP, result=result, operands=[left, right], detail=op
+            )
+        )
+        return result
+
+    def call(
+        self,
+        callee: str,
+        args: Iterable[Value] = (),
+        result: Variable | None = None,
+    ) -> Variable:
+        """``result ← call callee(args…)``."""
+        result = result if result is not None else self.fresh_variable()
+        self._emit(
+            Instruction(
+                Opcode.CALL, result=result, operands=list(args), detail=callee
+            )
+        )
+        return result
+
+    def load(self, address: Value, result: Variable | None = None) -> Variable:
+        """``result ← load address``."""
+        result = result if result is not None else self.fresh_variable()
+        self._emit(Instruction(Opcode.LOAD, result=result, operands=[address]))
+        return result
+
+    def store(self, address: Value, value: Value) -> Instruction:
+        """``store address, value`` (no result)."""
+        return self._emit(
+            Instruction(Opcode.STORE, operands=[address, value])
+        )
+
+    def phi(
+        self,
+        incoming: dict[str, Value] | Iterable[tuple[str, Value]],
+        result: Variable | None = None,
+    ) -> Variable:
+        """``result ← φ(value : pred, …)``."""
+        result = result if result is not None else self.fresh_variable()
+        self._emit(Phi(result=result, incoming=incoming))
+        return result
+
+    # ------------------------------------------------------------------
+    # Terminators
+    # ------------------------------------------------------------------
+    def jump(self, target: BasicBlock | str) -> Instruction:
+        """Unconditional branch to ``target``."""
+        name = target.name if isinstance(target, BasicBlock) else target
+        return self._emit(Instruction(Opcode.JUMP, targets=[name]))
+
+    def branch(
+        self,
+        condition: Value,
+        if_true: BasicBlock | str,
+        if_false: BasicBlock | str,
+    ) -> Instruction:
+        """Conditional branch on ``condition``."""
+        true_name = if_true.name if isinstance(if_true, BasicBlock) else if_true
+        false_name = if_false.name if isinstance(if_false, BasicBlock) else if_false
+        return self._emit(
+            Instruction(
+                Opcode.BRANCH,
+                operands=[condition],
+                targets=[true_name, false_name],
+            )
+        )
+
+    def ret(self, value: Value | None = None) -> Instruction:
+        """Return, optionally with a value."""
+        operands = [value] if value is not None else []
+        return self._emit(Instruction(Opcode.RETURN, operands=operands))

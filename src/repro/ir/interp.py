@@ -1,0 +1,259 @@
+"""A reference interpreter for the IR.
+
+The interpreter exists for testing, not performance: it executes both
+SSA-form functions (φs are evaluated with the usual parallel, lazy,
+"on the incoming edge" semantics) and the non-SSA functions produced by SSA
+destruction, so the property tests can check that construction and
+destruction preserve behaviour on thousands of randomly generated programs
+— the strongest end-to-end evidence that the liveness queries driving the
+destruction pass were answered correctly.
+
+Semantics are deliberately small and total:
+
+* every value is a Python integer; ``Undef`` reads as 0;
+* ``binop``/``unop`` details map to wrapping integer arithmetic and
+  comparisons; division and modulo by zero yield 0;
+* ``call`` is a deterministic pure function of the callee name and the
+  argument values (so traces are reproducible without modelling effects);
+* ``load``/``store`` act on a per-execution integer-addressed memory;
+* ``branch`` takes the first target on a non-zero condition.
+
+Execution produces an :class:`ExecutionTrace` recording the return value,
+the visited block sequence and all observable events (stores and calls),
+which is what the differential tests compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction, Opcode, Phi
+from repro.ir.value import Constant, Undef, Value, Variable
+
+_MASK = (1 << 64) - 1
+
+
+def _wrap(value: int) -> int:
+    """Wrap to signed 64-bit, keeping arithmetic total and deterministic."""
+    value &= _MASK
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+class InterpreterError(RuntimeError):
+    """Raised when a program cannot be executed (bad IR or step overflow)."""
+
+
+@dataclass
+class ExecutionTrace:
+    """Observable behaviour of one execution."""
+
+    return_value: int | None = None
+    blocks: list[str] = field(default_factory=list)
+    #: (kind, payload) events: ("store", (address, value)) and
+    #: ("call", (callee, args tuple, result)).
+    events: list[tuple[str, tuple]] = field(default_factory=list)
+    steps: int = 0
+
+    def observable(self) -> tuple:
+        """The parts of the trace two equivalent programs must share.
+
+        The visited block sequence is deliberately *excluded*: SSA
+        construction/destruction may add forwarding blocks.  Return value
+        plus the ordered store/call events capture the semantics.
+        """
+        return (self.return_value, tuple(self.events))
+
+
+def execute(
+    function: Function,
+    args: list[int] | None = None,
+    max_steps: int = 100_000,
+) -> ExecutionTrace:
+    """Run ``function`` on integer arguments and return its trace."""
+    args = list(args) if args is not None else []
+    env: dict[str, int] = {}
+    memory: dict[int, int] = {}
+    trace = ExecutionTrace()
+
+    params = function.parameters
+    for index, param in enumerate(params):
+        env[param.name] = _wrap(args[index]) if index < len(args) else 0
+
+    block = function.entry
+    previous_block: str | None = None
+    while True:
+        trace.blocks.append(block.name)
+        # φs execute in parallel using values observed on entry to the block.
+        phis = block.phis()
+        if phis:
+            if previous_block is None:
+                raise InterpreterError(
+                    f"phi in entry block {block.name!r} cannot be evaluated"
+                )
+            staged = []
+            for phi in phis:
+                incoming = phi.incoming_value(previous_block)
+                staged.append((phi.result, _read(incoming, env)))
+            for result, value in staged:
+                env[result.name] = value
+
+        next_block_name: str | None = None
+        for inst in block.instructions:
+            if inst.is_phi():
+                continue
+            trace.steps += 1
+            if trace.steps > max_steps:
+                raise InterpreterError(
+                    f"execution exceeded {max_steps} steps (non-terminating?)"
+                )
+            outcome = _step(inst, env, memory, trace)
+            if inst.opcode == Opcode.RETURN:
+                trace.return_value = outcome
+                return trace
+            if inst.is_terminator():
+                next_block_name = outcome
+                break
+        if next_block_name is None:
+            raise InterpreterError(
+                f"block {block.name!r} fell through without a terminator"
+            )
+        previous_block = block.name
+        block = function.block(next_block_name)
+
+
+def _read(value: Value, env: dict[str, int]) -> int:
+    if isinstance(value, Constant):
+        return _wrap(value.value)
+    if isinstance(value, Undef):
+        return 0
+    if isinstance(value, Variable):
+        if value.name not in env:
+            # A read of a never-written variable can only happen for
+            # non-strict programs; treat it like Undef so fuzzing does not
+            # have to avoid them, but keep it deterministic.
+            return 0
+        return env[value.name]
+    raise InterpreterError(f"cannot read operand {value!r}")
+
+
+def _binop(detail: str, left: int, right: int) -> int:
+    if detail in ("add", ""):
+        return _wrap(left + right)
+    if detail == "sub":
+        return _wrap(left - right)
+    if detail == "mul":
+        return _wrap(left * right)
+    if detail == "div":
+        if right == 0:
+            return 0
+        quotient = abs(left) // abs(right)
+        return _wrap(quotient if (left >= 0) == (right >= 0) else -quotient)
+    if detail == "mod":
+        if right == 0:
+            return 0
+        quotient = abs(left) // abs(right)
+        if (left >= 0) != (right >= 0):
+            quotient = -quotient
+        return _wrap(left - quotient * right)
+    if detail == "and":
+        return _wrap(left & right)
+    if detail == "or":
+        return _wrap(left | right)
+    if detail == "xor":
+        return _wrap(left ^ right)
+    if detail == "shl":
+        return _wrap(left << (right % 64))
+    if detail == "shr":
+        return _wrap(left >> (right % 64))
+    if detail == "cmplt":
+        return int(left < right)
+    if detail == "cmple":
+        return int(left <= right)
+    if detail == "cmpgt":
+        return int(left > right)
+    if detail == "cmpge":
+        return int(left >= right)
+    if detail == "cmpeq":
+        return int(left == right)
+    if detail == "cmpne":
+        return int(left != right)
+    if detail == "min":
+        return min(left, right)
+    if detail == "max":
+        return max(left, right)
+    raise InterpreterError(f"unknown binop detail {detail!r}")
+
+
+def _unop(detail: str, operand: int) -> int:
+    if detail in ("neg", ""):
+        return _wrap(-operand)
+    if detail == "not":
+        return int(operand == 0)
+    if detail == "bnot":
+        return _wrap(~operand)
+    if detail == "abs":
+        return _wrap(abs(operand))
+    raise InterpreterError(f"unknown unop detail {detail!r}")
+
+
+def _call_result(callee: str, args: tuple[int, ...]) -> int:
+    # A deterministic, effect-free stand-in for an external call: mix the
+    # callee name and arguments so different calls yield different values.
+    accumulator = sum((index + 1) * value for index, value in enumerate(args))
+    accumulator += sum(ord(ch) for ch in callee)
+    return _wrap(accumulator * 2654435761)
+
+
+def _step(
+    inst: Instruction,
+    env: dict[str, int],
+    memory: dict[int, int],
+    trace: ExecutionTrace,
+):
+    opcode = inst.opcode
+    if opcode == Opcode.PARAM:
+        # Parameters were seeded into the environment before execution.
+        return None
+    if opcode == Opcode.CONST:
+        env[inst.result.name] = _read(inst.operands[0], env)
+        return None
+    if opcode == Opcode.COPY:
+        env[inst.result.name] = _read(inst.operands[0], env)
+        return None
+    if opcode == Opcode.UNOP:
+        env[inst.result.name] = _unop(inst.detail, _read(inst.operands[0], env))
+        return None
+    if opcode == Opcode.BINOP:
+        env[inst.result.name] = _binop(
+            inst.detail,
+            _read(inst.operands[0], env),
+            _read(inst.operands[1], env),
+        )
+        return None
+    if opcode == Opcode.CALL:
+        args = tuple(_read(op, env) for op in inst.operands)
+        result = _call_result(inst.detail, args)
+        trace.events.append(("call", (inst.detail, args, result)))
+        env[inst.result.name] = result
+        return None
+    if opcode == Opcode.LOAD:
+        address = _read(inst.operands[0], env)
+        env[inst.result.name] = memory.get(address, 0)
+        return None
+    if opcode == Opcode.STORE:
+        address = _read(inst.operands[0], env)
+        value = _read(inst.operands[1], env)
+        memory[address] = value
+        trace.events.append(("store", (address, value)))
+        return None
+    if opcode == Opcode.JUMP:
+        return inst.targets[0]
+    if opcode == Opcode.BRANCH:
+        condition = _read(inst.operands[0], env)
+        return inst.targets[0] if condition != 0 else inst.targets[1]
+    if opcode == Opcode.RETURN:
+        return _read(inst.operands[0], env) if inst.operands else None
+    raise InterpreterError(f"cannot execute opcode {opcode!r}")

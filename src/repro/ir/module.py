@@ -1,0 +1,44 @@
+"""Modules: named collections of functions.
+
+A module is little more than an ordered dictionary of functions, but having
+one keeps the front-end, the workload generator and the benchmark harness
+symmetrical with a real compiler pipeline, where passes run module-wide and
+report per-function statistics (as the paper's Tables 1 and 2 do).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.ir.function import Function
+
+
+class Module:
+    """An ordered collection of functions."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: dict[str, Function] = {}
+
+    def add_function(self, function: Function) -> Function:
+        """Register ``function``; names must be unique within the module."""
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function name {function.name!r}")
+        self.functions[function.name] = function
+        return function
+
+    def function(self, name: str) -> Function:
+        """Look up a function by name."""
+        return self.functions[name]
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __repr__(self) -> str:
+        return f"Module({self.name!r}, functions={len(self.functions)})"

@@ -1,0 +1,207 @@
+"""Parsing of the textual IR syntax produced by :mod:`repro.ir.printer`.
+
+The parser is a small hand-written line-oriented parser; it exists so that
+tests and examples can express functions (such as the paper's Figure 3
+program) as readable text, and so that printing/parsing round-trips can be
+used as a structural property test.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction, Opcode, Phi
+from repro.ir.module import Module
+from repro.ir.value import Constant, Undef, Value, Variable
+
+
+class IRParseError(ValueError):
+    """Raised when the textual IR does not conform to the grammar."""
+
+
+_FUNCTION_RE = re.compile(r"^function\s+([A-Za-z_][\w.]*)\s*\(([^)]*)\)\s*\{$")
+_BLOCK_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_ASSIGN_RE = re.compile(r"^([A-Za-z_][\w.]*)\s*=\s*(.+)$")
+_PHI_ARG_RE = re.compile(r"\[\s*([^\]:]+?)\s*:\s*([A-Za-z_][\w.]*)\s*\]")
+
+
+class _FunctionParser:
+    """Parses one function's worth of lines."""
+
+    def __init__(self, name: str, param_names: list[str]) -> None:
+        self.function = Function(name)
+        self.variables: dict[str, Variable] = {}
+        self.current = None
+        # Parameter instructions are materialised at the top of the first
+        # block the text declares (which is the entry block).
+        self._pending_params = list(param_names)
+
+    def _variable(self, name: str) -> Variable:
+        if name not in self.variables:
+            self.variables[name] = Variable(name)
+        return self.variables[name]
+
+    def _value(self, token: str) -> Value:
+        token = token.strip()
+        if token == "undef":
+            return Undef()
+        if re.fullmatch(r"-?\d+", token):
+            return Constant(int(token))
+        if re.fullmatch(r"[A-Za-z_][\w.]*", token):
+            return self._variable(token)
+        raise IRParseError(f"cannot parse operand {token!r}")
+
+    def start_block(self, name: str) -> None:
+        if name in self.function:
+            self.current = self.function.block(name)
+        else:
+            self.current = self.function.add_block(name)
+        if self._pending_params:
+            for position, param_name in enumerate(self._pending_params):
+                var = self._variable(param_name)
+                inst = Instruction(Opcode.PARAM, result=var, detail=param_name)
+                self.current.insert(position, inst)
+                self.function.parameters.append(var)
+            self._pending_params = []
+
+    def parse_line(self, line: str) -> None:
+        if self.current is None:
+            raise IRParseError(f"instruction outside any block: {line!r}")
+        match = _ASSIGN_RE.match(line)
+        if match:
+            result_name, rhs = match.groups()
+            self._parse_assignment(result_name, rhs.strip())
+            return
+        self._parse_statement(line)
+
+    # ------------------------------------------------------------------
+    def _parse_assignment(self, result_name: str, rhs: str) -> None:
+        result = self._variable(result_name)
+        head, _, rest = rhs.partition(" ")
+        rest = rest.strip()
+        opcode, _, detail = head.partition(".")
+        if opcode == Opcode.PHI:
+            incoming = [
+                (pred, self._value(value_text))
+                for value_text, pred in _PHI_ARG_RE.findall(rhs)
+            ]
+            if not incoming:
+                raise IRParseError(f"phi without incoming values: {rhs!r}")
+            self.current.append(Phi(result=result, incoming=incoming))
+            return
+        if opcode == Opcode.PARAM:
+            inst = Instruction(Opcode.PARAM, result=result, detail=result_name)
+            self.current.append(inst)
+            self.function.parameters.append(result)
+            return
+        if opcode == Opcode.CONST:
+            self.current.append(
+                Instruction(Opcode.CONST, result=result, operands=[self._value(rest)])
+            )
+            return
+        if opcode in (Opcode.COPY, Opcode.LOAD, Opcode.UNOP):
+            self.current.append(
+                Instruction(
+                    opcode,
+                    result=result,
+                    operands=[self._value(rest)],
+                    detail=detail,
+                )
+            )
+            return
+        if opcode in (Opcode.BINOP, Opcode.CALL):
+            operands = [
+                self._value(token) for token in rest.split(",") if token.strip()
+            ]
+            self.current.append(
+                Instruction(opcode, result=result, operands=operands, detail=detail)
+            )
+            return
+        raise IRParseError(f"unknown instruction {rhs!r}")
+
+    def _parse_statement(self, line: str) -> None:
+        head, _, rest = line.partition(" ")
+        rest = rest.strip()
+        opcode, _, detail = head.partition(".")
+        if opcode == Opcode.JUMP:
+            self.current.append(Instruction(Opcode.JUMP, targets=[rest.strip()]))
+            return
+        if opcode == Opcode.BRANCH:
+            parts = [part.strip() for part in rest.split(",")]
+            if len(parts) != 3:
+                raise IRParseError(f"branch needs 'cond, t, f': {line!r}")
+            self.current.append(
+                Instruction(
+                    Opcode.BRANCH,
+                    operands=[self._value(parts[0])],
+                    targets=[parts[1], parts[2]],
+                )
+            )
+            return
+        if opcode == Opcode.RETURN:
+            operands = [self._value(rest)] if rest else []
+            self.current.append(Instruction(Opcode.RETURN, operands=operands))
+            return
+        if opcode == Opcode.STORE:
+            parts = [part.strip() for part in rest.split(",")]
+            if len(parts) != 2:
+                raise IRParseError(f"store needs 'addr, value': {line!r}")
+            self.current.append(
+                Instruction(
+                    Opcode.STORE,
+                    operands=[self._value(parts[0]), self._value(parts[1])],
+                    detail=detail,
+                )
+            )
+            return
+        raise IRParseError(f"cannot parse statement {line!r}")
+
+
+def parse_function(text: str) -> Function:
+    """Parse a single ``function … { … }`` definition."""
+    functions = list(_parse_functions(text))
+    if len(functions) != 1:
+        raise IRParseError(f"expected exactly one function, found {len(functions)}")
+    return functions[0]
+
+
+def parse_module(text: str, name: str = "module") -> Module:
+    """Parse any number of function definitions into a module."""
+    module = Module(name)
+    for function in _parse_functions(text):
+        module.add_function(function)
+    return module
+
+
+def _parse_functions(text: str):
+    parser: _FunctionParser | None = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _FUNCTION_RE.match(line)
+        if match:
+            if parser is not None:
+                raise IRParseError("nested function definition")
+            name, params_text = match.groups()
+            params = [p.strip() for p in params_text.split(",") if p.strip()]
+            parser = _FunctionParser(name, params)
+            continue
+        if line == "}":
+            if parser is None:
+                raise IRParseError("unmatched '}'")
+            yield parser.function
+            parser = None
+            continue
+        block_match = _BLOCK_RE.match(line)
+        if block_match:
+            if parser is None:
+                raise IRParseError(f"block label outside function: {line!r}")
+            parser.start_block(block_match.group(1))
+            continue
+        if parser is None:
+            raise IRParseError(f"instruction outside function: {line!r}")
+        parser.parse_line(line)
+    if parser is not None:
+        raise IRParseError("missing closing '}'")

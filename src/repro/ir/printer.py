@@ -1,0 +1,85 @@
+"""Textual printing of the IR.
+
+The syntax round-trips through :mod:`repro.ir.parser` and looks like::
+
+    function f(a, b) {
+    entry:
+      t0 = const 1
+      t1 = binop.add a, t0
+      branch t1, loop, exit
+    loop:
+      x = phi [t1 : entry] [y : loop]
+      y = binop.add x, t0
+      branch y, loop, exit
+    exit:
+      r = phi [t1 : entry] [y : loop]
+      return r
+    }
+
+Printing exists for three reasons: the examples show readable output, the
+tests use round-tripping as a structural invariant, and debugging liveness
+queries is vastly easier when a function can be dumped next to the query.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction, Opcode, Phi
+from repro.ir.module import Module
+from repro.ir.value import Constant, Undef, Value, Variable
+
+
+def format_value(value: Value) -> str:
+    """Render an operand."""
+    if isinstance(value, Variable):
+        return value.name
+    if isinstance(value, Constant):
+        return str(value.value)
+    if isinstance(value, Undef):
+        return "undef"
+    raise TypeError(f"unknown value type: {value!r}")
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render a single instruction (without indentation)."""
+    if isinstance(inst, Phi):
+        incoming = " ".join(
+            f"[{format_value(value)} : {pred}]" for pred, value in inst.incoming.items()
+        )
+        return f"{inst.result.name} = phi {incoming}"
+    opcode = inst.opcode
+    if inst.detail and opcode in {Opcode.BINOP, Opcode.UNOP, Opcode.CALL}:
+        opcode = f"{inst.opcode}.{inst.detail}"
+    operands = ", ".join(format_value(op) for op in inst.operands)
+    if opcode == Opcode.PARAM:
+        return f"{inst.result.name} = param"
+    if inst.opcode in (Opcode.JUMP, Opcode.BRANCH):
+        pieces = []
+        if operands:
+            pieces.append(operands)
+        pieces.extend(inst.targets)
+        return f"{opcode} " + ", ".join(pieces)
+    if inst.opcode == Opcode.RETURN:
+        return f"return {operands}".rstrip()
+    if inst.result is not None:
+        return f"{inst.result.name} = {opcode} {operands}".rstrip()
+    return f"{opcode} {operands}".rstrip()
+
+
+def print_function(function: Function) -> str:
+    """Render a whole function in the textual syntax."""
+    params = ", ".join(param.name for param in function.parameters)
+    lines = [f"function {function.name}({params}) {{"]
+    for block in function:
+        lines.append(f"{block.name}:")
+        for inst in block.instructions:
+            if inst.opcode == Opcode.PARAM:
+                continue
+            lines.append(f"  {format_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render every function of a module, separated by blank lines."""
+    return "\n\n".join(print_function(function) for function in module)

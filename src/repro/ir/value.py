@@ -1,0 +1,109 @@
+"""IR values: variables, constants and undefined values.
+
+Variables are the objects liveness talks about.  Before SSA construction a
+variable may be assigned in several places; after construction each variable
+has a single defining instruction (its ``definition``), which is what allows
+the checker to speak of *the* block ``def(a)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for type hints
+    from repro.ir.instruction import Instruction
+
+
+class Value:
+    """Base class of everything an instruction may take as an operand."""
+
+    __slots__ = ()
+
+    def is_variable(self) -> bool:
+        """True for :class:`Variable` operands (the ones liveness tracks)."""
+        return isinstance(self, Variable)
+
+
+class Constant(Value):
+    """An immediate constant operand."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Constant", self.value))
+
+
+class Undef(Value):
+    """An explicitly undefined operand (used for φ inputs on paths that
+    cannot define the variable; keeps the IR strict)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Undef()"
+
+    def __str__(self) -> str:
+        return "undef"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Undef)
+
+    def __hash__(self) -> int:
+        return hash("Undef")
+
+
+class Variable(Value):
+    """A scalar program variable.
+
+    Identity semantics: two distinct ``Variable`` objects with the same name
+    are different variables.  The textual printer keeps names unique, and
+    SSA construction derives new versions as ``base.N``.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, unique within a function after SSA renaming.
+    definition:
+        The defining :class:`~repro.ir.instruction.Instruction` once the
+        function is in SSA form (``None`` before renaming or for function
+        parameters that are modelled as defined by the entry block's
+        implicit ``param`` instructions).
+    """
+
+    __slots__ = ("name", "definition")
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+        self.definition: "Instruction | None" = None
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def with_version(self, version: int) -> "Variable":
+        """Return a fresh variable named ``<name>.<version>`` (SSA renaming)."""
+        return Variable(f"{self.name}.{version}")
+
+    @property
+    def base_name(self) -> str:
+        """The name with any SSA version suffix stripped."""
+        head, _, tail = self.name.rpartition(".")
+        if head and tail.isdigit():
+            return head
+        return self.name

@@ -1,0 +1,179 @@
+"""IR and SSA verification.
+
+The liveness checker's correctness argument rests on the paper's
+prerequisites (Sections 1 and 2.2):
+
+* the CFG has a single entry with no incoming edges and every block is
+  reachable;
+* every block ends in exactly one terminator and φ-functions form a prefix
+  of their block;
+* each φ has exactly one incoming value per CFG predecessor;
+* the program is in *strict* SSA form: every variable has a single
+  definition and that definition dominates every use — where a φ use counts
+  as a use at the end of the corresponding predecessor (Definition 1).
+
+``verify_function`` checks the structural part, ``verify_ssa`` additionally
+checks the dominance property.  Every workload produced by the front-end or
+the synthetic generators is run through these before being fed to the
+analyses, so the differential tests compare engines only on valid inputs.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.dominance import DominatorTree
+from repro.ir.function import Function
+from repro.ir.instruction import Opcode, Phi
+from repro.ir.value import Variable
+
+
+class IRVerificationError(ValueError):
+    """Raised when a function violates an IR or SSA invariant."""
+
+
+def verify_function(function: Function) -> None:
+    """Check the structural (non-SSA) invariants of ``function``.
+
+    Raises :class:`IRVerificationError` describing the first violation.
+    """
+    if not function.blocks:
+        raise IRVerificationError(f"function {function.name!r} has no blocks")
+    cfg = function.build_cfg()
+    try:
+        cfg.validate()
+    except ValueError as exc:
+        raise IRVerificationError(f"{function.name}: {exc}") from exc
+
+    for block in function:
+        terminator = block.terminator()
+        if terminator is None:
+            raise IRVerificationError(
+                f"{function.name}:{block.name}: block has no terminator"
+            )
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator():
+                raise IRVerificationError(
+                    f"{function.name}:{block.name}: terminator in the middle "
+                    f"of the block: {inst}"
+                )
+        seen_non_phi = False
+        for inst in block.instructions:
+            if inst.is_phi():
+                if seen_non_phi:
+                    raise IRVerificationError(
+                        f"{function.name}:{block.name}: phi after non-phi "
+                        f"instruction: {inst}"
+                    )
+            else:
+                seen_non_phi = True
+        for target in getattr(terminator, "targets", []):
+            if target not in function:
+                raise IRVerificationError(
+                    f"{function.name}:{block.name}: branch to unknown block "
+                    f"{target!r}"
+                )
+
+    preds = {name: cfg.predecessors(name) for name in cfg.nodes()}
+    for block in function:
+        for phi in block.phis():
+            expected = set(preds[block.name])
+            actual = set(phi.incoming)
+            if expected != actual:
+                raise IRVerificationError(
+                    f"{function.name}:{block.name}: phi predecessors {sorted(actual)} "
+                    f"do not match CFG predecessors {sorted(expected)}"
+                )
+            if not expected:
+                raise IRVerificationError(
+                    f"{function.name}:{block.name}: phi in a block without "
+                    f"predecessors"
+                )
+
+
+def verify_ssa(function: Function) -> None:
+    """Check strict-SSA invariants on top of :func:`verify_function`."""
+    verify_function(function)
+    cfg = function.build_cfg()
+    domtree = DominatorTree(cfg)
+
+    # Single static definition per variable.  Duplicate definitions are
+    # reported before the weaker backlink/name checks so the error message
+    # names the actual SSA violation.
+    definitions: dict[int, str] = {}
+    names: dict[str, Variable] = {}
+    for block in function:
+        for inst in block.instructions:
+            var = inst.result
+            if var is None:
+                continue
+            if id(var) in definitions:
+                raise IRVerificationError(
+                    f"{function.name}: variable {var.name!r} defined more than "
+                    f"once (blocks {definitions[id(var)]!r} and {block.name!r})"
+                )
+            definitions[id(var)] = block.name
+    for block in function:
+        for inst in block.instructions:
+            var = inst.result
+            if var is None:
+                continue
+            if var.name in names and names[var.name] is not var:
+                raise IRVerificationError(
+                    f"{function.name}: two distinct variables share the name "
+                    f"{var.name!r}"
+                )
+            names[var.name] = var
+            if var.definition is not inst:
+                raise IRVerificationError(
+                    f"{function.name}: variable {var.name!r} does not point back "
+                    f"to its defining instruction"
+                )
+
+    # Dominance property: definition dominates every use.
+    for block in function:
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                for pred, value in inst.incoming.items():
+                    if not isinstance(value, Variable):
+                        continue
+                    def_block = _definition_block(value, function)
+                    if not domtree.dominates(def_block, pred):
+                        raise IRVerificationError(
+                            f"{function.name}:{block.name}: phi operand "
+                            f"{value.name!r} (defined in {def_block!r}) does not "
+                            f"dominate predecessor {pred!r}"
+                        )
+                continue
+            for value in inst.operands:
+                if not isinstance(value, Variable):
+                    continue
+                def_block = _definition_block(value, function)
+                if def_block == block.name:
+                    if not _defined_before_use(block, value, inst):
+                        raise IRVerificationError(
+                            f"{function.name}:{block.name}: {value.name!r} used "
+                            f"before its definition within the block"
+                        )
+                elif not domtree.strictly_dominates(def_block, block.name):
+                    raise IRVerificationError(
+                        f"{function.name}:{block.name}: use of {value.name!r} is "
+                        f"not dominated by its definition in {def_block!r}"
+                    )
+
+
+def _definition_block(var: Variable, function: Function) -> str:
+    if var.definition is None or var.definition.block is None:
+        raise IRVerificationError(
+            f"{function.name}: variable {var.name!r} has no defining instruction"
+        )
+    return var.definition.block.name
+
+
+def _defined_before_use(block, var: Variable, use_inst) -> bool:
+    for inst in block.instructions:
+        if inst is use_inst:
+            return False
+        if inst.result is var:
+            return True
+    raise IRVerificationError(
+        f"{block.name}: instruction not found in its own block"
+    )

@@ -1,0 +1,128 @@
+"""The liveness-oracle interface shared by every engine.
+
+The paper compares two very different ways of providing liveness
+information: precomputed per-block *sets* (the native data-flow analysis)
+and an on-demand *characteristic function* (the new checker).  Client
+passes should not care which one they are using, so the library defines a
+single small interface:
+
+* ``is_live_in(var, block)`` — Definition 2;
+* ``is_live_out(var, block)`` — Definition 3;
+* ``prepare()`` — whatever precomputation the engine needs; kept explicit
+  so benchmarks can time the precomputation and query phases separately,
+  exactly as Table 2 does.
+
+:class:`LiveSets` is the materialised set-per-block result some engines can
+also produce, and :class:`CountingOracle` is a decorator counting queries.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.ir.value import Variable
+
+
+class LivenessOracle(abc.ABC):
+    """Answers block-level liveness queries for one function."""
+
+    @abc.abstractmethod
+    def prepare(self) -> None:
+        """Run the engine's precomputation (idempotent)."""
+
+    @abc.abstractmethod
+    def is_live_in(self, var: Variable, block: str) -> bool:
+        """True iff ``var`` is live-in at block ``block`` (Definition 2)."""
+
+    @abc.abstractmethod
+    def is_live_out(self, var: Variable, block: str) -> bool:
+        """True iff ``var`` is live-out at block ``block`` (Definition 3)."""
+
+    def live_variables(self) -> list[Variable]:
+        """The variables this oracle can answer queries about.
+
+        Engines that track every variable simply return them all; engines
+        restricted to a subset (e.g. φ-related variables only, as LAO's SSA
+        destruction does) return that subset.
+        """
+        raise NotImplementedError
+
+
+@dataclass
+class LiveSets:
+    """Materialised live-in / live-out sets per block.
+
+    The sets contain :class:`~repro.ir.value.Variable` objects.  Engines
+    producing sets (the data-flow baseline, or the checker when asked to
+    enumerate) return this structure so the differential tests can compare
+    them wholesale.
+    """
+
+    live_in: dict[str, frozenset[Variable]] = field(default_factory=dict)
+    live_out: dict[str, frozenset[Variable]] = field(default_factory=dict)
+
+    def average_live_in_size(self) -> float:
+        """Average cardinality of the live-in sets (the paper's "fill ratio")."""
+        if not self.live_in:
+            return 0.0
+        return sum(len(s) for s in self.live_in.values()) / len(self.live_in)
+
+    def restricted_to(self, variables: set[Variable]) -> "LiveSets":
+        """Project the sets onto a subset of variables (e.g. φ-related ones)."""
+        return LiveSets(
+            live_in={
+                block: frozenset(v for v in values if v in variables)
+                for block, values in self.live_in.items()
+            },
+            live_out={
+                block: frozenset(v for v in values if v in variables)
+                for block, values in self.live_out.items()
+            },
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LiveSets):
+            return NotImplemented
+        return self.live_in == other.live_in and self.live_out == other.live_out
+
+
+class CountingOracle(LivenessOracle):
+    """Wraps another oracle and counts prepare/query calls.
+
+    The Table 2 harness reports the number of queries issued by the SSA
+    destruction pass per benchmark; wrapping whichever engine is under test
+    in a :class:`CountingOracle` keeps that bookkeeping out of the pass.
+    """
+
+    def __init__(self, inner: LivenessOracle) -> None:
+        self.inner = inner
+        self.prepare_calls = 0
+        self.live_in_queries = 0
+        self.live_out_queries = 0
+
+    @property
+    def total_queries(self) -> int:
+        """Total number of liveness queries answered."""
+        return self.live_in_queries + self.live_out_queries
+
+    def prepare(self) -> None:
+        self.prepare_calls += 1
+        self.inner.prepare()
+
+    def is_live_in(self, var: Variable, block: str) -> bool:
+        self.live_in_queries += 1
+        return self.inner.is_live_in(var, block)
+
+    def is_live_out(self, var: Variable, block: str) -> bool:
+        self.live_out_queries += 1
+        return self.inner.is_live_out(var, block)
+
+    def live_variables(self) -> list[Variable]:
+        return self.inner.live_variables()
+
+    def reset_counters(self) -> None:
+        """Zero the counters (e.g. between benchmark repetitions)."""
+        self.prepare_calls = 0
+        self.live_in_queries = 0
+        self.live_out_queries = 0

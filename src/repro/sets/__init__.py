@@ -1,0 +1,23 @@
+"""Set data structures used throughout the liveness-checking library.
+
+The paper (Section 5.1) implements the precomputed ``R_v`` and ``T_v`` sets
+as bitsets indexed by a dominance-preorder numbering of the basic blocks,
+while the "native" LAO liveness analysis represents live sets as sorted
+dense arrays of pointers and uses Briggs--Torczon sparse sets for the local
+(per-block) analysis.  This package provides faithful Python counterparts of
+all three representations:
+
+* :class:`~repro.sets.bitset.BitSet` -- fixed-universe bitset with the
+  ``next_set_bit`` primitive required by Algorithm 3.
+* :class:`~repro.sets.sparse_set.SparseSet` -- the Briggs & Torczon sparse
+  set (O(1) insert/member/clear, iteration proportional to cardinality).
+* :class:`~repro.sets.sorted_set.SortedArraySet` -- a sorted dense array
+  with binary-search membership, the representation used by the baseline
+  data-flow liveness for global live sets.
+"""
+
+from repro.sets.bitset import BitSet
+from repro.sets.sparse_set import SparseSet
+from repro.sets.sorted_set import SortedArraySet
+
+__all__ = ["BitSet", "SparseSet", "SortedArraySet"]

@@ -1,0 +1,29 @@
+"""SSA machinery: def–use chains, construction and destruction.
+
+* :class:`~repro.ssa.defuse.DefUseChains` — the per-variable ``def(a)`` /
+  ``uses(a)`` information the checker consumes, with φ uses attributed to
+  predecessor blocks per Definition 1 of the paper.
+* :func:`~repro.ssa.construction.construct_ssa` — Cytron-style SSA
+  construction (φ placement at iterated dominance frontiers + renaming).
+* :func:`~repro.ssa.destruction.destruct_ssa` — out-of-SSA translation in
+  the spirit of Sreedhar et al.'s method III, driven by liveness queries
+  through a pluggable oracle; this pass produces the query stream measured
+  in the paper's Table 2.
+* :class:`~repro.ssa.coalescing.CopyCoalescer` — Budimlić-style
+  interference tests and copy coalescing on top of any liveness oracle.
+"""
+
+from repro.ssa.defuse import DefUseChains, VariableDefUse
+from repro.ssa.construction import construct_ssa
+from repro.ssa.destruction import DestructionReport, destruct_ssa
+from repro.ssa.coalescing import CopyCoalescer, InterferenceChecker
+
+__all__ = [
+    "DefUseChains",
+    "VariableDefUse",
+    "construct_ssa",
+    "destruct_ssa",
+    "DestructionReport",
+    "CopyCoalescer",
+    "InterferenceChecker",
+]

@@ -1,0 +1,283 @@
+"""SSA construction (Cytron et al.).
+
+The front-end and the synthetic program generator produce functions in
+which a :class:`~repro.ir.value.Variable` may be assigned by several
+instructions.  This pass rewrites such a function into strict SSA form:
+
+1. φ-functions are placed at the iterated dominance frontier of each
+   variable's definition blocks (pruned: only where the variable is
+   live-in, so no dead φs are introduced);
+2. a renaming walk over the dominator tree creates one fresh variable per
+   reaching definition and rewires every use, inserting ``Undef`` operands
+   on paths that carry no definition so the dominance property holds.
+
+The result satisfies :func:`repro.ir.verify.verify_ssa`, i.e. the paper's
+prerequisites.  The pass mutates the function in place and returns a small
+report mapping every source variable name to the SSA versions created for
+it, which the tests use to relate pre- and post-SSA programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.domfrontier import DominanceFrontiers
+from repro.cfg.dominance import DominatorTree
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction, Phi
+from repro.ir.value import Undef, Variable
+
+
+@dataclass
+class SSAConstructionReport:
+    """Summary of an SSA construction run."""
+
+    #: Mapping from source-variable name to the names of the SSA versions
+    #: created for it (a single entry when no renaming was necessary).
+    versions: dict[str, list[str]] = field(default_factory=dict)
+    #: Number of φ-functions inserted.
+    phis_inserted: int = 0
+
+    def version_count(self, source_name: str) -> int:
+        """How many SSA versions a source variable was split into."""
+        return len(self.versions.get(source_name, []))
+
+
+def construct_ssa(function: Function, pruned: bool = True) -> SSAConstructionReport:
+    """Rewrite ``function`` into strict (pruned) SSA form in place."""
+    cfg = function.build_cfg()
+    cfg.validate()
+    domtree = DominatorTree(cfg)
+    frontiers = DominanceFrontiers(cfg, domtree)
+
+    # ------------------------------------------------------------------
+    # Collect definition and use sites per source variable.
+    # ------------------------------------------------------------------
+    def_blocks: dict[Variable, list[str]] = {}
+    use_blocks: dict[Variable, set[str]] = {}
+    for block in function:
+        for inst in block.instructions:
+            for value in inst.used_variables():
+                use_blocks.setdefault(value, set()).add(block.name)
+            var = inst.result
+            if var is not None:
+                def_blocks.setdefault(var, []).append(block.name)
+
+    live_in = (
+        _source_variable_live_in(function, def_blocks, use_blocks)
+        if pruned
+        else None
+    )
+
+    # ------------------------------------------------------------------
+    # φ placement at iterated dominance frontiers.
+    # ------------------------------------------------------------------
+    report = SSAConstructionReport()
+    phi_for: dict[tuple[str, Variable], Phi] = {}
+    for var, blocks in def_blocks.items():
+        frontier_nodes = frontiers.iterated_frontier(set(blocks))
+        for node in sorted(frontier_nodes, key=domtree.num):
+            if pruned and var not in live_in[node]:
+                continue
+            placeholder = Phi(result=Variable(f"{var.name}.phi"), incoming={})
+            function.block(node).append(placeholder)
+            phi_for[(node, var)] = placeholder
+            report.phis_inserted += 1
+
+    # ------------------------------------------------------------------
+    # Renaming over the dominator tree.
+    # ------------------------------------------------------------------
+    renamer = _Renamer(function, cfg, domtree, phi_for, def_blocks)
+    renamer.run()
+    report.versions = renamer.versions_by_source()
+
+    # Parameters now refer to renamed variables.
+    function.parameters = [
+        renamer.renamed_parameter(param) for param in function.parameters
+    ]
+    return report
+
+
+# ----------------------------------------------------------------------
+# Renaming
+# ----------------------------------------------------------------------
+class _Renamer:
+    """The classic stack-per-variable renaming walk."""
+
+    def __init__(
+        self,
+        function: Function,
+        cfg,
+        domtree: DominatorTree,
+        phi_for: dict[tuple[str, Variable], Phi],
+        def_blocks: dict[Variable, list[str]],
+    ) -> None:
+        self.function = function
+        self.cfg = cfg
+        self.domtree = domtree
+        self.phi_source: dict[int, Variable] = {
+            id(phi): var for (_, var), phi in phi_for.items()
+        }
+        self.sources = list(def_blocks)
+        self.stacks: dict[Variable, list[Variable]] = {var: [] for var in self.sources}
+        self.counters: dict[Variable, int] = {var: 0 for var in self.sources}
+        self.created: dict[Variable, list[Variable]] = {var: [] for var in self.sources}
+        self.param_map: dict[int, Variable] = {}
+
+    # -- helpers -------------------------------------------------------
+    def _new_version(self, source: Variable) -> Variable:
+        self.counters[source] += 1
+        version = Variable(f"{source.name}.{self.counters[source]}")
+        self.created[source].append(version)
+        return version
+
+    def _current(self, source: Variable):
+        stack = self.stacks.get(source)
+        if not stack:
+            return Undef()
+        return stack[-1]
+
+    # -- main walk ------------------------------------------------------
+    def run(self) -> None:
+        # Iterative pre/post walk over the dominator tree.
+        entry = self.cfg.entry
+        stack: list[tuple[str, bool, list[tuple[Variable, int]]]] = [(entry, False, [])]
+        while stack:
+            node, exiting, pushed = stack.pop()
+            if exiting:
+                for source, count in pushed:
+                    for _ in range(count):
+                        self.stacks[source].pop()
+                continue
+            pushed = self._rename_block(node)
+            stack.append((node, True, pushed))
+            for child in reversed(self.domtree.children(node)):
+                stack.append((child, False, []))
+        self._finalize_names()
+
+    def _rename_block(self, node: str) -> list[tuple[Variable, int]]:
+        block = self.function.block(node)
+        pushed: dict[Variable, int] = {}
+
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                source = self.phi_source.get(id(inst))
+                if source is None:
+                    # Pre-existing φ (function already partially in SSA form):
+                    # treat its result like an ordinary definition below.
+                    source = inst.result if inst.result in self.stacks else None
+                if source is not None:
+                    new_var = self._new_version(source)
+                    inst.result = new_var
+                    new_var.definition = inst
+                    self.stacks[source].append(new_var)
+                    pushed[source] = pushed.get(source, 0) + 1
+                continue
+            # Ordinary instruction: rewrite uses, then the definition.
+            for index, operand in enumerate(inst.operands):
+                if isinstance(operand, Variable) and operand in self.stacks:
+                    inst.operands[index] = self._current(operand)
+            result = inst.result
+            if result is not None and result in self.stacks:
+                new_var = self._new_version(result)
+                if result in self.function.parameters and id(result) not in self.param_map:
+                    self.param_map[id(result)] = new_var
+                inst.result = new_var
+                new_var.definition = inst
+                self.stacks[result].append(new_var)
+                pushed[result] = pushed.get(result, 0) + 1
+
+        # Fill in φ operands of the successors.
+        for succ in self.cfg.successors(node):
+            succ_block = self.function.block(succ)
+            for phi in succ_block.phis():
+                source = self.phi_source.get(id(phi))
+                if source is None:
+                    continue
+                phi.set_incoming(node, self._current(source))
+        return list(pushed.items())
+
+    def _finalize_names(self) -> None:
+        """Collapse ``v.1`` back to ``v`` when only one version was created."""
+        for source, versions in self.created.items():
+            if len(versions) == 1:
+                versions[0].name = source.name
+
+    # -- reporting -------------------------------------------------------
+    def versions_by_source(self) -> dict[str, list[str]]:
+        return {
+            source.name: [version.name for version in versions]
+            for source, versions in self.created.items()
+            if versions
+        }
+
+    def renamed_parameter(self, param: Variable) -> Variable:
+        if id(param) in self.param_map:
+            return self.param_map[id(param)]
+        # A parameter that was never redefined keeps its first version.
+        versions = self.created.get(param)
+        if versions:
+            return versions[0]
+        return param
+
+
+# ----------------------------------------------------------------------
+# Pruning support: liveness of *source* variables before SSA construction
+# ----------------------------------------------------------------------
+def _source_variable_live_in(
+    function: Function,
+    def_blocks: dict[Variable, list[str]],
+    use_blocks: dict[Variable, set[str]],
+) -> dict[str, set[Variable]]:
+    """Backward data-flow liveness over source variables.
+
+    Only used to prune φ placement; precision requirements are mild (an
+    over-approximation would merely add harmless φs), but the standard
+    block-level upward-exposure analysis is exact enough and cheap.
+    """
+    cfg = function.build_cfg()
+    # Per-block gen (upward-exposed uses) and kill (definitions) sets.  Any
+    # φ already present in the input (partially constructed SSA) follows the
+    # usual convention: its operands count as uses at the end of the
+    # corresponding predecessor, handled in the second pass below.
+    gen: dict[str, set[Variable]] = {name: set() for name in cfg.nodes()}
+    kill: dict[str, set[Variable]] = {name: set() for name in cfg.nodes()}
+    for block in function:
+        seen_defs: set[Variable] = set()
+        for inst in block.instructions:
+            if not inst.is_phi():
+                for value in inst.used_variables():
+                    if value in def_blocks and value not in seen_defs:
+                        gen[block.name].add(value)
+            if inst.result is not None and inst.result in def_blocks:
+                seen_defs.add(inst.result)
+        kill[block.name] = seen_defs
+    for block in function:
+        for phi in block.phis():
+            for pred, value in phi.incoming.items():
+                if (
+                    isinstance(value, Variable)
+                    and value in def_blocks
+                    and value not in kill[pred]
+                ):
+                    gen[pred].add(value)
+
+    live_in: dict[str, set[Variable]] = {name: set() for name in cfg.nodes()}
+    live_out: dict[str, set[Variable]] = {name: set() for name in cfg.nodes()}
+    changed = True
+    while changed:
+        changed = False
+        for name in cfg.nodes():
+            out = set()
+            for succ in cfg.successors(name):
+                out |= live_in[succ]
+            new_in = gen[name] | (out - kill[name])
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    # ``use_blocks`` is currently unused beyond documentation of intent, but
+    # retained in the signature so alternative pruning strategies (e.g.
+    # semi-pruned SSA) can reuse this hook.
+    del use_blocks
+    return live_in

@@ -1,0 +1,65 @@
+"""Parallel-copy sequentialisation.
+
+φ-functions of a block conceptually execute *in parallel* on each incoming
+edge: all sources are read before any destination is written.  When SSA
+destruction lowers them to ordinary ``copy`` instructions at the end of the
+predecessor blocks it must therefore order the copies carefully (and break
+cycles with a temporary), otherwise it recreates the classic *swap problem*.
+
+:func:`sequentialize` turns a mapping ``dest ← src`` into an equivalent
+sequence of simple copies, introducing at most one temporary per cycle.
+The algorithm is the usual one: repeatedly emit a copy whose destination is
+not needed as a source any more; when only cycles remain, save one
+destination into a temporary and redirect its readers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.ir.value import Value, Variable
+
+
+def sequentialize(
+    copies: Sequence[tuple[Variable, Value]],
+    make_temp: Callable[[], Variable],
+) -> list[tuple[Variable, Value]]:
+    """Order parallel copies into an equivalent sequential list.
+
+    Parameters
+    ----------
+    copies:
+        ``(dest, src)`` pairs; destinations must be distinct variables.
+    make_temp:
+        Factory producing a fresh temporary variable when a cycle has to be
+        broken.
+
+    Returns the ordered list of ``(dest, src)`` copies to emit.
+    """
+    destinations = [dest for dest, _ in copies]
+    if len(set(map(id, destinations))) != len(destinations):
+        raise ValueError("parallel copy has duplicate destinations")
+
+    pending: dict[Variable, Value] = {
+        dest: src for dest, src in copies if src is not dest
+    }
+    result: list[tuple[Variable, Value]] = []
+    while pending:
+        emitted = False
+        for dest in list(pending):
+            needed_as_source = any(src is dest for src in pending.values())
+            if not needed_as_source:
+                result.append((dest, pending.pop(dest)))
+                emitted = True
+        if emitted:
+            continue
+        # Only cycles remain: every pending destination is still needed as a
+        # source.  Save one destination's current value in a temporary and
+        # redirect its readers there, which frees that destination.
+        dest = next(iter(pending))
+        temp = make_temp()
+        result.append((temp, dest))
+        for other, src in pending.items():
+            if src is dest:
+                pending[other] = temp
+    return result

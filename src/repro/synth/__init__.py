@@ -1,0 +1,45 @@
+"""Synthetic workload generation.
+
+The paper evaluates on SPEC2000 CINT compiled by an industrial compiler;
+neither is available here, so this package produces the closest synthetic
+equivalents (see the substitution table in ``DESIGN.md``):
+
+* :mod:`repro.synth.random_cfg` — random reducible and irreducible
+  control-flow graphs at the graph level, used to exercise the CFG
+  analyses and the checker on shapes no structured front-end would emit.
+* :mod:`repro.synth.random_function` — random IR functions over such CFGs
+  (non-SSA, then converted), used by the liveness differential tests.
+* :mod:`repro.synth.program_gen` — random *terminating* mini-language
+  programs, used by the interpreter-based semantic property tests and the
+  benchmark harness.
+* :mod:`repro.synth.spec_profiles` — the per-benchmark statistics the paper
+  publishes in Tables 1 and 2, plus generators that synthesise procedure
+  populations matching those block-count and uses-per-variable profiles.
+"""
+
+from repro.synth.random_cfg import (
+    random_cfg,
+    random_irreducible_cfg,
+    random_reducible_cfg,
+)
+from repro.synth.random_function import random_ssa_function
+from repro.synth.program_gen import ProgramGeneratorConfig, random_program_source
+from repro.synth.spec_profiles import (
+    SPEC_PROFILES,
+    BenchmarkProfile,
+    generate_benchmark_functions,
+    sample_block_count,
+)
+
+__all__ = [
+    "random_cfg",
+    "random_reducible_cfg",
+    "random_irreducible_cfg",
+    "random_ssa_function",
+    "ProgramGeneratorConfig",
+    "random_program_source",
+    "BenchmarkProfile",
+    "SPEC_PROFILES",
+    "sample_block_count",
+    "generate_benchmark_functions",
+]

@@ -1,0 +1,133 @@
+"""Random control-flow graph generators.
+
+Two families are produced:
+
+* *reducible* CFGs, built the way structured programs build them: starting
+  from a single block, repeatedly expand a random block into a sequence, an
+  if/else diamond, or a while loop.  Every back edge then targets a
+  dominator of its source by construction, and the edges-per-block ratio
+  stays in the ~1.3 region the paper reports for SPEC (§6.1).
+* *irreducible* CFGs, obtained from a reducible skeleton by adding a small
+  number of "goto-like" edges that jump into the middle of a loop from
+  outside, creating multi-entry loops.  The paper found 60 such edges in
+  the whole of SPEC2000 CINT; the generator keeps them similarly rare but
+  lets tests dial the amount up.
+
+Nodes are consecutive integers with 0 as the entry, which keeps the graphs
+cheap to generate in bulk for property-based testing.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.reducibility import is_reducible
+
+
+def random_reducible_cfg(
+    rng: random.Random,
+    num_blocks: int,
+    loop_bias: float = 0.3,
+) -> ControlFlowGraph:
+    """Generate a reducible CFG with exactly ``num_blocks`` nodes.
+
+    ``loop_bias`` is the probability that an expansion step introduces a
+    loop rather than straight-line/branching structure.
+    """
+    if num_blocks < 1:
+        raise ValueError("num_blocks must be at least 1")
+    # Successor lists; node 0 is the entry.  We repeatedly pick an existing
+    # edge (or a block with no successor) and expand structure into it.
+    succs: dict[int, list[int]] = {0: []}
+
+    def new_node() -> int:
+        node = len(succs)
+        succs[node] = []
+        return node
+
+    while len(succs) < num_blocks:
+        remaining = num_blocks - len(succs)
+        node = rng.randrange(len(succs))
+        choice = rng.random()
+        if not succs[node]:
+            # Dead-end block: extend it with a successor (keeps a single
+            # exit region growing rather than fanning out endlessly).
+            succs[node].append(new_node())
+            continue
+        if choice < loop_bias and remaining >= 2:
+            # Wrap a new while-style loop around one outgoing edge:
+            # node -> header -> body -> header, header -> old target.
+            target = rng.choice(succs[node])
+            header = new_node()
+            body = new_node()
+            succs[node][succs[node].index(target)] = header
+            succs[header].extend([body, target])
+            succs[body].append(header)
+        elif choice < loop_bias + 0.45 and remaining >= 2:
+            # If/else diamond on one outgoing edge.
+            target = rng.choice(succs[node])
+            then_node = new_node()
+            else_node = new_node()
+            succs[node][succs[node].index(target)] = then_node
+            succs[node].append(else_node)
+            succs[then_node].append(target)
+            succs[else_node].append(target)
+        else:
+            # Simple sequence split: node -> fresh -> old target.
+            target = rng.choice(succs[node])
+            middle = new_node()
+            succs[node][succs[node].index(target)] = middle
+            succs[middle].append(target)
+
+    graph = ControlFlowGraph()
+    for node in range(len(succs)):
+        graph.add_node(node)
+    graph.set_entry(0)
+    for node, targets in succs.items():
+        for target in targets:
+            graph.add_edge(node, target)
+    graph.validate()
+    return graph
+
+
+def random_irreducible_cfg(
+    rng: random.Random,
+    num_blocks: int,
+    extra_edges: int = 2,
+) -> ControlFlowGraph:
+    """Generate an (almost certainly) irreducible CFG.
+
+    Starts from a reducible skeleton with loops and adds ``extra_edges``
+    jumps from a block into a dominance-unrelated block, which creates
+    loops with several entries.  The result is not *guaranteed* irreducible
+    for tiny graphs; callers that need the property should check
+    :func:`repro.cfg.reducibility.is_reducible` (the helper retries a few
+    times to make that rare).
+    """
+    for _ in range(8):
+        graph = random_reducible_cfg(rng, num_blocks, loop_bias=0.45)
+        nodes = graph.nodes()
+        for _ in range(extra_edges):
+            source = rng.choice(nodes)
+            target = rng.choice(nodes)
+            if (
+                source != target
+                and target != graph.entry
+                and not graph.has_edge(source, target)
+            ):
+                graph.add_edge(source, target)
+        if not is_reducible(graph):
+            return graph
+    return graph
+
+
+def random_cfg(
+    rng: random.Random,
+    num_blocks: int,
+    irreducible_probability: float = 0.15,
+) -> ControlFlowGraph:
+    """Generate a CFG, occasionally irreducible (like real benchmark code)."""
+    if num_blocks >= 4 and rng.random() < irreducible_probability:
+        return random_irreducible_cfg(rng, num_blocks)
+    return random_reducible_cfg(rng, num_blocks)

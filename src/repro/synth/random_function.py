@@ -1,0 +1,136 @@
+"""Random IR functions over random CFGs.
+
+These functions are used by the liveness differential tests: they do not
+need to terminate (they are never executed), but they must be valid strict
+SSA and should exhibit the full variety of shapes the checker has to deal
+with — loop-carried φs, variables live across many blocks, variables with a
+single local use, dead definitions, parameters, and (optionally)
+irreducible control flow.
+
+The generator first builds a random CFG, then emits non-SSA code over a
+small pool of named variables (each block assigns a few and uses a few),
+then runs SSA construction, which inserts the φs.  The terminators follow
+the CFG: one successor → ``jump``, two → ``branch`` on a generated value;
+CFG nodes with more than two successors are therefore rejected at
+generation time (the CFG generator only produces ≤ 2 for the shapes used
+here).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.value import Constant, Variable
+from repro.ssa.construction import construct_ssa
+from repro.synth.random_cfg import random_cfg, random_reducible_cfg
+
+_BINOPS = ("add", "sub", "mul", "xor", "and", "or", "cmplt", "cmpeq", "max")
+
+
+def random_ssa_function(
+    rng: random.Random,
+    num_blocks: int = 8,
+    num_variables: int = 4,
+    instructions_per_block: int = 3,
+    allow_irreducible: bool = True,
+    name: str = "synthetic",
+) -> Function:
+    """Generate a strict-SSA function over a random CFG.
+
+    ``num_variables`` is the size of the pre-SSA named-variable pool; after
+    construction each of them typically splits into several SSA versions
+    joined by φs.
+    """
+    if allow_irreducible:
+        graph = random_cfg(rng, num_blocks)
+    else:
+        graph = random_reducible_cfg(rng, num_blocks)
+    function = _populate(rng, graph, num_variables, instructions_per_block, name)
+    construct_ssa(function)
+    return function
+
+
+def _populate(
+    rng: random.Random,
+    graph: ControlFlowGraph,
+    num_variables: int,
+    instructions_per_block: int,
+    name: str,
+) -> Function:
+    pool = [Variable(f"v{index}") for index in range(num_variables)]
+    builder = FunctionBuilder(name, parameters=[f"p{index}" for index in range(2)])
+    params = list(builder.function.parameters)
+
+    blocks = {}
+    entry_node = graph.entry
+    entry_block = builder.function.block("entry")
+    blocks[entry_node] = entry_block
+    for node in graph.nodes():
+        if node == entry_node:
+            continue
+        blocks[node] = builder.add_block(f"b{node}")
+
+    # Seed every pool variable in the entry block so later uses are never
+    # completely undefined (SSA construction would otherwise wire in Undef,
+    # which is legal but makes the workload less interesting).
+    builder.set_insertion_point(entry_block)
+    for variable in pool:
+        source = rng.choice(params + [Constant(rng.randrange(64))])
+        builder.copy(source, result=variable)
+
+    for node in graph.nodes():
+        block = blocks[node]
+        builder.set_insertion_point(block)
+        available = pool + params
+        for _ in range(rng.randrange(instructions_per_block + 1)):
+            kind = rng.random()
+            if kind < 0.55:
+                target = rng.choice(pool)
+                left = rng.choice(available)
+                right = (
+                    rng.choice(available)
+                    if rng.random() < 0.7
+                    else Constant(rng.randrange(16))
+                )
+                builder.binop(rng.choice(_BINOPS), left, right, result=target)
+            elif kind < 0.75:
+                target = rng.choice(pool)
+                builder.copy(rng.choice(available), result=target)
+            elif kind < 0.9:
+                builder.store(Constant(rng.randrange(8)), rng.choice(available))
+            else:
+                target = rng.choice(pool)
+                builder.call(
+                    f"ext{rng.randrange(4)}",
+                    [rng.choice(available) for _ in range(rng.randrange(3))],
+                    result=target,
+                )
+        successors = graph.successors(node)
+        if not successors:
+            builder.ret(rng.choice(available))
+        elif len(successors) == 1:
+            builder.jump(blocks[successors[0]].name)
+        elif len(successors) == 2:
+            condition = builder.binop(
+                "cmplt", rng.choice(available), rng.choice(available)
+            )
+            builder.branch(condition, blocks[successors[0]].name, blocks[successors[1]].name)
+        else:
+            # Chain extra successors through nested branches on fresh values
+            # so arbitrary out-degrees remain expressible.
+            remaining = [blocks[succ].name for succ in successors]
+            while len(remaining) > 2:
+                helper = builder.add_block()
+                condition = builder.binop(
+                    "cmpeq", rng.choice(available), Constant(rng.randrange(4))
+                )
+                builder.branch(condition, remaining.pop(), helper.name)
+                builder.set_insertion_point(helper)
+            condition = builder.binop(
+                "cmplt", rng.choice(available), rng.choice(available)
+            )
+            builder.branch(condition, remaining[0], remaining[1])
+    return builder.function

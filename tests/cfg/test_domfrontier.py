@@ -1,0 +1,97 @@
+"""Tests for dominance frontiers."""
+
+from repro.cfg import ControlFlowGraph, DominanceFrontiers, DominatorTree
+from repro.synth import random_cfg
+from tests.conftest import build_figure3_cfg
+
+
+def diamond() -> ControlFlowGraph:
+    return ControlFlowGraph.from_edges(
+        [(0, 1), (0, 2), (1, 3), (2, 3)], entry=0
+    )
+
+
+def loop() -> ControlFlowGraph:
+    return ControlFlowGraph.from_edges(
+        [(0, 1), (1, 2), (2, 1), (2, 3)], entry=0
+    )
+
+
+def reference_frontier(graph: ControlFlowGraph, node) -> set:
+    """Brute-force frontier straight from the definition."""
+    domtree = DominatorTree(graph)
+    result = set()
+    for candidate in graph.nodes():
+        if domtree.strictly_dominates(node, candidate):
+            continue
+        if any(
+            domtree.dominates(node, pred) for pred in graph.predecessors(candidate)
+        ):
+            result.add(candidate)
+    return result
+
+
+class TestFrontiers:
+    def test_diamond_frontier_is_join(self):
+        frontiers = DominanceFrontiers(diamond())
+        assert frontiers.frontier(1) == [3]
+        assert frontiers.frontier(2) == [3]
+        assert frontiers.frontier(0) == []
+        assert frontiers.frontier(3) == []
+
+    def test_loop_header_in_its_own_frontier(self):
+        frontiers = DominanceFrontiers(loop())
+        assert frontiers.frontier(1) == [1]
+        assert frontiers.frontier(2) == [1]
+
+    def test_getitem_alias(self):
+        frontiers = DominanceFrontiers(diamond())
+        assert frontiers[1] == frontiers.frontier(1)
+
+    def test_shared_domtree_reused(self):
+        graph = diamond()
+        domtree = DominatorTree(graph)
+        frontiers = DominanceFrontiers(graph, domtree)
+        assert frontiers.domtree is domtree
+
+    def test_figure3_frontier_of_node_4(self):
+        frontiers = DominanceFrontiers(build_figure3_cfg())
+        # Node 4's only successor is 5, which 4 does not strictly dominate.
+        assert frontiers.frontier(4) == [5]
+
+    def test_matches_bruteforce_definition(self, rng):
+        for _ in range(25):
+            graph = random_cfg(rng, rng.randrange(2, 25))
+            frontiers = DominanceFrontiers(graph)
+            for node in graph.nodes():
+                assert set(frontiers.frontier(node)) == reference_frontier(graph, node)
+
+
+class TestIteratedFrontier:
+    def test_single_seed_equals_plain_frontier_closure(self):
+        graph = loop()
+        frontiers = DominanceFrontiers(graph)
+        assert frontiers.iterated_frontier({2}) == {1}
+
+    def test_multiple_seeds_union_and_close(self):
+        graph = ControlFlowGraph.from_edges(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (0, 4)], entry=0
+        )
+        frontiers = DominanceFrontiers(graph)
+        assert frontiers.iterated_frontier({1, 2}) == {3, 4}
+
+    def test_iterated_frontier_is_fixpoint(self, rng):
+        for _ in range(15):
+            graph = random_cfg(rng, rng.randrange(2, 20))
+            frontiers = DominanceFrontiers(graph)
+            seeds = set(graph.nodes()[:2])
+            closure = frontiers.iterated_frontier(seeds)
+            # Applying DF once more to seeds ∪ closure must add nothing.
+            expanded = set()
+            for node in seeds | closure:
+                expanded |= set(frontiers.frontier(node))
+            assert expanded <= closure
+
+    def test_empty_seed(self):
+        frontiers = DominanceFrontiers(diamond())
+        assert frontiers.iterated_frontier(set()) == set()

@@ -1,0 +1,48 @@
+"""Tests for post-dominator trees."""
+
+from repro.cfg import ControlFlowGraph, PostDominatorTree
+
+
+def diamond() -> ControlFlowGraph:
+    return ControlFlowGraph.from_edges(
+        [(0, 1), (0, 2), (1, 3), (2, 3)], entry=0
+    )
+
+
+class TestPostDominance:
+    def test_join_post_dominates_branches(self):
+        pdom = PostDominatorTree(diamond())
+        assert pdom.post_dominates(3, 0)
+        assert pdom.post_dominates(3, 1)
+        assert pdom.strictly_post_dominates(3, 2)
+        assert not pdom.post_dominates(1, 0)
+
+    def test_post_dominance_is_reflexive(self):
+        pdom = PostDominatorTree(diamond())
+        for node in range(4):
+            assert pdom.post_dominates(node, node)
+            assert not pdom.strictly_post_dominates(node, node)
+
+    def test_immediate_post_dominator(self):
+        pdom = PostDominatorTree(diamond())
+        assert pdom.immediate_post_dominator(0) == 3
+        assert pdom.immediate_post_dominator(1) == 3
+        # The single exit's immediate post-dominator is the virtual exit.
+        assert pdom.immediate_post_dominator(3) is None
+
+    def test_multiple_exits(self):
+        graph = ControlFlowGraph.from_edges(
+            [(0, 1), (0, 2), (1, 3), (2, 4)], entry=0
+        )
+        pdom = PostDominatorTree(graph)
+        # With two exits nothing (except the virtual exit) post-dominates 0.
+        assert not pdom.post_dominates(3, 0)
+        assert not pdom.post_dominates(4, 0)
+        assert pdom.post_dominates(3, 1)
+
+    def test_infinite_loop_graph_is_handled(self):
+        graph = ControlFlowGraph.from_edges([(0, 1), (1, 0)], entry=0)
+        # No exit node at all: the virtual exit is attached to every node.
+        pdom = PostDominatorTree(graph)
+        assert pdom.post_dominates(0, 0)
+        assert pdom.immediate_post_dominator(1) in (None, 0)

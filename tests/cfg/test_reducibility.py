@@ -1,0 +1,101 @@
+"""Tests for the two reducibility characterisations."""
+
+import random
+
+from repro.cfg import ControlFlowGraph, is_reducible, is_reducible_by_intervals
+from repro.cfg.reducibility import irreducible_back_edges
+from repro.synth import random_irreducible_cfg, random_reducible_cfg
+from tests.conftest import build_figure3_cfg
+
+
+def classic_irreducible() -> ControlFlowGraph:
+    """The textbook two-entry loop: entry branches to both loop nodes."""
+    return ControlFlowGraph.from_edges(
+        [(0, 1), (0, 2), (1, 2), (2, 1)], entry=0
+    )
+
+
+class TestKnownGraphs:
+    def test_straight_line_is_reducible(self):
+        graph = ControlFlowGraph.from_edges([(0, 1), (1, 2)], entry=0)
+        assert is_reducible(graph)
+        assert is_reducible_by_intervals(graph)
+
+    def test_single_node(self):
+        graph = ControlFlowGraph(entry=0)
+        assert is_reducible(graph)
+        assert is_reducible_by_intervals(graph)
+
+    def test_natural_loop_is_reducible(self):
+        graph = ControlFlowGraph.from_edges(
+            [(0, 1), (1, 2), (2, 1), (2, 3)], entry=0
+        )
+        assert is_reducible(graph)
+        assert is_reducible_by_intervals(graph)
+
+    def test_self_loop_is_reducible(self):
+        graph = ControlFlowGraph.from_edges([(0, 1), (1, 1), (1, 2)], entry=0)
+        assert is_reducible(graph)
+        assert is_reducible_by_intervals(graph)
+
+    def test_two_entry_loop_is_irreducible(self):
+        graph = classic_irreducible()
+        assert not is_reducible(graph)
+        assert not is_reducible_by_intervals(graph)
+        assert irreducible_back_edges(graph)
+
+    def test_figure3_reconstruction_classification(self):
+        # The reconstruction of the paper's example contains the back edge
+        # (6, 5) whose target does not dominate its source (node 6 is also
+        # reachable through the 8-9 column via the cross edge), so the graph
+        # is irreducible — which makes it a useful stress case for the
+        # general multi-candidate query loop.
+        graph = build_figure3_cfg()
+        assert not is_reducible(graph)
+        assert not is_reducible_by_intervals(graph)
+        assert irreducible_back_edges(graph) == [(6, 5)]
+
+
+class TestGenerators:
+    def test_generator_reducible_graphs_are_reducible(self, rng):
+        for _ in range(30):
+            graph = random_reducible_cfg(rng, rng.randrange(1, 40))
+            assert is_reducible(graph)
+
+    def test_generator_irreducible_graphs_usually_irreducible(self, rng):
+        hits = 0
+        for _ in range(20):
+            graph = random_irreducible_cfg(rng, rng.randrange(6, 20))
+            if not is_reducible(graph):
+                hits += 1
+        assert hits >= 15  # the generator retries, so nearly all should be
+
+
+class TestCharacterisationsAgree:
+    def test_back_edge_and_interval_tests_agree(self, rng):
+        """The two independent definitions must coincide (guards the fast path)."""
+        for _ in range(60):
+            blocks = rng.randrange(2, 18)
+            if rng.random() < 0.5:
+                graph = random_reducible_cfg(rng, blocks)
+            else:
+                graph = random_irreducible_cfg(rng, max(blocks, 4))
+            assert is_reducible(graph) == is_reducible_by_intervals(graph)
+
+    def test_agreement_on_dense_random_digraphs(self):
+        """Stress the agreement on unstructured random graphs too."""
+        rng = random.Random(99)
+        for _ in range(40):
+            size = rng.randrange(2, 10)
+            graph = ControlFlowGraph(entry=0)
+            for node in range(size):
+                graph.add_node(node)
+            for _ in range(rng.randrange(1, size * 2 + 1)):
+                source = rng.randrange(size)
+                target = rng.randrange(1, size)
+                if source != target:
+                    graph.add_edge(source, target)
+            # keep only graphs whose every node is reachable
+            if graph.unreachable_nodes():
+                continue
+            assert is_reducible(graph) == is_reducible_by_intervals(graph)

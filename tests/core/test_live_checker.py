@@ -1,0 +1,167 @@
+"""Differential tests for the function-level FastLivenessChecker.
+
+This is the library's central correctness argument: on hand-written
+programs, front-end-generated programs and random SSA functions (reducible
+and irreducible), the checker must agree query-for-query with two
+independent conventional engines — the data-flow baseline and the
+path-exploration reference.
+"""
+
+import pytest
+
+from repro.core import FastLivenessChecker
+from repro.frontend import compile_source
+from repro.liveness import CountingOracle, DataflowLiveness, PathExplorationLiveness
+from repro.synth import random_ssa_function
+from tests.conftest import GCD_SOURCE, NESTED_SOURCE, SUM_LOOP_SOURCE
+
+
+def assert_engines_agree(function, subset=None):
+    checker = FastLivenessChecker(function)
+    dataflow = DataflowLiveness(function, variables=subset)
+    reference = PathExplorationLiveness(function)
+    for engine in (checker, dataflow, reference):
+        engine.prepare()
+    variables = subset if subset is not None else checker.live_variables()
+    blocks = list(function.blocks)
+    for var in variables:
+        for block in blocks:
+            expected_in = reference.is_live_in(var, block)
+            expected_out = reference.is_live_out(var, block)
+            assert checker.is_live_in(var, block) == expected_in, (var.name, block)
+            assert dataflow.is_live_in(var, block) == expected_in, (var.name, block)
+            assert checker.is_live_out(var, block) == expected_out, (var.name, block)
+            assert dataflow.is_live_out(var, block) == expected_out, (var.name, block)
+
+
+class TestHandWrittenPrograms:
+    @pytest.mark.parametrize(
+        "source", [GCD_SOURCE, SUM_LOOP_SOURCE, NESTED_SOURCE], ids=["gcd", "sum", "nested"]
+    )
+    def test_engines_agree(self, source):
+        function = list(compile_source(source))[0]
+        assert_engines_agree(function)
+
+    def test_loop_variable_liveness_in_sum(self, sum_function):
+        checker = FastLivenessChecker(sum_function)
+        checker.prepare()
+        # The φ-defined accumulator is live-in at the loop header's body and
+        # at the exit (it is returned), but not at the entry block.
+        header = next(
+            block.name for block in sum_function if block.phis()
+        )
+        phi_vars = [phi.result for phi in sum_function.block(header).phis()]
+        assert phi_vars
+        entry = sum_function.entry.name
+        for var in phi_vars:
+            assert not checker.is_live_in(var, entry)
+
+    def test_def_block_is_never_live_in(self, gcd_function):
+        checker = FastLivenessChecker(gcd_function)
+        for var in checker.live_variables():
+            def_block = checker.defuse.def_block(var)
+            assert not checker.is_live_in(var, def_block)
+
+    def test_live_out_matches_successor_live_in(self, nested_function):
+        """Definition 3 holds for the checker's own answers."""
+        checker = FastLivenessChecker(nested_function)
+        cfg = nested_function.build_cfg()
+        for var in checker.live_variables():
+            for block in nested_function.blocks:
+                expected = any(
+                    checker.is_live_in(var, succ) for succ in cfg.successors(block)
+                )
+                assert checker.is_live_out(var, block) == expected
+
+
+class TestRandomFunctions:
+    def test_engines_agree_on_random_reducible_functions(self, rng):
+        for _ in range(15):
+            function = random_ssa_function(
+                rng,
+                num_blocks=rng.randrange(3, 15),
+                num_variables=rng.randrange(2, 6),
+                allow_irreducible=False,
+            )
+            assert_engines_agree(function)
+
+    def test_engines_agree_on_random_irreducible_functions(self, rng):
+        for _ in range(15):
+            function = random_ssa_function(
+                rng,
+                num_blocks=rng.randrange(4, 15),
+                num_variables=rng.randrange(2, 6),
+                allow_irreducible=True,
+            )
+            assert_engines_agree(function)
+
+    def test_set_based_and_bitset_configurations_agree(self, rng):
+        for _ in range(8):
+            function = random_ssa_function(rng, num_blocks=10)
+            with_bitsets = FastLivenessChecker(function, use_bitsets=True)
+            without_bitsets = FastLivenessChecker(function, use_bitsets=False)
+            for var in with_bitsets.live_variables():
+                for block in function.blocks:
+                    assert with_bitsets.is_live_in(var, block) == without_bitsets.is_live_in(var, block)
+                    assert with_bitsets.is_live_out(var, block) == without_bitsets.is_live_out(var, block)
+
+    def test_propagate_strategy_agrees(self, rng):
+        for _ in range(8):
+            function = random_ssa_function(rng, num_blocks=12)
+            exact = FastLivenessChecker(function, strategy="exact")
+            propagate = FastLivenessChecker(function, strategy="propagate")
+            for var in exact.live_variables():
+                for block in function.blocks:
+                    assert exact.is_live_in(var, block) == propagate.is_live_in(var, block)
+
+
+class TestLiveSetsEnumeration:
+    def test_live_sets_match_dataflow_sets(self, nested_function):
+        checker = FastLivenessChecker(nested_function)
+        dataflow = DataflowLiveness(nested_function)
+        assert checker.live_sets() == dataflow.live_sets()
+
+    def test_live_sets_restricted_to_subset(self, gcd_function):
+        checker = FastLivenessChecker(gcd_function)
+        phis = [phi.result for phi in gcd_function.phis()]
+        restricted = checker.live_sets(variables=phis)
+        for block_vars in restricted.live_in.values():
+            assert block_vars <= set(phis)
+
+
+class TestOracleInterface:
+    def test_unknown_variable_raises_in_dataflow(self, gcd_function):
+        from repro.ir.value import Variable
+
+        dataflow = DataflowLiveness(gcd_function)
+        dataflow.prepare()
+        with pytest.raises(KeyError):
+            dataflow.is_live_in(Variable("ghost"), gcd_function.entry.name)
+
+    def test_counting_oracle_counts(self, gcd_function):
+        counter = CountingOracle(FastLivenessChecker(gcd_function))
+        counter.prepare()
+        var = counter.live_variables()[0]
+        counter.is_live_in(var, gcd_function.entry.name)
+        counter.is_live_out(var, gcd_function.entry.name)
+        counter.is_live_out(var, gcd_function.entry.name)
+        assert counter.live_in_queries == 1
+        assert counter.live_out_queries == 2
+        assert counter.total_queries == 3
+        assert counter.prepare_calls == 1
+        counter.reset_counters()
+        assert counter.total_queries == 0
+
+    def test_notify_instructions_changed_refreshes_defuse(self, sum_function):
+        checker = FastLivenessChecker(sum_function)
+        checker.prepare()
+        old_defuse = checker.defuse
+        checker.notify_instructions_changed()
+        assert checker.defuse is not old_defuse
+
+    def test_notify_cfg_changed_rebuilds_precomputation(self, sum_function):
+        checker = FastLivenessChecker(sum_function)
+        checker.prepare()
+        old_pre = checker.precomputation
+        checker.notify_cfg_changed()
+        assert checker.precomputation is not old_pre

@@ -1,0 +1,56 @@
+"""Tests for the mini-language lexer."""
+
+import pytest
+
+from repro.frontend import Token, TokenKind, tokenize
+from repro.frontend.lexer import LexerError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokenize:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifiers_numbers_keywords(self):
+        tokens = tokenize("func foo(x) { return x1 + 42; }")
+        assert tokens[0].kind is TokenKind.KEYWORD and tokens[0].text == "func"
+        assert tokens[1].kind is TokenKind.IDENT and tokens[1].text == "foo"
+        assert any(t.kind is TokenKind.NUMBER and t.text == "42" for t in tokens)
+
+    def test_multichar_operators_are_single_tokens(self):
+        assert texts("a == b != c <= d >= e && f || g") == [
+            "a", "==", "b", "!=", "c", "<=", "d", ">=", "e", "&&", "f", "||", "g",
+        ]
+
+    def test_maximal_munch_prefers_two_char_tokens(self):
+        assert texts("a<=b") == ["a", "<=", "b"]
+        assert texts("a < = b") == ["a", "<", "=", "b"]
+
+    def test_comments_are_skipped(self):
+        assert texts("a # comment\n b // another\n c") == ["a", "b", "c"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexerError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_underscore_identifiers(self):
+        tokens = tokenize("_private var_1")
+        assert tokens[0].text == "_private"
+        assert tokens[1].text == "var_1"
+
+    def test_token_repr(self):
+        assert "ident" in repr(Token(TokenKind.IDENT, "x", 1, 1))

@@ -1,0 +1,155 @@
+"""Tests for AST → IR lowering and the compile_source pipeline."""
+
+import pytest
+
+from repro.frontend import compile_function, compile_source, parse_program, lower_program
+from repro.frontend.lowering import PRINT_ADDRESS, LoweringError, lower_function
+from repro.cfg import is_reducible
+from repro.ir import verify_function, verify_ssa
+from repro.ir.interp import execute
+from tests.conftest import GCD_SOURCE, NESTED_SOURCE
+
+
+def lower_single(source):
+    program = parse_program(source)
+    return lower_function(program.functions[0])
+
+
+class TestLowering:
+    def test_straight_line(self):
+        function = lower_single("func f(a) { x = a + 1; return x; }")
+        verify_function(function)
+        assert len(function.blocks) == 1
+        assert execute(function, [4]).return_value == 5
+
+    def test_if_else_produces_diamond(self):
+        function = lower_single(
+            "func f(c) { if (c) { x = 1; } else { x = 2; } return x; }"
+        )
+        verify_function(function)
+        cfg = function.build_cfg()
+        assert len(function.blocks) == 4
+        assert max(len(cfg.predecessors(b)) for b in cfg.nodes()) == 2
+
+    def test_if_without_else(self):
+        function = lower_single("func f(c) { x = 1; if (c) { x = 2; } return x; }")
+        verify_function(function)
+        assert execute(function, [1]).return_value == 2
+        assert execute(function, [0]).return_value == 1
+
+    def test_while_loop_structure(self):
+        function = lower_single(
+            "func f(n) { i = 0; while (i < n) { i = i + 1; } return i; }"
+        )
+        verify_function(function)
+        assert execute(function, [5]).return_value == 5
+        cfg = function.build_cfg()
+        # entry, header, body, exit
+        assert len(cfg) == 4
+        assert is_reducible(cfg)
+
+    def test_do_while_executes_at_least_once(self):
+        function = lower_single(
+            "func f(n) { i = 0; do { i = i + 1; } while (i < n); return i; }"
+        )
+        assert execute(function, [0]).return_value == 1
+        assert execute(function, [3]).return_value == 3
+
+    def test_for_loop(self):
+        function = lower_single(
+            "func f(n) { s = 0; for (i = 0; i < n; i = i + 1) { s = s + i; } return s; }"
+        )
+        assert execute(function, [5]).return_value == 10
+
+    def test_break_and_continue(self):
+        source = """
+        func f(n) {
+            s = 0;
+            i = 0;
+            while (i < n) {
+                i = i + 1;
+                if (i == 3) { continue; }
+                if (i == 7) { break; }
+                s = s + i;
+            }
+            return s;
+        }
+        """
+        function = lower_single(source)
+        verify_function(function)
+        assert execute(function, [10]).return_value == 1 + 2 + 4 + 5 + 6
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(LoweringError, match="break"):
+            lower_single("func f() { break; return 0; }")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(LoweringError, match="continue"):
+            lower_single("func f() { continue; return 0; }")
+
+    def test_use_of_undefined_variable_rejected(self):
+        with pytest.raises(LoweringError, match="undefined variable"):
+            lower_single("func f() { return missing; }")
+
+    def test_dead_code_after_return_is_dropped(self):
+        function = lower_single("func f() { return 1; x = 2; return x; }")
+        verify_function(function)
+        assert execute(function, []).return_value == 1
+
+    def test_both_branches_return_leaves_no_dead_join(self):
+        function = lower_single(
+            "func f(c) { if (c) { return 1; } else { return 2; } }"
+        )
+        verify_function(function)
+        cfg = function.build_cfg()
+        assert not cfg.unreachable_nodes()
+
+    def test_implicit_return_zero(self):
+        function = lower_single("func f(a) { x = a; }")
+        assert execute(function, [9]).return_value == 0
+
+    def test_print_becomes_store_to_known_address(self):
+        function = lower_single("func f(a) { print(a); return 0; }")
+        trace = execute(function, [42])
+        assert trace.events == [("store", (PRINT_ADDRESS, 42))]
+
+    def test_short_circuit_and_or_create_control_flow(self):
+        function = lower_single("func f(a, b) { if (a > 0 && b > 0) { return 1; } return 0; }")
+        verify_function(function)
+        assert len(function.blocks) >= 4
+        assert execute(function, [1, 1]).return_value == 1
+        assert execute(function, [1, 0]).return_value == 0
+        assert execute(function, [0, 5]).return_value == 0
+
+    def test_short_circuit_or(self):
+        function = lower_single("func f(a, b) { if (a > 0 || b > 0) { return 1; } return 0; }")
+        assert execute(function, [0, 1]).return_value == 1
+        assert execute(function, [0, 0]).return_value == 0
+
+    def test_module_lowering(self):
+        module = lower_program(parse_program(GCD_SOURCE + NESTED_SOURCE))
+        assert len(module) == 2
+        for function in module:
+            verify_function(function)
+
+
+class TestCompilePipeline:
+    def test_compile_source_produces_verified_ssa(self):
+        module = compile_source(GCD_SOURCE + NESTED_SOURCE)
+        for function in module:
+            verify_ssa(function)
+
+    def test_compile_source_without_ssa(self):
+        module = compile_source(GCD_SOURCE, to_ssa=False)
+        function = list(module)[0]
+        # Pre-SSA code has no φs and (typically) repeated assignments.
+        assert function.phis() == []
+
+    def test_compile_function_requires_single_function(self):
+        with pytest.raises(ValueError):
+            compile_function(GCD_SOURCE + NESTED_SOURCE)
+        assert compile_function(GCD_SOURCE).name == "gcd"
+
+    def test_compiled_gcd_still_computes_gcd(self):
+        function = compile_function(GCD_SOURCE)
+        assert execute(function, [1071, 462]).return_value == 21

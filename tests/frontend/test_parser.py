@@ -1,0 +1,142 @@
+"""Tests for the mini-language parser."""
+
+import pytest
+
+from repro.frontend import ParseError, parse_program
+from repro.frontend import ast_nodes as ast
+
+
+def parse_single(source):
+    program = parse_program(source)
+    assert len(program.functions) == 1
+    return program.functions[0]
+
+
+class TestDeclarations:
+    def test_function_signature(self):
+        function = parse_single("func f(a, b, c) { return a; }")
+        assert function.name == "f"
+        assert function.params == ("a", "b", "c")
+
+    def test_no_parameters(self):
+        function = parse_single("func f() { return 1; }")
+        assert function.params == ()
+
+    def test_multiple_functions(self):
+        program = parse_program("func f() { return 1; } func g() { return 2; }")
+        assert [f.name for f in program.functions] == ["f", "g"]
+
+    def test_empty_program(self):
+        assert parse_program("").functions == ()
+
+
+class TestStatements:
+    def test_assignment_and_return(self):
+        function = parse_single("func f(a) { x = a + 1; return x; }")
+        assign, ret = function.body.statements
+        assert isinstance(assign, ast.Assignment) and assign.name == "x"
+        assert isinstance(ret, ast.ReturnStatement)
+
+    def test_return_without_value(self):
+        function = parse_single("func f() { return; }")
+        assert function.body.statements[0].value is None
+
+    def test_if_else(self):
+        function = parse_single("func f(c) { if (c) { x = 1; } else { x = 2; } return x; }")
+        if_statement = function.body.statements[0]
+        assert isinstance(if_statement, ast.IfStatement)
+        assert if_statement.else_block is not None
+
+    def test_if_with_single_statement_body(self):
+        function = parse_single("func f(c) { if (c) x = 1; return 0; }")
+        if_statement = function.body.statements[0]
+        assert isinstance(if_statement.then_block, ast.Block)
+        assert len(if_statement.then_block.statements) == 1
+
+    def test_while_and_dowhile(self):
+        function = parse_single(
+            "func f(n) { while (n > 0) { n = n - 1; } do { n = n + 1; } while (n < 3); return n; }"
+        )
+        loop, do_loop, _ = function.body.statements
+        assert isinstance(loop, ast.WhileStatement)
+        assert isinstance(do_loop, ast.DoWhileStatement)
+
+    def test_for_loop_full_and_empty_parts(self):
+        function = parse_single(
+            "func f(n) { for (i = 0; i < n; i = i + 1) { n = n; } for (;;) { break; } return 0; }"
+        )
+        full, empty, _ = function.body.statements
+        assert isinstance(full, ast.ForStatement)
+        assert isinstance(full.init, ast.Assignment)
+        assert empty.init is None and empty.condition is None and empty.step is None
+
+    def test_break_continue_print(self):
+        function = parse_single(
+            "func f(n) { while (n) { if (n == 2) { break; } if (n == 3) { continue; } print(n); n = n - 1; } return 0; }"
+        )
+        loop = function.body.statements[0]
+        kinds = [type(s) for s in loop.body.statements]
+        assert ast.IfStatement in kinds and ast.PrintStatement in kinds
+
+    def test_bare_call_statement(self):
+        function = parse_single("func f() { helper(1, 2); return 0; }")
+        statement = function.body.statements[0]
+        assert isinstance(statement, ast.ExpressionStatement)
+        assert isinstance(statement.value, ast.CallExpr)
+
+
+class TestExpressions:
+    def test_precedence_of_arithmetic(self):
+        function = parse_single("func f(a, b) { return a + b * 2; }")
+        expr = function.body.statements[0].value
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        function = parse_single("func f(a, b) { return (a + b) * 2; }")
+        expr = function.body.statements[0].value
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        expr = parse_single("func f(a) { return a + 1 < a * 2; }").body.statements[0].value
+        assert expr.op == "<"
+
+    def test_logical_operators_bind_loosest(self):
+        expr = parse_single("func f(a, b) { return a < 1 && b > 2 || a == b; }").body.statements[0].value
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_unary_operators(self):
+        expr = parse_single("func f(a) { return -a + !a; }").body.statements[0].value
+        assert isinstance(expr.left, ast.UnaryOp) and expr.left.op == "-"
+        assert isinstance(expr.right, ast.UnaryOp) and expr.right.op == "!"
+
+    def test_call_with_arguments(self):
+        expr = parse_single("func f(a) { return g(a, 1 + 2, h()); }").body.statements[0].value
+        assert isinstance(expr, ast.CallExpr)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[2], ast.CallExpr)
+
+    def test_number_literal(self):
+        expr = parse_single("func f() { return 12345; }").body.statements[0].value
+        assert expr == ast.NumberLiteral(12345)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "func f( { return 1; }",
+            "func f() { return 1 }",
+            "func f() { if c { return 1; } }",
+            "func f() { x = ; }",
+            "func f() { 3 = x; }",
+            "func () { return 1; }",
+            "f() { return 1; }",
+            "func f() { while (1) { } ",
+        ],
+    )
+    def test_malformed_programs_raise(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)

@@ -1,0 +1,166 @@
+"""Tests for Function, Module and FunctionBuilder."""
+
+import pytest
+
+from repro.ir import Function, FunctionBuilder, Module
+from repro.ir.instruction import Opcode
+from repro.ir.value import Constant
+
+
+def build_branchy() -> FunctionBuilder:
+    builder = FunctionBuilder("f", parameters=["a", "b"])
+    entry = builder.function.block("entry")
+    then_block = builder.add_block("then")
+    else_block = builder.add_block("else")
+    join = builder.add_block("join")
+    builder.set_insertion_point(entry)
+    cond = builder.binop("cmplt", builder.function.parameters[0], builder.function.parameters[1])
+    builder.branch(cond, then_block, else_block)
+    builder.set_insertion_point(then_block)
+    t = builder.const(1)
+    builder.jump(join)
+    builder.set_insertion_point(else_block)
+    e = builder.const(2)
+    builder.jump(join)
+    builder.set_insertion_point(join)
+    result = builder.phi([("then", t), ("else", e)])
+    builder.ret(result)
+    return builder
+
+
+class TestFunction:
+    def test_entry_is_first_block(self):
+        function = build_branchy().function
+        assert function.entry.name == "entry"
+
+    def test_entry_of_empty_function_raises(self):
+        with pytest.raises(ValueError):
+            Function("empty").entry
+
+    def test_duplicate_block_rejected(self):
+        function = build_branchy().function
+        with pytest.raises(ValueError):
+            function.add_block("entry")
+
+    def test_build_cfg_matches_terminators(self):
+        function = build_branchy().function
+        cfg = function.build_cfg()
+        assert cfg.entry == "entry"
+        assert set(cfg.successors("entry")) == {"then", "else"}
+        assert cfg.successors("join") == []
+        assert set(function.predecessors("join")) == {"then", "else"}
+
+    def test_variables_listed_once_params_first(self):
+        function = build_branchy().function
+        names = [v.name for v in function.variables()]
+        assert names[:2] == ["a", "b"]
+        assert len(names) == len(set(names))
+
+    def test_variable_by_name(self):
+        function = build_branchy().function
+        assert function.variable_by_name("a").name == "a"
+        with pytest.raises(KeyError):
+            function.variable_by_name("zzz")
+
+    def test_phis_listing(self):
+        function = build_branchy().function
+        assert len(function.phis()) == 1
+
+    def test_len_iter_contains_repr(self):
+        function = build_branchy().function
+        assert len(function) == 4
+        assert "join" in function
+        assert [b.name for b in function][0] == "entry"
+        assert "blocks=4" in repr(function)
+
+    def test_remove_block(self):
+        function = Function("g")
+        function.add_block("a")
+        function.add_block("b")
+        function.remove_block("b")
+        assert "b" not in function
+
+
+class TestCriticalEdgeSplitting:
+    def test_critical_edge_is_split(self):
+        builder = FunctionBuilder("f", parameters=["p"])
+        entry = builder.function.block("entry")
+        left = builder.add_block("left")
+        join = builder.add_block("join")
+        builder.set_insertion_point(entry)
+        # entry has two successors; join has two predecessors: entry->join
+        # is a critical edge.
+        builder.branch(builder.function.parameters[0], left, join)
+        builder.set_insertion_point(left)
+        builder.jump(join)
+        builder.set_insertion_point(join)
+        phi = builder.phi([("entry", Constant(1)), ("left", Constant(2))])
+        builder.ret(phi)
+
+        created = builder.function.split_critical_edges()
+        assert len(created) == 1
+        new_block = builder.function.block(created[0])
+        assert new_block.terminator().targets == ["join"]
+        # The φ now refers to the forwarding block instead of the old pred.
+        phi_inst = builder.function.block("join").phis()[0]
+        assert created[0] in phi_inst.incoming
+        assert "entry" not in phi_inst.incoming
+        # The resulting function has no critical edges left.
+        assert builder.function.split_critical_edges() == []
+
+    def test_no_split_needed(self):
+        function = build_branchy().function
+        assert function.split_critical_edges() == []
+
+
+class TestBuilder:
+    def test_fresh_variables_are_unique(self):
+        builder = FunctionBuilder("f")
+        builder.add_block("entry")
+        builder.set_insertion_point("entry")
+        names = {builder.fresh_variable().name for _ in range(50)}
+        assert len(names) == 50
+
+    def test_emitting_without_insertion_point_raises(self):
+        builder = FunctionBuilder("f")
+        with pytest.raises(ValueError):
+            builder.const(1)
+
+    def test_every_emitter_produces_expected_opcode(self):
+        builder = FunctionBuilder("f", parameters=["p"])
+        builder.set_insertion_point("entry")
+        param = builder.function.parameters[0]
+        assert builder.const(1).definition.opcode == Opcode.CONST
+        assert builder.copy(param).definition.opcode == Opcode.COPY
+        assert builder.unop("neg", param).definition.opcode == Opcode.UNOP
+        assert builder.binop("add", param, param).definition.opcode == Opcode.BINOP
+        assert builder.call("callee", [param]).definition.opcode == Opcode.CALL
+        assert builder.load(param).definition.opcode == Opcode.LOAD
+        assert builder.store(param, param).opcode == Opcode.STORE
+        assert builder.ret(param).opcode == Opcode.RETURN
+
+    def test_auto_named_blocks(self):
+        builder = FunctionBuilder("f")
+        first = builder.add_block()
+        second = builder.add_block()
+        assert first.name != second.name
+
+
+class TestModule:
+    def test_add_and_lookup(self):
+        module = Module("m")
+        function = Function("f")
+        module.add_function(function)
+        assert module.function("f") is function
+        assert "f" in module
+        assert len(module) == 1
+        assert list(module) == [function]
+
+    def test_duplicate_function_rejected(self):
+        module = Module("m")
+        module.add_function(Function("f"))
+        with pytest.raises(ValueError):
+            module.add_function(Function("f"))
+
+    def test_repr(self):
+        assert "functions=0" in repr(Module("m"))

@@ -1,0 +1,156 @@
+"""Tests for instructions, φ-functions and blocks."""
+
+import pytest
+
+from repro.ir import BasicBlock, Constant, Instruction, Opcode, Phi, Undef, Variable
+
+
+class TestInstructionShape:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("frobnicate")
+
+    def test_jump_needs_one_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JUMP, targets=[])
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JUMP, targets=["a", "b"])
+
+    def test_branch_needs_two_targets(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BRANCH, targets=["only"])
+
+    def test_return_takes_no_targets(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.RETURN, targets=["a"])
+
+    def test_terminators_define_nothing(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JUMP, result=Variable("x"), targets=["a"])
+
+    def test_store_defines_nothing(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.STORE, result=Variable("x"), operands=[Constant(0), Constant(1)])
+
+    def test_result_definition_backlink(self):
+        var = Variable("x")
+        inst = Instruction(Opcode.CONST, result=var, operands=[Constant(1)])
+        assert var.definition is inst
+
+    def test_classification_helpers(self):
+        jump = Instruction(Opcode.JUMP, targets=["a"])
+        assert jump.is_terminator() and not jump.is_phi()
+        phi = Phi(Variable("x"), {"p": Constant(1)})
+        assert phi.is_phi() and not phi.is_terminator()
+
+    def test_used_and_defined_variables(self):
+        a, b, c = Variable("a"), Variable("b"), Variable("c")
+        inst = Instruction(Opcode.BINOP, result=c, operands=[a, b, Constant(1)], detail="add")
+        assert inst.used_variables() == [a, b]
+        assert inst.defined_variable() is c
+
+    def test_replace_uses(self):
+        a, b = Variable("a"), Variable("b")
+        inst = Instruction(Opcode.BINOP, result=Variable("c"), operands=[a, a], detail="add")
+        assert inst.replace_uses(a, b) == 2
+        assert inst.operands == [b, b]
+        assert inst.replace_uses(a, b) == 0
+
+
+class TestPhi:
+    def test_incoming_accessors(self):
+        x1, x2 = Variable("x1"), Variable("x2")
+        phi = Phi(Variable("x3"), [("left", x1), ("right", x2)])
+        assert phi.incoming_value("left") is x1
+        assert phi.used_variables() == [x1, x2]
+
+    def test_set_incoming_updates_operands(self):
+        phi = Phi(Variable("x"), {"p": Constant(1)})
+        phi.set_incoming("q", Constant(2))
+        assert len(phi.operands) == 2
+
+    def test_replace_uses_in_phi(self):
+        old, new = Variable("old"), Variable("new")
+        phi = Phi(Variable("x"), {"p": old, "q": Undef()})
+        assert phi.replace_uses(old, new) == 1
+        assert phi.incoming_value("p") is new
+
+    def test_rename_predecessor(self):
+        phi = Phi(Variable("x"), {"p": Constant(1)})
+        phi.rename_predecessor("p", "p2")
+        assert "p2" in phi.incoming and "p" not in phi.incoming
+        with pytest.raises(KeyError):
+            phi.rename_predecessor("missing", "other")
+
+
+class TestBasicBlock:
+    def make_block(self) -> BasicBlock:
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.CONST, result=Variable("x"), operands=[Constant(1)]))
+        block.append(Instruction(Opcode.JUMP, targets=["next"]))
+        return block
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            BasicBlock("")
+
+    def test_append_phi_goes_to_front_region(self):
+        block = self.make_block()
+        phi = Phi(Variable("p"), {"pred": Constant(0)})
+        block.append(phi)
+        assert block.instructions[0] is phi
+        assert block.phis() == [phi]
+        assert phi.block is block
+
+    def test_terminator_and_successors(self):
+        block = self.make_block()
+        assert block.terminator().opcode == Opcode.JUMP
+        assert block.successors() == ["next"]
+
+    def test_branch_with_same_targets_is_one_successor(self):
+        block = BasicBlock("b")
+        block.append(
+            Instruction(Opcode.BRANCH, operands=[Variable("c")], targets=["x", "x"])
+        )
+        assert block.successors() == ["x"]
+
+    def test_return_has_no_successors(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.RETURN))
+        assert block.successors() == []
+
+    def test_block_without_terminator(self):
+        block = BasicBlock("b")
+        assert block.terminator() is None
+        assert block.successors() == []
+
+    def test_insert_before_terminator(self):
+        block = self.make_block()
+        copy = Instruction(Opcode.COPY, result=Variable("y"), operands=[Constant(2)])
+        block.insert_before_terminator(copy)
+        assert block.instructions[-1].opcode == Opcode.JUMP
+        assert block.instructions[-2] is copy
+
+    def test_remove(self):
+        block = self.make_block()
+        inst = block.instructions[0]
+        block.remove(inst)
+        assert inst.block is None
+        assert len(block) == 1
+
+    def test_defined_and_used_variables(self):
+        a = Variable("a")
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.COPY, result=Variable("x"), operands=[a]))
+        block.append(Phi(Variable("p"), {"pred": a}))
+        block.append(Instruction(Opcode.RETURN, operands=[a]))
+        # The φ is hoisted into the block's φ prefix, so it comes first.
+        assert [v.name for v in block.defined_variables()] == ["p", "x"]
+        # φ uses are attributed to predecessors, so only the copy and the
+        # return count here.
+        assert block.used_variables() == [a, a]
+
+    def test_non_phi_instructions(self):
+        block = self.make_block()
+        block.append(Phi(Variable("p"), {"pred": Constant(0)}))
+        assert len(block.non_phi_instructions()) == 2

@@ -1,0 +1,116 @@
+"""Tests for the reference interpreter."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import parse_function
+from repro.ir.interp import ExecutionTrace, InterpreterError, execute
+from tests.conftest import GCD_SOURCE, NESTED_SOURCE
+
+
+class TestArithmetic:
+    def test_gcd(self):
+        function = list(compile_source(GCD_SOURCE))[0]
+        assert execute(function, [54, 24]).return_value == 6
+        assert execute(function, [7, 13]).return_value == 1
+        assert execute(function, [0, 5]).return_value == 5
+
+    def test_division_semantics_truncate_toward_zero(self):
+        function = list(
+            compile_source("func d(a, b) { return a / b; }")
+        )[0]
+        assert execute(function, [7, 2]).return_value == 3
+        assert execute(function, [-7, 2]).return_value == -3
+        assert execute(function, [7, -2]).return_value == -3
+        assert execute(function, [5, 0]).return_value == 0
+
+    def test_modulo(self):
+        function = list(compile_source("func m(a, b) { return a % b; }"))[0]
+        assert execute(function, [7, 3]).return_value == 1
+        assert execute(function, [-7, 3]).return_value == -1
+        assert execute(function, [7, 0]).return_value == 0
+
+    def test_comparisons_and_logic(self):
+        source = """
+        func f(a, b) {
+            if (a < b && b != 0) { return 1; }
+            if (a >= b || a == 5) { return 2; }
+            return 3;
+        }
+        """
+        function = list(compile_source(source))[0]
+        assert execute(function, [1, 2]).return_value == 1
+        assert execute(function, [4, 2]).return_value == 2
+
+    def test_unary_operators(self):
+        function = list(compile_source("func f(a) { return -a + !a; }"))[0]
+        assert execute(function, [3]).return_value == -3
+        assert execute(function, [0]).return_value == 1
+
+    def test_wrapping_is_64_bit(self):
+        function = list(compile_source("func f(a) { return a * a; }"))[0]
+        value = execute(function, [2**40]).return_value
+        assert -(2**63) <= value < 2**63
+
+
+class TestControlFlowAndEvents:
+    def test_missing_arguments_default_to_zero(self):
+        function = list(compile_source("func f(a, b) { return a + b; }"))[0]
+        assert execute(function, [5]).return_value == 5
+
+    def test_nested_loops(self):
+        function = list(compile_source(NESTED_SOURCE))[0]
+        assert execute(function, [3, 4]).return_value == sum(
+            (j if j % 2 == 0 else -1) for _ in range(3) for j in range(4)
+        )
+
+    def test_print_produces_store_events(self):
+        source = "func f(a) { print(a); print(a + 1); return 0; }"
+        function = list(compile_source(source))[0]
+        trace = execute(function, [9])
+        assert [event for event, _ in trace.events] == ["store", "store"]
+        assert trace.events[0][1] == (1, 9)
+        assert trace.events[1][1] == (1, 10)
+
+    def test_calls_are_deterministic_events(self):
+        source = "func f(a) { x = helper(a, 2); y = helper(a, 2); return x - y; }"
+        function = list(compile_source(source))[0]
+        trace = execute(function, [3])
+        assert trace.return_value == 0
+        assert len([e for e, _ in trace.events if e == "call"]) == 2
+        assert trace.events[0] == trace.events[1]
+
+    def test_blocks_are_recorded_but_not_observable(self):
+        function = list(compile_source(GCD_SOURCE))[0]
+        trace = execute(function, [4, 2])
+        assert trace.blocks[0] == "entry"
+        assert trace.observable()[0] == 2
+
+    def test_step_limit(self):
+        function = parse_function(
+            "function f() {\nentry:\n  jump spin\nspin:\n  jump spin\n}"
+        )
+        with pytest.raises(InterpreterError, match="steps"):
+            execute(function, max_steps=100)
+
+    def test_missing_terminator_raises(self):
+        function = parse_function("function f() {\nentry:\n  x = const 1\n  return x\n}")
+        function.entry.instructions.pop()  # drop the return
+        with pytest.raises(InterpreterError, match="terminator"):
+            execute(function)
+
+    def test_phi_in_entry_rejected(self):
+        function = parse_function(
+            "function f() {\nentry:\n  return 0\n}"
+        )
+        from repro.ir import Phi, Variable
+        from repro.ir.value import Constant
+
+        function.entry.insert(0, Phi(Variable("p"), {"entry": Constant(1)}))
+        with pytest.raises(InterpreterError, match="entry"):
+            execute(function)
+
+    def test_trace_default_state(self):
+        trace = ExecutionTrace()
+        assert trace.return_value is None
+        assert trace.observable() == (None, ())

@@ -1,0 +1,138 @@
+"""Round-trip tests for the textual IR syntax."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import parse_function, parse_module, print_function, print_module
+from repro.ir.parser import IRParseError
+from repro.ir.printer import format_instruction, format_value
+from repro.ir.value import Constant, Undef, Variable
+from repro.ssa.defuse import DefUseChains
+from repro.synth import random_ssa_function
+from tests.conftest import GCD_SOURCE, NESTED_SOURCE
+
+EXAMPLE = """
+function f(a, b) {
+entry:
+  t0 = const 1
+  t1 = binop.add a, t0
+  branch t1, loop, exit
+loop:
+  x = phi [t1 : entry] [y : loop]
+  y = binop.add x, t0
+  branch y, loop, exit
+exit:
+  r = phi [t1 : entry] [y : loop]
+  return r
+}
+"""
+
+
+class TestParsing:
+    def test_parse_basic_structure(self):
+        function = parse_function(EXAMPLE)
+        assert function.name == "f"
+        assert [p.name for p in function.parameters] == ["a", "b"]
+        assert list(function.blocks) == ["entry", "loop", "exit"]
+        assert len(function.block("loop").phis()) == 1
+
+    def test_parse_module_with_two_functions(self):
+        text = EXAMPLE + "\nfunction g() {\nentry:\n  return 0\n}\n"
+        module = parse_module(text)
+        assert len(module) == 2
+        assert "g" in module
+
+    def test_parse_undef_and_negative_constants(self):
+        function = parse_function(
+            "function f() {\nentry:\n  x = copy undef\n  y = const -5\n  return y\n}"
+        )
+        instructions = function.entry.instructions
+        assert isinstance(instructions[0].operands[0], Undef)
+        assert instructions[1].operands[0] == Constant(-5)
+
+    def test_store_and_call(self):
+        function = parse_function(
+            "function f(p) {\nentry:\n  x = call.ext p, 3\n  store 1, x\n  return\n}"
+        )
+        call = function.entry.instructions[1]
+        assert call.detail == "ext" and len(call.operands) == 2
+        store = function.entry.instructions[2]
+        assert store.opcode == "store"
+
+    def test_comments_and_blank_lines_ignored(self):
+        function = parse_function(
+            "# leading comment\nfunction f() {\n\nentry:  \n  x = const 1  # trailing\n  return x\n}"
+        )
+        assert len(function.entry.instructions) == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "function f() {\nentry:\n  x = frobnicate y\n}",
+            "function f() {\nentry:\n  branch x, only_one\n}",
+            "function f() {\n  x = const 1\n}",
+            "function f() {\nentry:\n  return 1\n",
+            "entry:\n  return 1\n",
+            "function f() {\nentry:\n  x = phi\n  return x\n}",
+        ],
+        ids=["unknown-op", "bad-branch", "no-block", "unclosed", "no-function", "empty-phi"],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(IRParseError):
+            parse_function(bad)
+
+    def test_parse_function_rejects_multiple(self):
+        with pytest.raises(IRParseError):
+            parse_function(EXAMPLE + EXAMPLE)
+
+
+class TestRoundTrip:
+    def assert_roundtrip(self, function):
+        text = print_function(function)
+        reparsed = parse_function(text)
+        assert print_function(reparsed) == text
+        # Block structure and def–use shape survive.
+        assert list(reparsed.blocks) == list(function.blocks)
+        original_chains = DefUseChains(function)
+        reparsed_chains = DefUseChains(reparsed)
+        original_map = {
+            v.name: (original_chains.def_block(v), sorted(original_chains.uses(v)))
+            for v in original_chains.variables()
+        }
+        reparsed_map = {
+            v.name: (reparsed_chains.def_block(v), sorted(reparsed_chains.uses(v)))
+            for v in reparsed_chains.variables()
+        }
+        assert original_map == reparsed_map
+
+    def test_example_roundtrip(self):
+        self.assert_roundtrip(parse_function(EXAMPLE))
+
+    @pytest.mark.parametrize("source", [GCD_SOURCE, NESTED_SOURCE], ids=["gcd", "nested"])
+    def test_compiled_programs_roundtrip(self, source):
+        function = list(compile_source(source))[0]
+        self.assert_roundtrip(function)
+
+    def test_random_functions_roundtrip(self, rng):
+        for _ in range(10):
+            self.assert_roundtrip(random_ssa_function(rng, num_blocks=8))
+
+    def test_print_module(self):
+        module = compile_source(GCD_SOURCE + "\n" + NESTED_SOURCE)
+        text = print_module(module)
+        assert text.count("function ") == 2
+        assert len(parse_module(text)) == 2
+
+
+class TestFormatting:
+    def test_format_value_types(self):
+        assert format_value(Variable("x")) == "x"
+        assert format_value(Constant(3)) == "3"
+        assert format_value(Undef()) == "undef"
+        with pytest.raises(TypeError):
+            format_value(object())
+
+    def test_instruction_str_uses_formatter(self):
+        function = parse_function(EXAMPLE)
+        inst = function.entry.instructions[-1]
+        assert str(inst) == format_instruction(inst)

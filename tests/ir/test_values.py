@@ -1,0 +1,48 @@
+"""Tests for IR values."""
+
+import pytest
+
+from repro.ir import Constant, Undef, Variable
+
+
+class TestVariable:
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_identity_semantics(self):
+        assert Variable("x") is not Variable("x")
+        a = Variable("x")
+        assert a == a
+
+    def test_is_variable(self):
+        assert Variable("x").is_variable()
+        assert not Constant(3).is_variable()
+        assert not Undef().is_variable()
+
+    def test_with_version(self):
+        assert Variable("x").with_version(3).name == "x.3"
+
+    def test_base_name_strips_version_suffix(self):
+        assert Variable("x.12").base_name == "x"
+        assert Variable("x").base_name == "x"
+        assert Variable("x.y").base_name == "x.y"  # non-numeric suffix kept
+        assert Variable("s.web1").base_name == "s.web1"
+
+    def test_str_and_repr(self):
+        assert str(Variable("foo")) == "foo"
+        assert "foo" in repr(Variable("foo"))
+
+
+class TestConstantAndUndef:
+    def test_constant_equality_by_value(self):
+        assert Constant(3) == Constant(3)
+        assert Constant(3) != Constant(4)
+        assert hash(Constant(3)) == hash(Constant(3))
+
+    def test_undef_equality(self):
+        assert Undef() == Undef()
+        assert str(Undef()) == "undef"
+
+    def test_constant_str(self):
+        assert str(Constant(-7)) == "-7"

@@ -1,0 +1,197 @@
+"""Tests for the IR / strict-SSA verifier."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import (
+    Constant,
+    FunctionBuilder,
+    IRVerificationError,
+    Instruction,
+    Phi,
+    Variable,
+    parse_function,
+    verify_function,
+    verify_ssa,
+)
+from repro.ir.instruction import Opcode
+from repro.synth import random_ssa_function
+from tests.conftest import GCD_SOURCE, NESTED_SOURCE
+
+
+def valid_loop_function():
+    return parse_function(
+        """
+        function f(n) {
+        entry:
+          zero = const 0
+          jump header
+        header:
+          i = phi [zero : entry] [next : header]
+          next = binop.add i, n
+          cond = binop.cmplt next, n
+          branch cond, header, exit
+        exit:
+          return i
+        }
+        """
+    )
+
+
+class TestStructuralChecks:
+    def test_valid_function_passes(self):
+        verify_function(valid_loop_function())
+        verify_ssa(valid_loop_function())
+
+    def test_empty_function_rejected(self):
+        from repro.ir import Function
+
+        with pytest.raises(IRVerificationError, match="no blocks"):
+            verify_function(Function("empty"))
+
+    def test_missing_terminator_rejected(self):
+        builder = FunctionBuilder("f")
+        builder.add_block("entry")
+        builder.set_insertion_point("entry")
+        builder.const(1)
+        with pytest.raises(IRVerificationError, match="terminator"):
+            verify_function(builder.function)
+
+    def test_branch_to_unknown_block_rejected(self):
+        builder = FunctionBuilder("f")
+        builder.add_block("entry")
+        builder.set_insertion_point("entry")
+        builder.jump("nowhere")
+        with pytest.raises(IRVerificationError, match="unknown block"):
+            verify_function(builder.function)
+
+    def test_unreachable_block_rejected(self):
+        function = valid_loop_function()
+        island = function.add_block("island")
+        island.append(Instruction(Opcode.RETURN))
+        with pytest.raises(IRVerificationError, match="unreachable"):
+            verify_function(function)
+
+    def test_terminator_in_middle_rejected(self):
+        function = valid_loop_function()
+        entry = function.entry
+        entry.insert(0, Instruction(Opcode.RETURN))
+        with pytest.raises(IRVerificationError, match="middle"):
+            verify_function(function)
+
+    def test_phi_after_non_phi_rejected(self):
+        function = valid_loop_function()
+        header = function.block("header")
+        late_phi = Phi(Variable("late"), {"entry": Constant(0), "header": Constant(1)})
+        # Force the φ after an ordinary instruction, bypassing append's
+        # φ-prefix handling.
+        header.instructions.insert(3, late_phi)
+        late_phi.block = header
+        with pytest.raises(IRVerificationError, match="phi after non-phi"):
+            verify_function(function)
+
+    def test_phi_predecessor_mismatch_rejected(self):
+        function = valid_loop_function()
+        phi = function.block("header").phis()[0]
+        phi.rename_predecessor("entry", "exit")
+        with pytest.raises(IRVerificationError, match="predecessors"):
+            verify_function(function)
+
+
+class TestSSAChecks:
+    def test_double_definition_rejected(self):
+        function = valid_loop_function()
+        zero = function.variable_by_name("zero")
+        function.block("exit").insert(
+            0, Instruction(Opcode.CONST, result=zero, operands=[Constant(5)])
+        )
+        with pytest.raises(IRVerificationError, match="more than once"):
+            verify_ssa(function)
+
+    def test_duplicate_names_rejected(self):
+        function = valid_loop_function()
+        clash = Variable("zero")
+        function.block("exit").insert(
+            0, Instruction(Opcode.CONST, result=clash, operands=[Constant(5)])
+        )
+        with pytest.raises(IRVerificationError, match="share the name"):
+            verify_ssa(function)
+
+    def test_use_not_dominated_by_definition_rejected(self):
+        function = parse_function(
+            """
+            function f(p) {
+            entry:
+              branch p, left, right
+            left:
+              x = const 1
+              jump join
+            right:
+              jump join
+            join:
+              y = binop.add x, p
+              return y
+            }
+            """
+        )
+        with pytest.raises(IRVerificationError, match="not dominated"):
+            verify_ssa(function)
+
+    def test_use_before_definition_in_block_rejected(self):
+        function = parse_function(
+            """
+            function f(p) {
+            entry:
+              y = binop.add x, p
+              x = const 1
+              return y
+            }
+            """
+        )
+        with pytest.raises(IRVerificationError, match="before its definition"):
+            verify_ssa(function)
+
+    def test_phi_operand_must_be_dominated_at_predecessor(self):
+        function = parse_function(
+            """
+            function f(p) {
+            entry:
+              branch p, left, join
+            left:
+              x = const 1
+              jump join
+            join:
+              m = phi [x : left] [p : entry]
+              return m
+            }
+            """
+        )
+        # Valid: x's definition dominates the predecessor "left".
+        verify_ssa(function)
+        # Swap the operands so x flows in from "entry", which x does not dominate.
+        phi = function.block("join").phis()[0]
+        x = function.variable_by_name("x")
+        phi.set_incoming("entry", x)
+        phi.set_incoming("left", Constant(0))
+        with pytest.raises(IRVerificationError, match="does not\n?.*dominate|dominate"):
+            verify_ssa(function)
+
+    def test_use_without_definition_rejected(self):
+        function = valid_loop_function()
+        ghost = Variable("ghost")
+        function.block("exit").insert(
+            0, Instruction(Opcode.STORE, operands=[Constant(1), ghost])
+        )
+        with pytest.raises(IRVerificationError):
+            verify_ssa(function)
+
+
+class TestWholePipelinePrograms:
+    @pytest.mark.parametrize("source", [GCD_SOURCE, NESTED_SOURCE], ids=["gcd", "nested"])
+    def test_frontend_output_is_strict_ssa(self, source):
+        for function in compile_source(source, verify=False):
+            verify_ssa(function)
+
+    def test_random_functions_are_strict_ssa(self, rng):
+        for _ in range(10):
+            verify_ssa(random_ssa_function(rng, num_blocks=10))

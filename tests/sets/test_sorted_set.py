@@ -1,0 +1,67 @@
+"""Tests for the sorted-array set used by the data-flow baseline."""
+
+from hypothesis import given, strategies as st
+
+from repro.sets import SortedArraySet
+
+
+class TestSortedArraySet:
+    def test_construction_deduplicates_and_sorts(self):
+        sorted_set = SortedArraySet([3, 1, 3, 2])
+        assert sorted_set.as_list() == [1, 2, 3]
+        assert len(sorted_set) == 3
+
+    def test_membership_uses_binary_search(self):
+        sorted_set = SortedArraySet(range(0, 100, 2))
+        assert 42 in sorted_set
+        assert 43 not in sorted_set
+
+    def test_add_returns_whether_it_grew(self):
+        sorted_set = SortedArraySet([1])
+        assert sorted_set.add(2) is True
+        assert sorted_set.add(2) is False
+        assert sorted_set.as_list() == [1, 2]
+
+    def test_update_reports_growth(self):
+        sorted_set = SortedArraySet([1, 2])
+        assert sorted_set.update([2, 3]) is True
+        assert sorted_set.update([1, 2, 3]) is False
+
+    def test_discard(self):
+        sorted_set = SortedArraySet([1, 2])
+        assert sorted_set.discard(1) is True
+        assert sorted_set.discard(1) is False
+        assert sorted_set.as_list() == [2]
+
+    def test_copy_independent(self):
+        original = SortedArraySet([1])
+        clone = original.copy()
+        clone.add(9)
+        assert 9 not in original
+
+    def test_clear_and_bool(self):
+        sorted_set = SortedArraySet([1])
+        assert sorted_set
+        sorted_set.clear()
+        assert not sorted_set
+
+    def test_equality_with_set_and_other(self):
+        assert SortedArraySet([1, 2]) == {1, 2}
+        assert SortedArraySet([1, 2]) == SortedArraySet([2, 1])
+        assert SortedArraySet([1]) != SortedArraySet([2])
+
+    def test_storage_bits_counts_pointers(self):
+        assert SortedArraySet([1, 2, 3]).storage_bits() == 3 * 32
+        assert SortedArraySet().storage_bits(pointer_bits=64) == 0
+
+
+@given(st.lists(st.integers(-50, 50), max_size=100))
+def test_sorted_set_matches_builtin(items):
+    sorted_set = SortedArraySet()
+    model = set()
+    for item in items:
+        assert sorted_set.add(item) == (item not in model)
+        model.add(item)
+    assert sorted_set.as_list() == sorted(model)
+    for probe in range(-55, 55, 7):
+        assert (probe in sorted_set) == (probe in model)

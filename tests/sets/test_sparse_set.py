@@ -1,0 +1,99 @@
+"""Tests for the Briggs–Torczon sparse set."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sets import SparseSet
+
+
+class TestSparseSet:
+    def test_empty(self):
+        sparse = SparseSet(8)
+        assert len(sparse) == 0
+        assert not sparse
+        assert 3 not in sparse
+
+    def test_add_contains_len(self):
+        sparse = SparseSet(8, [1, 5])
+        assert 1 in sparse and 5 in sparse and 2 not in sparse
+        assert len(sparse) == 2
+
+    def test_duplicate_add_ignored(self):
+        sparse = SparseSet(8)
+        sparse.add(3)
+        sparse.add(3)
+        assert len(sparse) == 1
+
+    def test_out_of_universe(self):
+        sparse = SparseSet(4)
+        with pytest.raises(ValueError):
+            sparse.add(4)
+        assert 9 not in sparse
+        assert -1 not in sparse
+
+    def test_discard_swaps_with_last(self):
+        sparse = SparseSet(8, [1, 2, 3])
+        sparse.discard(1)
+        assert 1 not in sparse and 2 in sparse and 3 in sparse
+        sparse.discard(7)  # absent, no error
+
+    def test_remove_missing_raises(self):
+        sparse = SparseSet(8)
+        with pytest.raises(KeyError):
+            sparse.remove(2)
+
+    def test_clear_is_constant_time_reset(self):
+        sparse = SparseSet(8, [1, 2, 3])
+        sparse.clear()
+        assert len(sparse) == 0
+        assert 1 not in sparse
+        # Can be reused after clearing.
+        sparse.add(2)
+        assert list(sparse) == [2]
+
+    def test_stale_sparse_entries_do_not_leak(self):
+        # The classic sparse-set subtlety: after a clear, old dense/sparse
+        # contents must not make stale elements look present.
+        sparse = SparseSet(8, [5])
+        sparse.clear()
+        sparse.add(3)
+        assert 5 not in sparse
+
+    def test_iteration_and_sorted_list(self):
+        sparse = SparseSet(16, [7, 1, 9])
+        assert set(sparse) == {1, 7, 9}
+        assert sparse.to_sorted_list() == [1, 7, 9]
+
+    def test_copy_and_update(self):
+        sparse = SparseSet(8, [1])
+        clone = sparse.copy()
+        clone.update([2, 3])
+        assert 2 not in sparse
+        assert set(clone) == {1, 2, 3}
+
+    def test_equality(self):
+        assert SparseSet(8, [1, 2]) == SparseSet(8, [2, 1])
+        assert SparseSet(8, [1]) != SparseSet(8, [2])
+
+    def test_zero_universe(self):
+        sparse = SparseSet(0)
+        assert len(sparse) == 0
+        with pytest.raises(ValueError):
+            sparse.add(0)
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 63)), max_size=200))
+def test_sparse_set_matches_builtin_set(operations):
+    """Random add/discard sequences agree with Python's set."""
+    sparse = SparseSet(64)
+    model: set[int] = set()
+    for is_add, value in operations:
+        if is_add:
+            sparse.add(value)
+            model.add(value)
+        else:
+            sparse.discard(value)
+            model.discard(value)
+        assert len(sparse) == len(model)
+        assert (value in sparse) == (value in model)
+    assert set(sparse) == model

@@ -1,0 +1,127 @@
+"""Tests for SSA construction (φ placement + renaming)."""
+
+import pytest
+
+from repro.frontend import compile_source, parse_program, lower_program
+from repro.ir import verify_ssa
+from repro.ir.interp import execute
+from repro.ssa import DefUseChains, construct_ssa
+from repro.synth import random_program_source
+from tests.conftest import GCD_SOURCE, NESTED_SOURCE
+
+
+def lower_only(source: str):
+    return list(lower_program(parse_program(source)))[0]
+
+
+class TestFigure2Example:
+    def test_phi_placed_at_join(self):
+        """The paper's Figure 2: two definitions of x merge at a join with a φ."""
+        function = lower_only(
+            """
+            func fig2(c, y) {
+                if (c) { x = 1; } else { x = 2; }
+                return x + y;
+            }
+            """
+        )
+        report = construct_ssa(function)
+        verify_ssa(function)
+        # Exactly one φ for x at the join, selecting between two versions.
+        phis = function.phis()
+        assert report.phis_inserted == 1
+        assert len(phis) == 1
+        assert phis[0].result.base_name == "x"
+        assert len(phis[0].incoming) == 2
+        assert report.version_count("x") == 3  # two arms + the φ
+
+
+class TestConstructionBasics:
+    def test_straight_line_needs_no_phis(self):
+        function = lower_only("func f(a) { x = a + 1; x = x * 2; return x; }")
+        report = construct_ssa(function)
+        verify_ssa(function)
+        assert report.phis_inserted == 0
+        assert report.version_count("x") == 2
+
+    def test_loop_variable_gets_header_phi(self):
+        function = lower_only(
+            "func f(n) { i = 0; while (i < n) { i = i + 1; } return i; }"
+        )
+        report = construct_ssa(function)
+        verify_ssa(function)
+        assert report.phis_inserted >= 1
+        headers_with_phi = [block.name for block in function if block.phis()]
+        assert len(headers_with_phi) >= 1
+
+    def test_pruned_construction_skips_dead_phis(self):
+        source = "func f(c) { x = 1; if (c) { x = 2; } return c; }"
+        pruned = lower_only(source)
+        pruned_report = construct_ssa(pruned, pruned=True)
+        minimal = lower_only(source)
+        minimal_report = construct_ssa(minimal, pruned=False)
+        # x is dead after the if, so pruned SSA places no φ for it while
+        # minimal SSA does.
+        assert pruned_report.phis_inserted < minimal_report.phis_inserted
+        verify_ssa(pruned)
+        verify_ssa(minimal)
+
+    def test_single_version_variables_keep_their_name(self):
+        function = lower_only("func f(a) { x = a + 1; return x; }")
+        construct_ssa(function)
+        assert any(v.name == "x" for v in function.variables())
+
+    def test_parameters_are_remapped(self):
+        function = lower_only("func f(a) { a = a + 1; return a; }")
+        construct_ssa(function)
+        verify_ssa(function)
+        assert len(function.parameters) == 1
+        # The parameter list references the SSA version defined by the
+        # param instruction, not a stale pre-SSA object.
+        param = function.parameters[0]
+        assert param.definition is not None
+        assert param.definition.opcode == "param"
+
+    def test_construction_is_idempotent_on_ssa_input(self):
+        function = list(compile_source(GCD_SOURCE))[0]
+        before = {v.name for v in function.variables()}
+        report = construct_ssa(function)
+        verify_ssa(function)
+        assert report.phis_inserted == 0
+        assert {v.name for v in function.variables()} == before
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize(
+        "source,args,expected",
+        [
+            (GCD_SOURCE, [48, 18], 6),
+            (NESTED_SOURCE, [2, 3], 2 * ((0 + 2) + (-1))),
+        ],
+        ids=["gcd", "nested"],
+    )
+    def test_known_programs(self, source, args, expected):
+        function = lower_only(source)
+        before = execute(function, args).observable()
+        construct_ssa(function)
+        after = execute(function, args).observable()
+        assert before == after
+        assert after[0] == expected
+
+    def test_random_programs_preserve_traces(self, rng):
+        for _ in range(25):
+            source = random_program_source(rng)
+            function = lower_only(source)
+            args = [rng.randrange(-8, 9), rng.randrange(0, 9)]
+            before = execute(function, args).observable()
+            construct_ssa(function)
+            verify_ssa(function)
+            after = execute(function, args).observable()
+            assert before == after, source
+
+    def test_defuse_chains_remain_buildable(self, rng):
+        for _ in range(10):
+            function = lower_only(random_program_source(rng))
+            construct_ssa(function)
+            chains = DefUseChains(function)
+            assert len(chains) == len(function.variables())

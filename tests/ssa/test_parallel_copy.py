@@ -1,0 +1,85 @@
+"""Tests for parallel-copy sequentialisation."""
+
+import random
+
+import pytest
+
+from repro.ir.value import Constant, Variable
+from repro.ssa.parallel_copy import sequentialize
+
+
+def run_copies(ordered, initial):
+    """Execute a sequential copy list over an environment keyed by id."""
+    env = dict(initial)
+    for dest, src in ordered:
+        env[id(dest)] = env[id(src)] if id(src) in env else src
+    return env
+
+
+def make_temp_factory():
+    counter = [0]
+
+    def factory():
+        counter[0] += 1
+        return Variable(f"tmp{counter[0]}")
+
+    return factory
+
+
+class TestSequentialize:
+    def test_independent_copies_pass_through(self):
+        a, b, x, y = (Variable(n) for n in "abxy")
+        ordered = sequentialize([(a, x), (b, y)], make_temp_factory())
+        assert set((d.name, s.name) for d, s in ordered) == {("a", "x"), ("b", "y")}
+
+    def test_chain_is_ordered_correctly(self):
+        # a <- b, b <- c must copy a first so b's old value reaches a.
+        a, b, c = (Variable(n) for n in "abc")
+        ordered = sequentialize([(b, c), (a, b)], make_temp_factory())
+        assert ordered[0] == (a, b)
+        assert ordered[1] == (b, c)
+
+    def test_swap_uses_one_temp(self):
+        a, b = Variable("a"), Variable("b")
+        ordered = sequentialize([(a, b), (b, a)], make_temp_factory())
+        temps = [d for d, _ in ordered if d.name.startswith("tmp")]
+        assert len(temps) == 1
+        env = run_copies(ordered, {id(a): 1, id(b): 2})
+        assert env[id(a)] == 2 and env[id(b)] == 1
+
+    def test_three_cycle(self):
+        a, b, c = (Variable(n) for n in "abc")
+        ordered = sequentialize([(a, b), (b, c), (c, a)], make_temp_factory())
+        env = run_copies(ordered, {id(a): 1, id(b): 2, id(c): 3})
+        assert (env[id(a)], env[id(b)], env[id(c)]) == (2, 3, 1)
+
+    def test_self_copy_is_dropped(self):
+        a = Variable("a")
+        assert sequentialize([(a, a)], make_temp_factory()) == []
+
+    def test_constant_sources_are_fine(self):
+        a = Variable("a")
+        ordered = sequentialize([(a, Constant(7))], make_temp_factory())
+        assert len(ordered) == 1
+
+    def test_duplicate_destinations_rejected(self):
+        a, x, y = Variable("a"), Variable("x"), Variable("y")
+        with pytest.raises(ValueError):
+            sequentialize([(a, x), (a, y)], make_temp_factory())
+
+    def test_random_permutations_execute_correctly(self):
+        """Arbitrary permutation-with-fanout parallel copies stay correct."""
+        rng = random.Random(7)
+        for _ in range(100):
+            size = rng.randrange(1, 8)
+            variables = [Variable(f"v{i}") for i in range(size)]
+            sources = [rng.choice(variables) for _ in range(size)]
+            copies = list(zip(variables, sources))
+            ordered = sequentialize(copies, make_temp_factory())
+            initial = {id(v): i for i, v in enumerate(variables)}
+            env = run_copies(ordered, initial)
+            for dest, src in copies:
+                assert env[id(dest)] == initial[id(src)], (
+                    [(d.name, s.name) for d, s in copies],
+                    [(d.name, getattr(s, "name", s)) for d, s in ordered],
+                )
