@@ -57,6 +57,17 @@ def main() -> None:
     )
     print("(checker and data-flow sets agree on every block)")
 
+    # The real allocator refines this to instruction granularity: MaxLive,
+    # the pressure maximum over *definition points*, is what the chordal
+    # coloring of repro.regalloc provably needs.
+    from repro.regalloc import compute_pressure
+
+    info = compute_pressure(function, checker)
+    print(
+        f"instruction-level MaxLive is {info.max_live} "
+        f"(hottest definition point in block '{info.max_block}')"
+    )
+
 
 if __name__ == "__main__":
     main()

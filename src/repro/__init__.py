@@ -67,6 +67,14 @@ from repro.liveness import (
     LivenessOracle,
     PathExplorationLiveness,
 )
+from repro.regalloc import (
+    Allocation,
+    allocate,
+    color_function,
+    compute_pressure,
+    max_live,
+    verify_allocation,
+)
 from repro.ssa import (
     CopyCoalescer,
     DefUseChains,
@@ -119,6 +127,13 @@ __all__ = [
     "FastLivenessChecker",
     "LoopForestChecker",
     "TransformationSession",
+    # regalloc (the query-driven client)
+    "Allocation",
+    "allocate",
+    "color_function",
+    "compute_pressure",
+    "max_live",
+    "verify_allocation",
     # frontend
     "compile_source",
     "compile_function",

@@ -10,6 +10,11 @@ side-by-side comparison.  See EXPERIMENTS.md for the recorded results.
 from repro.bench.workload import BenchmarkWorkload, build_workload
 from repro.bench.table1 import compute_table1, format_table1
 from repro.bench.table2 import compute_table2, format_table2
+from repro.bench.table_regalloc import (
+    REGALLOC_PROFILES,
+    compute_table_regalloc,
+    format_table_regalloc,
+)
 from repro.bench.reporting import format_table
 
 __all__ = [
@@ -19,5 +24,8 @@ __all__ = [
     "format_table1",
     "compute_table2",
     "format_table2",
+    "REGALLOC_PROFILES",
+    "compute_table_regalloc",
+    "format_table_regalloc",
     "format_table",
 ]

@@ -20,8 +20,13 @@ The package is organised to mirror the paper:
   in the paper's outlook (Section 8).
 * :mod:`repro.core.invalidation` — a transformation session demonstrating
   which edits preserve the precomputation (all of them except CFG edits).
+* :mod:`repro.core.batch` — :class:`BatchQueryEngine`, answering many
+  ``(variable, block)`` queries in one pass by reusing the per-variable
+  ``T_q ∩ sdom(def)`` setup; this is what makes whole-program clients
+  such as :mod:`repro.regalloc` affordable.
 """
 
+from repro.core.batch import BatchQueryEngine
 from repro.core.reduced_graph import ReducedReachability
 from repro.core.targets import TargetSets
 from repro.core.precompute import LivenessPrecomputation
@@ -32,6 +37,7 @@ from repro.core.loopforest import LoopForestChecker
 from repro.core.invalidation import TransformationSession
 
 __all__ = [
+    "BatchQueryEngine",
     "ReducedReachability",
     "TargetSets",
     "LivenessPrecomputation",

@@ -1,0 +1,231 @@
+"""Batch liveness queries: answer many ``(var, block)`` queries in one pass.
+
+A register allocator asks a very different mix of questions than the SSA
+destruction pass the paper benchmarks: instead of a handful of isolated
+queries it wants, for *every* variable, liveness at *many* program points
+(register pressure needs ``is_live_in`` at every block, the chordal
+coloring needs live-in sets per block in dominator order).  Issued naively
+that is ``|V| × |B|`` independent runs of Algorithm 3, each of which
+re-derives the same per-variable facts: ``num(def(a))``, ``maxnum(def(a))``
+and the use set.
+
+:class:`BatchQueryEngine` amortises that per-variable setup.  For one
+variable ``a`` it precomputes
+
+* the dominance-preorder interval ``(num(def), maxnum(def)]`` outside of
+  which ``a`` can never be live (most queries die here for free);
+* a ``uses`` bitset over block numbers; and
+* a *hot-target* mask ``H_a`` with bit ``t`` set iff ``t`` lies in the
+  interval and ``R_t ∩ uses(a) ≠ ∅`` — i.e. the candidates of Algorithm 1
+  that would answer ``true``.
+
+With ``H_a`` in hand, every live-in query collapses to one machine-word
+test per block: ``a`` is live-in at ``q`` iff ``q`` is in the interval and
+``T_q ∩ H_a ≠ ∅`` (a single big-int AND, since both are bitsets).  The
+live-out variant adds Algorithm 2's two special cases (the definition
+block, and the "use in q itself only counts on a loop" rule), which need a
+second mask ``H'_a`` built from ``R_t ∩ (uses(a) ∖ {t})``.
+
+Correctness does not depend on reducibility or on the ``TargetSets``
+strategy: the masks simply evaluate the full (non-fast-path) candidate
+loop of Algorithm 1/2 all at once, so the answers coincide with
+:class:`~repro.core.bitset_query.BitsetChecker` on every CFG — the
+differential tests in ``tests/core/test_batch_queries.py`` check exactly
+that on random reducible *and* irreducible graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.core.precompute import LivenessPrecomputation
+from repro.ir.value import Variable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for type hints
+    from repro.core.live_checker import FastLivenessChecker
+
+
+@dataclass
+class _VariableSetup:
+    """The per-variable facts shared by all queries about one variable."""
+
+    #: ``num(def(a))``.
+    def_num: int
+    #: ``maxnum(def(a))`` — upper end of the dominance interval.
+    max_dom: int
+    #: Use blocks as a raw bit mask over dominance-preorder numbers.
+    use_mask: int
+    #: Bit ``t`` set iff ``t ∈ (def, maxdom]`` and ``R_t ∩ uses ≠ ∅``.
+    hot_mask: int
+    #: Like ``hot_mask`` but testing ``R_t ∩ (uses ∖ {t})`` — the
+    #: Algorithm-2 rule for a candidate that is the query block itself.
+    hot_mask_excl: int
+    #: Algorithm 2, special case 1: a use outside the definition block.
+    has_nonlocal_use: bool
+
+
+class BatchQueryEngine:
+    """Amortised liveness queries on top of a :class:`FastLivenessChecker`.
+
+    The engine caches one :class:`_VariableSetup` per variable; the cache
+    is owned by the checker and dropped alongside its def–use chains, so
+    the invalidation contract is unchanged (CFG edits drop everything,
+    instruction edits drop the per-variable setups but keep ``R``/``T``).
+    """
+
+    def __init__(self, checker: "FastLivenessChecker") -> None:
+        self._checker = checker
+        # Keyed by the Variable objects themselves (identity hash);
+        # holding the key keeps it alive, so a recycled id() can
+        # never alias a stale setup.
+        self._setups: dict[Variable, _VariableSetup] = {}
+
+    # ------------------------------------------------------------------
+    # Per-variable setup
+    # ------------------------------------------------------------------
+    def _setup(self, var: Variable) -> _VariableSetup:
+        cached = self._setups.get(var)
+        if cached is not None:
+            return cached
+        checker = self._checker
+        checker.prepare()
+        pre: LivenessPrecomputation = checker.precomputation
+        defuse = checker.defuse
+        def_num = pre.num(defuse.def_block(var))
+        max_dom = pre.maxnum(pre.node_of(def_num))
+        use_nums = [pre.num(use) for use in defuse.use_blocks(var)]
+        use_mask = 0
+        for num in use_nums:
+            use_mask |= 1 << num
+        hot = 0
+        hot_excl = 0
+        for t in range(def_num + 1, max_dom + 1):
+            reach_mask = pre.reach.bitset(pre.node_of(t)).mask
+            if reach_mask & use_mask:
+                hot |= 1 << t
+            if reach_mask & (use_mask & ~(1 << t)):
+                hot_excl |= 1 << t
+        setup = _VariableSetup(
+            def_num=def_num,
+            max_dom=max_dom,
+            use_mask=use_mask,
+            hot_mask=hot,
+            hot_mask_excl=hot_excl,
+            has_nonlocal_use=bool(use_mask & ~(1 << def_num)),
+        )
+        self._setups[var] = setup
+        return setup
+
+    def invalidate(self) -> None:
+        """Drop every cached per-variable setup."""
+        self._setups.clear()
+
+    def discard(self, var: Variable) -> None:
+        """Drop the cached setup of one variable (e.g. after adding a use)."""
+        self._setups.pop(var, None)
+
+    # ------------------------------------------------------------------
+    # Queries on block numbers
+    # ------------------------------------------------------------------
+    def _live_in_num(self, setup: _VariableSetup, query_num: int) -> bool:
+        if query_num <= setup.def_num or query_num > setup.max_dom:
+            return False
+        pre = self._checker.precomputation
+        t_q = pre.targets.bitset(pre.node_of(query_num)).mask
+        return bool(t_q & setup.hot_mask)
+
+    def _live_out_num(self, setup: _VariableSetup, query_num: int) -> bool:
+        if query_num == setup.def_num:
+            return setup.has_nonlocal_use
+        if query_num <= setup.def_num or query_num > setup.max_dom:
+            return False
+        pre = self._checker.precomputation
+        query_node = pre.node_of(query_num)
+        t_q = pre.targets.bitset(query_node).mask
+        query_bit = 1 << query_num
+        if t_q & setup.hot_mask & ~query_bit:
+            return True
+        if t_q & query_bit:
+            # Candidate t == q: a use in q itself only counts when q can be
+            # left and re-entered, i.e. when q is a back-edge target.
+            if pre.is_back_edge_target(query_node):
+                return bool(setup.hot_mask & query_bit)
+            return bool(setup.hot_mask_excl & query_bit)
+        return False
+
+    # ------------------------------------------------------------------
+    # Public block-name interface
+    # ------------------------------------------------------------------
+    def is_live_in(self, var: Variable, block: str) -> bool:
+        """Single live-in query through the cached per-variable setup."""
+        setup = self._setup(var)
+        return self._live_in_num(setup, self._checker.precomputation.num(block))
+
+    def is_live_out(self, var: Variable, block: str) -> bool:
+        """Single live-out query through the cached per-variable setup."""
+        setup = self._setup(var)
+        return self._live_out_num(setup, self._checker.precomputation.num(block))
+
+    def live_in_blocks(self, var: Variable) -> set[str]:
+        """All blocks where ``var`` is live-in, in one interval sweep."""
+        setup = self._setup(var)
+        pre = self._checker.precomputation
+        return {
+            pre.node_of(num)
+            for num in range(setup.def_num + 1, setup.max_dom + 1)
+            if self._live_in_num(setup, num)
+        }
+
+    def live_out_blocks(self, var: Variable) -> set[str]:
+        """All blocks where ``var`` is live-out, in one interval sweep."""
+        setup = self._setup(var)
+        pre = self._checker.precomputation
+        result = {
+            pre.node_of(num)
+            for num in range(setup.def_num + 1, setup.max_dom + 1)
+            if self._live_out_num(setup, num)
+        }
+        if setup.has_nonlocal_use:
+            result.add(pre.node_of(setup.def_num))
+        return result
+
+    def query_many(
+        self, queries: Iterable[tuple[str, Variable, str]]
+    ) -> list[bool]:
+        """Answer a stream of ``(kind, var, block)`` queries.
+
+        ``kind`` is ``"in"`` or ``"out"``.  Queries are answered in order;
+        the per-variable setup is built once per distinct variable no
+        matter how the stream interleaves them.
+        """
+        pre = self._checker.precomputation
+        answers: list[bool] = []
+        for kind, var, block in queries:
+            setup = self._setup(var)
+            num = pre.num(block)
+            if kind == "in":
+                answers.append(self._live_in_num(setup, num))
+            elif kind == "out":
+                answers.append(self._live_out_num(setup, num))
+            else:
+                raise ValueError(f"unknown query kind {kind!r}")
+        return answers
+
+    def live_in_map(
+        self, variables: Sequence[Variable]
+    ) -> dict[str, set[Variable]]:
+        """Live-in sets for every block, restricted to ``variables``.
+
+        This is the bulk primitive behind register-pressure computation:
+        one interval sweep per variable instead of ``|V| × |B|`` full
+        Algorithm-3 runs.
+        """
+        self._checker.prepare()
+        result: dict[str, set[Variable]] = {
+            block: set() for block in self._checker.precomputation.graph.nodes()
+        }
+        for var in variables:
+            for block in self.live_in_blocks(var):
+                result[block].add(var)
+        return result

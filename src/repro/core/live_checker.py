@@ -16,6 +16,7 @@ by the conventional analyses.
 
 from __future__ import annotations
 
+from repro.core.batch import BatchQueryEngine
 from repro.core.bitset_query import BitsetChecker
 from repro.core.precompute import LivenessPrecomputation
 from repro.core.query import SetBasedChecker
@@ -44,6 +45,7 @@ class FastLivenessChecker(LivenessOracle):
         self._pre: LivenessPrecomputation | None = None
         self._bitset_checker: BitsetChecker | None = None
         self._set_checker: SetBasedChecker | None = None
+        self._batch: BatchQueryEngine | None = None
 
     # ------------------------------------------------------------------
     # Precomputation management
@@ -84,14 +86,19 @@ class FastLivenessChecker(LivenessOracle):
         self._pre = None
         self._bitset_checker = None
         self._set_checker = None
+        self._batch = None
 
     def notify_instructions_changed(self) -> None:
         """Rebuild def–use chains after instruction-level edits.
 
         The precomputation is deliberately left untouched: that it survives
-        such edits is the paper's headline property.
+        such edits is the paper's headline property.  The batch engine's
+        per-variable setups are derived from the chains, so they are
+        dropped with them.
         """
         self._defuse = None
+        if self._batch is not None:
+            self._batch.invalidate()
 
     # ------------------------------------------------------------------
     # Oracle interface
@@ -130,6 +137,33 @@ class FastLivenessChecker(LivenessOracle):
         self.prepare()
         assert self._defuse is not None
         return self._defuse.variables()
+
+    # ------------------------------------------------------------------
+    # Batch interface (register-allocation workloads)
+    # ------------------------------------------------------------------
+    @property
+    def batch(self) -> BatchQueryEngine:
+        """The batch engine, sharing this checker's precomputation.
+
+        Built lazily; per-variable setups are cached until the next
+        :meth:`notify_instructions_changed` / :meth:`notify_cfg_changed`.
+        """
+        self.prepare()
+        if self._batch is None:
+            self._batch = BatchQueryEngine(self)
+        return self._batch
+
+    def live_in_set(self, var: Variable) -> set[str]:
+        """All blocks where ``var`` is live-in (one amortised sweep)."""
+        return self.batch.live_in_blocks(var)
+
+    def live_out_set(self, var: Variable) -> set[str]:
+        """All blocks where ``var`` is live-out (one amortised sweep)."""
+        return self.batch.live_out_blocks(var)
+
+    def query_batch(self, queries) -> list[bool]:
+        """Answer many ``(kind, var, block)`` queries in one pass."""
+        return self.batch.query_many(queries)
 
     # ------------------------------------------------------------------
     # Set enumeration (for parity with set-producing engines)

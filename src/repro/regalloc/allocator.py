@@ -1,0 +1,336 @@
+"""The register-allocation driver: pressure → spill → color → destruct.
+
+:func:`allocate` composes the pieces of this package with the existing
+SSA machinery into the JIT-style client the paper envisions:
+
+1. **critical edges are split first** — the only CFG edit of the whole
+   pipeline, deliberately performed *before* the liveness backend builds
+   its precomputation so that nothing ever invalidates it afterwards;
+2. :mod:`repro.regalloc.pressure` measures MaxLive through liveness
+   queries;
+3. if a register budget ``K`` is given and MaxLive exceeds it,
+   :mod:`repro.regalloc.spill` iteratively rewrites the hottest values
+   into spill slots — instruction edits only, absorbed by the backend's
+   ``instructions_changed`` hook;
+4. :mod:`repro.regalloc.chordal` colors the (possibly rewritten) SSA
+   program optimally in dominance order;
+5. optionally, :func:`repro.ssa.destruction.destruct_ssa` lowers the φs
+   with the *same* oracle, and the handful of variables the destruction
+   pass invents (congruence-class representatives and parallel-copy
+   temporaries) are folded into the assignment with a small greedy pass
+   over independently computed per-point live sets.
+
+The resulting :class:`Allocation` maps every variable to a register plus
+every spilled variable to a slot, and is checked end-to-end by the
+independent :mod:`repro.regalloc.verify`.
+
+Liveness backends are pluggable (``"fast"``, ``"sets"``, ``"dataflow"``)
+and deliberately pay their own maintenance costs: the fast checker only
+rebuilds def–use chains after spill edits, while the data-flow baseline
+must recompute its whole fixpoint — the asymmetry
+:mod:`repro.bench.table_regalloc` measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.live_checker import FastLivenessChecker
+from repro.ir.function import Function
+from repro.ir.value import Variable
+from repro.liveness.dataflow import DataflowLiveness
+from repro.liveness.oracle import LivenessOracle
+from repro.regalloc.chordal import Coloring, color_function
+from repro.regalloc.pressure import BlockLiveness, PressureInfo, compute_pressure
+from repro.regalloc.spill import SpillReport, lower_pressure
+from repro.regalloc.verify import per_point_live_sets
+from repro.ssa.destruction import DestructionReport, destruct_ssa
+
+
+# ----------------------------------------------------------------------
+# Pluggable liveness backends
+# ----------------------------------------------------------------------
+class LivenessBackend:
+    """A named way of answering the allocator's liveness queries.
+
+    Subclasses own the oracle's life cycle: :meth:`oracle` returns an
+    engine valid for the function *right now*, and
+    :meth:`instructions_changed` is called after every spill rewrite with
+    whatever invalidation cost the representation implies.
+    """
+
+    name = "abstract"
+    #: Whether the allocator may route bulk queries through the batch API.
+    use_batch = False
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+
+    def oracle(self) -> LivenessOracle:
+        raise NotImplementedError
+
+    def instructions_changed(self) -> None:
+        raise NotImplementedError
+
+    def cfg_changed(self) -> None:
+        """Blocks or edges changed: every representation starts over."""
+        raise NotImplementedError
+
+
+class FastCheckerBackend(LivenessBackend):
+    """The paper's checker: queries via Algorithm 3 plus the batch engine.
+
+    Spill edits cost a def–use-chain rebuild; the ``R``/``T``
+    precomputation survives untouched.
+    """
+
+    name = "fast"
+    use_batch = True
+
+    def __init__(self, function: Function) -> None:
+        super().__init__(function)
+        self._checker = FastLivenessChecker(function)
+
+    def oracle(self) -> FastLivenessChecker:
+        return self._checker
+
+    def instructions_changed(self) -> None:
+        self._checker.notify_instructions_changed()
+
+    def cfg_changed(self) -> None:
+        self._checker.notify_cfg_changed()
+
+
+class SetCheckerBackend(FastCheckerBackend):
+    """The readable Algorithm-1/2 path: same engine, no bitsets, no batch."""
+
+    name = "sets"
+    use_batch = False
+
+    def __init__(self, function: Function) -> None:
+        LivenessBackend.__init__(self, function)
+        self._checker = FastLivenessChecker(function, use_bitsets=False)
+
+
+class DataflowBackend(LivenessBackend):
+    """The conventional baseline: precomputed sets, full recompute on edit."""
+
+    name = "dataflow"
+    use_batch = False
+
+    def __init__(self, function: Function) -> None:
+        super().__init__(function)
+        self._oracle = DataflowLiveness(function)
+
+    def oracle(self) -> DataflowLiveness:
+        return self._oracle
+
+    def instructions_changed(self) -> None:
+        # A conventional engine cannot patch its sets after arbitrary
+        # instruction edits: the universe of variables itself changed
+        # (reload temporaries), so it starts over from scratch.
+        self._oracle = DataflowLiveness(self.function)
+
+    def cfg_changed(self) -> None:
+        self._oracle = DataflowLiveness(self.function)
+
+
+BACKENDS = {
+    backend.name: backend
+    for backend in (FastCheckerBackend, SetCheckerBackend, DataflowBackend)
+}
+
+
+def make_backend(name: str, function: Function) -> LivenessBackend:
+    """Instantiate a backend by name (``"fast"``, ``"sets"``, ``"dataflow"``)."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown liveness backend {name!r}; expected one of {sorted(BACKENDS)}"
+        ) from None
+    return cls(function)
+
+
+# ----------------------------------------------------------------------
+# The allocation result
+# ----------------------------------------------------------------------
+@dataclass
+class Allocation:
+    """A complete register assignment for one function."""
+
+    function: Function
+    backend: str
+    #: Variable (identity-keyed) → register number.
+    register_of: dict[Variable, int] = field(default_factory=dict)
+    #: Spilled variable → spill slot.
+    spill_slot_of: dict[Variable, int] = field(default_factory=dict)
+    #: The register budget requested (``None`` = unlimited).
+    num_registers: int | None = None
+    #: Number of distinct registers actually used.
+    registers_used: int = 0
+    #: MaxLive measured before any spilling.
+    max_live_before_spill: int = 0
+    #: MaxLive of the program that was colored (after spilling, if any).
+    max_live: int = 0
+    spill_report: SpillReport | None = None
+    destruction_report: DestructionReport | None = None
+    #: Wall-clock seconds of the allocation pipeline (bench bookkeeping).
+    elapsed_seconds: float = 0.0
+
+    @property
+    def spilled(self) -> list[Variable]:
+        """The spilled variables, in eviction order."""
+        return [] if self.spill_report is None else list(self.spill_report.spilled)
+
+    def register(self, var: Variable) -> int:
+        """The register assigned to ``var``."""
+        return self.register_of[var]
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def allocate(
+    function: Function,
+    num_registers: int | None = None,
+    backend: str | LivenessBackend = "fast",
+    destruct: bool = False,
+    split_edges: bool = True,
+) -> Allocation:
+    """Allocate registers for ``function`` (mutating it in place).
+
+    Parameters
+    ----------
+    num_registers:
+        The register budget ``K``; ``None`` colors without spilling and
+        uses exactly MaxLive registers.
+    backend:
+        Liveness backend name or a prebuilt :class:`LivenessBackend`.
+    destruct:
+        Also translate out of SSA afterwards and extend the assignment to
+        the copies the destruction pass introduces.
+    split_edges:
+        Split critical edges up front (required for ``destruct=True``;
+        it is the one CFG edit, performed before any precomputation).
+    """
+    start = time.perf_counter()
+    if destruct:
+        # Destruction splits critical edges itself; that must happen before
+        # the backend's precomputation exists, not between color and lower.
+        split_edges = True
+    prebuilt = isinstance(backend, LivenessBackend)
+    if split_edges:
+        created = function.split_critical_edges()
+        if created and prebuilt:
+            # A prebuilt backend may already hold a precomputation for the
+            # unsplit CFG; this is the one edit that invalidates it.
+            backend.cfg_changed()
+    adapter = backend if prebuilt else make_backend(backend, function)
+    liveness = BlockLiveness(
+        function, adapter.oracle(), use_batch=adapter.use_batch
+    )
+    info = compute_pressure(function, adapter.oracle(), block_liveness=liveness)
+    allocation = Allocation(
+        function=function,
+        backend=adapter.name,
+        num_registers=num_registers,
+        max_live_before_spill=info.max_live,
+    )
+    if num_registers is not None and info.max_live > num_registers:
+        allocation.spill_report = lower_pressure(
+            function,
+            num_registers,
+            adapter.oracle,
+            on_change=adapter.instructions_changed,
+            use_batch=adapter.use_batch,
+            initial_info=info,
+        )
+        allocation.spill_slot_of = dict(allocation.spill_report.slot_of)
+        # The program changed under the spiller: refresh the block-level
+        # facts before coloring.
+        liveness = BlockLiveness(
+            function, adapter.oracle(), use_batch=adapter.use_batch
+        )
+        info = compute_pressure(function, adapter.oracle(), block_liveness=liveness)
+    allocation.max_live = info.max_live
+    coloring = color_function(
+        function,
+        adapter.oracle(),
+        use_batch=adapter.use_batch,
+        block_liveness=liveness,
+    )
+    allocation.register_of = dict(coloring.color_of)
+    allocation.registers_used = coloring.num_colors
+    if destruct:
+        allocation.destruction_report = destruct_ssa(
+            function, oracle=adapter.oracle()
+        )
+        # Destruction rewrote instructions; keep the backend honest in case
+        # the caller issues further queries through it.
+        adapter.instructions_changed()
+        _extend_after_destruction(allocation)
+    allocation.elapsed_seconds = time.perf_counter() - start
+    return allocation
+
+
+def _extend_after_destruction(allocation: Allocation) -> None:
+    """Assign registers to the variables SSA destruction introduced.
+
+    Destruction renames coalesced φ-webs to fresh representatives and
+    inserts parallel-copy temporaries; none of them existed when the
+    chordal scan ran.  Their live ranges are short and few, so a greedy
+    sweep over independently computed per-point live sets suffices: each
+    new variable avoids the registers of everything it is ever
+    simultaneously live with (previously colored variables keep their
+    registers — lowering φs never extends an old variable's range).
+    """
+    function = allocation.function
+    register_of = allocation.register_of
+    points = per_point_live_sets(function)
+    forbidden: dict[Variable, set[int]] = {}
+    neighbours: dict[Variable, set[Variable]] = {}
+    order: list[Variable] = []
+
+    def _touch(var: Variable) -> None:
+        if var not in forbidden:
+            forbidden[var] = set()
+            neighbours[var] = set()
+            order.append(var)
+
+    for block in function:
+        for index, inst in enumerate(block.instructions):
+            live_after = points[block.name][index]
+            group = set(live_after)
+            if inst.result is not None:
+                group.add(inst.result)
+            uncolored = [var for var in group if var not in register_of]
+            if not uncolored:
+                continue
+            colored = {
+                register_of[var] for var in group if var in register_of
+            }
+            for var in uncolored:
+                _touch(var)
+                forbidden[var] |= colored
+                neighbours[var] |= {other for other in uncolored if other is not var}
+    for var in order:
+        blocked = set(forbidden[var])
+        for other in neighbours[var]:
+            register = register_of.get(other)
+            if register is not None:
+                blocked.add(register)
+        register = 0
+        while register in blocked:
+            register += 1
+        register_of[var] = register
+    # Coalesced φ-web members were renamed away by the destruction pass;
+    # drop their stale entries so the register count reflects the program
+    # as it now stands.
+    present = {id(var) for var in function.variables()}
+    for var in [v for v in register_of if id(v) not in present]:
+        del register_of[var]
+    allocation.registers_used = (
+        max(register_of.values()) + 1 if register_of else 0
+    )

@@ -1,0 +1,167 @@
+"""Independent validation of a register allocation.
+
+Nothing in this module touches the paper's checker: liveness comes from
+the conventional iterative data-flow engine
+(:class:`~repro.liveness.dataflow.DataflowLiveness`) and the within-block
+refinement is a straightforward backward walk over each block.  Agreement
+between an allocation produced *through* the fast checker and this
+verifier is therefore genuine end-to-end evidence, in the same spirit as
+the differential tests of the liveness engines themselves.
+
+The verifier works on strict-SSA functions and equally on the non-SSA
+output of :func:`repro.ssa.destruction.destruct_ssa` (the data-flow
+analysis never needed SSA form), so the allocator can be checked both
+before and after φ-lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.ir.function import Function
+from repro.ir.value import Variable
+from repro.liveness.dataflow import DataflowLiveness
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.regalloc.allocator import Allocation
+
+#: Cap on collected error messages (a broken allocation fails everywhere).
+_MAX_ERRORS = 20
+
+
+def per_point_live_sets(function: Function) -> dict[str, list[set[Variable]]]:
+    """Live-after sets for every instruction, from first principles.
+
+    ``result[block][i]`` is the set of variables whose value is still
+    needed *after* instruction ``i`` of ``block``.  Block-level sets come
+    from a fresh data-flow fixpoint; the in-block refinement walks each
+    block backwards: stepping over an instruction removes its result and
+    adds its (non-φ) operands, and stepping over the terminator also adds
+    the φ operands that successors read through this block — the parallel
+    copies of SSA destruction sit just before the terminator, so that is
+    where those values are last alive.
+    """
+    oracle = DataflowLiveness(function)
+    sets = oracle.live_sets()
+    edge_uses: dict[str, set[Variable]] = {block.name: set() for block in function}
+    for block in function:
+        for phi in block.phis():
+            for pred, value in phi.incoming.items():
+                if isinstance(value, Variable):
+                    edge_uses[pred].add(value)
+    result: dict[str, list[set[Variable]]] = {}
+    for block in function:
+        live = set(sets.live_out[block.name])
+        points: list[set[Variable]] = [set() for _ in block.instructions]
+        for index in range(len(block.instructions) - 1, -1, -1):
+            points[index] = set(live)
+            inst = block.instructions[index]
+            if inst.result is not None:
+                live.discard(inst.result)
+            if not inst.is_phi():
+                for value in inst.operands:
+                    if isinstance(value, Variable):
+                        live.add(value)
+            if inst.is_terminator():
+                live |= edge_uses[block.name]
+        result[block.name] = points
+    return result
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of :func:`verify_allocation`."""
+
+    ok: bool = True
+    errors: list[str] = field(default_factory=list)
+    points_checked: int = 0
+    #: Max pressure over definition points, as observed by the verifier
+    #: (the independent MaxLive — a value written at a dead definition
+    #: still occupies a register at that point).
+    max_pressure: int = 0
+    #: Number of distinct registers appearing in the allocation.
+    registers_used: int = 0
+
+    def _record(self, message: str) -> None:
+        self.ok = False
+        if len(self.errors) < _MAX_ERRORS:
+            self.errors.append(message)
+
+
+def verify_allocation(
+    function: Function, allocation: "Allocation"
+) -> VerificationResult:
+    """Check that no two simultaneously-live variables share a register.
+
+    Three families of checks, all against the independent data-flow
+    liveness:
+
+    1. every live variable has a register;
+    2. at every program point, the registers of the live variables are
+       pairwise distinct;
+    3. at every definition point, the defined register does not clobber a
+       value that is still needed (covers dead definitions, which never
+       appear in any live set);
+
+    plus the bookkeeping that spill slots are not shared.
+    """
+    register_of = allocation.register_of
+    result = VerificationResult()
+    result.registers_used = len(set(register_of.values()))
+    points = per_point_live_sets(function)
+    for block in function:
+        for index, live_after in enumerate(points[block.name]):
+            result.points_checked += 1
+            by_register: dict[int, Variable] = {}
+            for var in live_after:
+                register = register_of.get(var)
+                if register is None:
+                    result._record(
+                        f"{block.name}[{index}]: live variable {var.name!r} "
+                        "has no register"
+                    )
+                    continue
+                clash = by_register.get(register)
+                if clash is not None:
+                    result._record(
+                        f"{block.name}[{index}]: {var.name!r} and "
+                        f"{clash.name!r} are simultaneously live in r{register}"
+                    )
+                by_register[register] = var
+            inst = block.instructions[index]
+            defined = inst.result
+            if defined is not None:
+                pressure = len(live_after | {defined})
+                result.max_pressure = max(result.max_pressure, pressure)
+                register = register_of.get(defined)
+                if register is None:
+                    result._record(
+                        f"{block.name}[{index}]: defined variable "
+                        f"{defined.name!r} has no register"
+                    )
+                else:
+                    clash = next(
+                        (
+                            var
+                            for var in live_after
+                            if var is not defined
+                            and register_of.get(var) == register
+                        ),
+                        None,
+                    )
+                    if clash is not None:
+                        result._record(
+                            f"{block.name}[{index}]: definition of "
+                            f"{defined.name!r} clobbers live {clash.name!r} "
+                            f"in r{register}"
+                        )
+    slots_seen: dict[int, Variable] = {}
+    for var, slot in allocation.spill_slot_of.items():
+        other = slots_seen.get(slot)
+        if other is not None:
+            result._record(
+                f"spill slot {slot} assigned to both {other.name!r} and {var.name!r}"
+            )
+        slots_seen[slot] = var
+    return result

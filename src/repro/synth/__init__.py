@@ -28,6 +28,7 @@ from repro.synth.spec_profiles import (
     SPEC_PROFILES,
     BenchmarkProfile,
     generate_benchmark_functions,
+    generate_function_with_blocks,
     sample_block_count,
 )
 
@@ -42,4 +43,5 @@ __all__ = [
     "SPEC_PROFILES",
     "sample_block_count",
     "generate_benchmark_functions",
+    "generate_function_with_blocks",
 ]

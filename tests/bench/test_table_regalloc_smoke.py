@@ -1,0 +1,35 @@
+"""Cheap smoke coverage of the regalloc benchmark table (tier-1 safe)."""
+
+from __future__ import annotations
+
+from repro.bench.table_regalloc import (
+    RegallocProfile,
+    compute_table_regalloc,
+    format_table_regalloc,
+    generate_profile_functions,
+)
+
+_TINY = (RegallocProfile("tiny", functions=2, target_blocks=8, num_registers=4),)
+
+
+def test_compute_and_format_tiny_profile():
+    rows = compute_table_regalloc(profiles=_TINY, backends=("fast", "dataflow"))
+    assert len(rows) == 1
+    row = rows[0]
+    assert row.functions == 2
+    assert row.millis["fast"] > 0 and row.millis["dataflow"] > 0
+    assert row.registers > 0
+    text = format_table_regalloc(rows)
+    assert "tiny" in text and "fast ms" in text and "fast/df" in text
+
+
+def test_generation_is_deterministic():
+    first = generate_profile_functions(_TINY[0], seed=5)
+    second = generate_profile_functions(_TINY[0], seed=5)
+    assert [len(f.blocks) for f in first] == [len(f.blocks) for f in second]
+    assert [len(f.variables()) for f in first] == [len(f.variables()) for f in second]
+
+
+def test_speedup_handles_zero_gracefully():
+    rows = compute_table_regalloc(profiles=_TINY, backends=("fast", "dataflow"))
+    assert rows[0].speedup("absent") == 0.0

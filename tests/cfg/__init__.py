@@ -1,0 +1,1 @@
+"""Test package (unique module basenames across tests/ and benchmarks/)."""

@@ -1,0 +1,99 @@
+"""Differential tests for the batch query engine.
+
+The batch engine evaluates the full candidate loop of Algorithms 1/2 with
+two precomputed masks, so on every (variable, block) pair it must return
+exactly what the single-query bitset path returns — on reducible CFGs
+(where the single-query path takes the Theorem-2 fast path) and on
+irreducible ones (where it walks several candidates).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.live_checker import FastLivenessChecker
+from repro.liveness.dataflow import DataflowLiveness
+from repro.synth.random_function import random_ssa_function
+
+
+def _all_pairs(function):
+    checker = FastLivenessChecker(function)
+    checker.prepare()
+    variables = checker.live_variables()
+    blocks = list(function.blocks)
+    return checker, variables, blocks
+
+
+@pytest.mark.parametrize("allow_irreducible", [False, True])
+@pytest.mark.parametrize("seed", range(12))
+def test_batch_matches_single_queries(seed, allow_irreducible):
+    rng = random.Random(900 + seed)
+    function = random_ssa_function(
+        rng, num_blocks=rng.randrange(4, 14), allow_irreducible=allow_irreducible
+    )
+    checker, variables, blocks = _all_pairs(function)
+    batch = checker.batch
+    for var in variables:
+        for block in blocks:
+            assert batch.is_live_in(var, block) == checker.is_live_in(var, block)
+            assert batch.is_live_out(var, block) == checker.is_live_out(var, block)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_live_sets_match_dataflow(seed):
+    rng = random.Random(1700 + seed)
+    function = random_ssa_function(rng, num_blocks=rng.randrange(4, 12))
+    checker, variables, blocks = _all_pairs(function)
+    oracle = DataflowLiveness(function, variables=variables)
+    for var in variables:
+        live_in = checker.live_in_set(var)
+        live_out = checker.live_out_set(var)
+        for block in blocks:
+            assert (block in live_in) == oracle.is_live_in(var, block)
+            assert (block in live_out) == oracle.is_live_out(var, block)
+
+
+def test_query_many_preserves_stream_order():
+    rng = random.Random(7)
+    function = random_ssa_function(rng, num_blocks=9)
+    checker, variables, blocks = _all_pairs(function)
+    stream = []
+    for _ in range(300):
+        kind = rng.choice(["in", "out"])
+        stream.append((kind, rng.choice(variables), rng.choice(blocks)))
+    answers = checker.query_batch(stream)
+    for (kind, var, block), answer in zip(stream, answers):
+        if kind == "in":
+            assert answer == checker.is_live_in(var, block)
+        else:
+            assert answer == checker.is_live_out(var, block)
+
+
+def test_query_many_rejects_unknown_kind():
+    rng = random.Random(11)
+    function = random_ssa_function(rng, num_blocks=5)
+    checker, variables, blocks = _all_pairs(function)
+    with pytest.raises(ValueError):
+        checker.query_batch([("sideways", variables[0], blocks[0])])
+
+
+def test_live_in_map_matches_per_block_queries():
+    rng = random.Random(23)
+    function = random_ssa_function(rng, num_blocks=10)
+    checker, variables, blocks = _all_pairs(function)
+    live_map = checker.batch.live_in_map(variables)
+    for block in blocks:
+        expected = {v for v in variables if checker.is_live_in(v, block)}
+        assert live_map[block] == expected
+
+
+def test_batch_cache_dropped_on_instruction_edit(sum_function):
+    checker = FastLivenessChecker(sum_function)
+    checker.prepare()
+    variables = checker.live_variables()
+    before = {var.name: checker.live_in_set(var) for var in variables}
+    checker.notify_instructions_changed()
+    after = {var.name: checker.live_in_set(var) for var in variables}
+    assert before == after

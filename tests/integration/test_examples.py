@@ -13,6 +13,7 @@ EXPECTED_SNIPPETS = {
     "ssa_destruction.py": "both oracles made identical coalescing decisions",
     "jit_invalidation.py": "answered identically by both engines",
     "register_pressure.py": "maximum block-level pressure",
+    "register_allocation.py": "verified against the independent data-flow oracle",
 }
 
 

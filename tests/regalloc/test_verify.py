@@ -1,0 +1,72 @@
+"""The verifier must actually catch broken allocations, not just bless
+good ones — these tests corrupt valid allocations in targeted ways."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.live_checker import FastLivenessChecker
+from repro.regalloc.allocator import allocate
+from repro.regalloc.pressure import compute_pressure
+from repro.regalloc.verify import per_point_live_sets, verify_allocation
+from repro.synth.random_function import random_ssa_function
+
+
+def _allocated_function(seed: int = 424):
+    rng = random.Random(seed)
+    function = random_ssa_function(rng, num_blocks=10, num_variables=6)
+    allocation = allocate(function, num_registers=None)
+    assert verify_allocation(function, allocation).ok
+    return function, allocation
+
+
+def test_detects_shared_register_between_live_variables():
+    function, allocation = _allocated_function()
+    info = compute_pressure(function, FastLivenessChecker(function))
+    assert info.max_live >= 2, "need at least two simultaneously live variables"
+    a, b = sorted(info.max_live_set, key=lambda v: v.name)[:2]
+    allocation.register_of[a] = allocation.register_of[b]
+    result = verify_allocation(function, allocation)
+    assert not result.ok
+    assert any("r%d" % allocation.register_of[b] in error for error in result.errors)
+
+
+def test_detects_missing_register():
+    function, allocation = _allocated_function(425)
+    victim = next(iter(allocation.register_of))
+    del allocation.register_of[victim]
+    result = verify_allocation(function, allocation)
+    assert not result.ok
+    assert any("no register" in error for error in result.errors)
+
+
+def test_detects_duplicate_spill_slots():
+    function, allocation = _allocated_function(426)
+    variables = function.variables()
+    allocation.spill_slot_of = {variables[0]: 0, variables[1]: 0}
+    result = verify_allocation(function, allocation)
+    assert not result.ok
+    assert any("spill slot" in error for error in result.errors)
+
+
+def test_per_point_sets_agree_with_dataflow_at_block_ends():
+    from repro.liveness.dataflow import DataflowLiveness
+
+    rng = random.Random(427)
+    function = random_ssa_function(rng, num_blocks=9)
+    points = per_point_live_sets(function)
+    sets = DataflowLiveness(function).live_sets()
+    for block in function:
+        last = len(block.instructions) - 1
+        assert points[block.name][last] == set(sets.live_out[block.name])
+
+
+def test_error_list_is_capped():
+    function, allocation = _allocated_function(428)
+    # Put everything in one register: the error count explodes, the list
+    # must stay bounded.
+    for var in allocation.register_of:
+        allocation.register_of[var] = 0
+    result = verify_allocation(function, allocation)
+    assert not result.ok
+    assert len(result.errors) <= 20
