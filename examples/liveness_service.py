@@ -1,0 +1,92 @@
+"""Serve liveness queries for a whole module through LivenessService.
+
+Run with::
+
+    python examples/liveness_service.py
+
+A compilation server holds many functions and answers interleaved
+liveness questions about all of them.  :class:`repro.LivenessService`
+fronts that workload: it builds one
+:class:`~repro.core.FastLivenessChecker` per function *on demand*, keeps
+the checkers in a bounded LRU cache, routes per-function edit
+notifications, and answers multi-function batch requests in one call.
+"""
+
+from repro import LivenessRequest, LivenessService, compile_source
+
+SOURCE = """
+func gcd(a, b) {
+    while (b != 0) {
+        t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+
+func sum_to(n) {
+    s = 0;
+    i = 1;
+    while (i <= n) {
+        s = s + i;
+        i = i + 1;
+    }
+    return s;
+}
+
+func clamp(x, lo, hi) {
+    if (x < lo) { x = lo; }
+    if (x > hi) { x = hi; }
+    return x;
+}
+"""
+
+
+def main() -> None:
+    module = compile_source(SOURCE)
+    service = LivenessService(module, capacity=2)  # deliberately tight
+    print(f"serving {len(service)} functions with capacity {service.capacity}")
+    print()
+
+    # A mixed multi-function request stream, answered in one submit() call.
+    requests = []
+    for function in module:
+        for var in function.variables()[:3]:
+            for block in list(function.blocks)[:3]:
+                requests.append(
+                    LivenessRequest(
+                        function=function.name,
+                        kind="in",
+                        variable=var,
+                        block=block,
+                    )
+                )
+    answers = service.submit(requests)
+    live = sum(answers)
+    print(f"submitted {len(requests)} requests -> {live} answered live-in=True")
+    print(f"resident checkers (LRU order): {service.resident()}")
+    print()
+
+    # Edits route per function: an instruction-level edit drops only that
+    # function's query plans; its R/T precomputation survives.
+    gcd_checker = service.checker("gcd")
+    pre_before = gcd_checker.precomputation
+    service.notify_instructions_changed("gcd")
+    assert service.checker("gcd").precomputation is pre_before
+    print("instruction edit on 'gcd': precomputation survived (plans dropped)")
+
+    service.notify_cfg_changed("gcd")
+    assert service.checker("gcd").precomputation is not pre_before
+    print("CFG edit on 'gcd': precomputation rebuilt")
+    print()
+
+    stats = service.stats
+    print("service statistics:")
+    print(f"  lookups:   {stats.lookups} (hits {stats.hits}, misses {stats.misses})")
+    print(f"  hit rate:  {stats.hit_rate:.0%}")
+    print(f"  evictions: {stats.evictions}")
+    print(f"  queries:   {stats.queries}")
+
+
+if __name__ == "__main__":
+    main()

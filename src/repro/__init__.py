@@ -75,6 +75,7 @@ from repro.regalloc import (
     max_live,
     verify_allocation,
 )
+from repro.service import LivenessRequest, LivenessService, ServiceStats
 from repro.ssa import (
     CopyCoalescer,
     DefUseChains,
@@ -134,6 +135,10 @@ __all__ = [
     "compute_pressure",
     "max_live",
     "verify_allocation",
+    # service (multi-function front door)
+    "LivenessService",
+    "LivenessRequest",
+    "ServiceStats",
     # frontend
     "compile_source",
     "compile_function",

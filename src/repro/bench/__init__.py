@@ -15,7 +15,12 @@ from repro.bench.table_regalloc import (
     compute_table_regalloc,
     format_table_regalloc,
 )
-from repro.bench.reporting import format_table
+from repro.bench.table_service import (
+    SERVICE_PROFILES,
+    compute_table_service,
+    format_table_service,
+)
+from repro.bench.reporting import format_table, write_json_report
 
 __all__ = [
     "BenchmarkWorkload",
@@ -27,5 +32,9 @@ __all__ = [
     "REGALLOC_PROFILES",
     "compute_table_regalloc",
     "format_table_regalloc",
+    "SERVICE_PROFILES",
+    "compute_table_service",
+    "format_table_service",
     "format_table",
+    "write_json_report",
 ]

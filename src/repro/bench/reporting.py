@@ -1,7 +1,8 @@
-"""Plain-text table formatting for the benchmark harness."""
+"""Plain-text table formatting and JSON emission for the benchmark harness."""
 
 from __future__ import annotations
 
+import json
 from typing import Sequence
 
 
@@ -33,3 +34,47 @@ def _render(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.2f}"
     return str(cell)
+
+
+def parse_bench_argv(
+    args: Sequence[str], default_json_path: str
+) -> tuple[int, bool, str]:
+    """Parse the flags shared by the bench CLIs: ``[scale] [--smoke] [--json PATH]``.
+
+    Returns ``(scale, smoke, json_path)``.  Exits with a usage message on a
+    dangling ``--json`` or an unparsable scale instead of tracebacking.
+    """
+    remaining = list(args)
+    json_path = default_json_path
+    if "--json" in remaining:
+        index = remaining.index("--json")
+        remaining.pop(index)
+        if index >= len(remaining) or remaining[index].startswith("--"):
+            raise SystemExit("usage: --json requires a path argument")
+        json_path = remaining.pop(index)
+    smoke = "--smoke" in remaining
+    if smoke:
+        remaining.remove("--smoke")
+    if not remaining:
+        return 1, smoke, json_path
+    try:
+        scale = int(remaining[0])
+    except ValueError:
+        raise SystemExit(
+            f"usage: [scale] [--smoke] [--json PATH]; got {remaining[0]!r}"
+        ) from None
+    return scale, smoke, json_path
+
+
+def write_json_report(path: str, bench: str, payload: dict) -> str:
+    """Write a machine-readable benchmark report next to the text table.
+
+    The file carries a ``bench`` name and a ``schema`` version so the
+    cross-PR perf trackers (``BENCH_*.json`` at the repository root) can
+    evolve without ambiguity.  Returns the path written.
+    """
+    document = {"bench": bench, "schema": 1, **payload}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

@@ -20,7 +20,9 @@ procedures.  As functions grow and the spiller iterates, the checker's
 ``large`` profile is the headline number.
 
 Run directly with ``python -m repro.bench.table_regalloc [scale]``
-(``scale`` multiplies the per-profile function counts).
+(``scale`` multiplies the per-profile function counts); ``--smoke``
+selects one tiny profile for CI, ``--json PATH`` overrides where the
+machine-readable report (default ``BENCH_regalloc.json``) is written.
 """
 
 from __future__ import annotations
@@ -31,7 +33,7 @@ import sys
 import time
 from dataclasses import dataclass, field
 
-from repro.bench.reporting import format_table
+from repro.bench.reporting import format_table, parse_bench_argv, write_json_report
 from repro.ir.function import Function
 from repro.regalloc.allocator import allocate
 from repro.synth.spec_profiles import generate_function_with_blocks
@@ -59,6 +61,14 @@ REGALLOC_PROFILES: tuple[RegallocProfile, ...] = (
     RegallocProfile("large", functions=3, target_blocks=70, num_registers=8),
 )
 
+#: The tiny profile CI smoke-runs to catch bench-driver regressions fast.
+SMOKE_PROFILES: tuple[RegallocProfile, ...] = (
+    RegallocProfile("smoke", functions=2, target_blocks=8, num_registers=4),
+)
+
+#: Default output path of the machine-readable report.
+DEFAULT_JSON_PATH = "BENCH_regalloc.json"
+
 
 @dataclass
 class TableRegallocRow:
@@ -78,6 +88,23 @@ class TableRegallocRow:
         if not self.millis.get(backend):
             return 0.0
         return self.millis[baseline] / self.millis[backend]
+
+    def as_dict(self) -> dict:
+        """JSON-ready view, including the derived speed-ups."""
+        return {
+            "profile": self.profile,
+            "functions": self.functions,
+            "blocks": self.blocks,
+            "variables": self.variables,
+            "spills": self.spills,
+            "registers": self.registers,
+            "millis": dict(self.millis),
+            "speedup_vs_dataflow": {
+                backend: self.speedup(backend)
+                for backend in self.millis
+                if backend != "dataflow"
+            },
+        }
 
 
 def generate_profile_functions(
@@ -184,11 +211,25 @@ def format_table_regalloc(rows: list[TableRegallocRow]) -> str:
     )
 
 
+def write_report(rows: list[TableRegallocRow], path: str = DEFAULT_JSON_PATH) -> str:
+    """Emit the machine-readable ``BENCH_regalloc.json`` report."""
+    return write_json_report(
+        path,
+        "table_regalloc",
+        {
+            "baseline": "dataflow",
+            "rows": [row.as_dict() for row in rows],
+        },
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Command-line entry point."""
-    args = argv if argv is not None else sys.argv[1:]
-    scale = int(args[0]) if args else 1
-    rows = compute_table_regalloc(scale=scale)
+    scale, smoke, json_path = parse_bench_argv(
+        argv if argv is not None else sys.argv[1:], DEFAULT_JSON_PATH
+    )
+    profiles = SMOKE_PROFILES if smoke else REGALLOC_PROFILES
+    rows = compute_table_regalloc(scale=scale, profiles=profiles)
     print(format_table_regalloc(rows))
     large = next((row for row in rows if row.profile == "large"), None)
     if large is not None:
@@ -196,6 +237,8 @@ def main(argv: list[str] | None = None) -> int:
             f"\nlarge profile: fast backend is {large.speedup('fast'):.2f}x the "
             "recompute-full-dataflow baseline"
         )
+    written = write_report(rows, json_path)
+    print(f"json report: {written}")
     return 0
 
 

@@ -20,15 +20,20 @@ The package is organised to mirror the paper:
   in the paper's outlook (Section 8).
 * :mod:`repro.core.invalidation` — a transformation session demonstrating
   which edits preserve the precomputation (all of them except CFG edits).
+* :mod:`repro.core.plans` — :class:`QueryPlan` / :class:`PlanCache`, the
+  precompiled numeric form of one variable's def–use chain (def number,
+  dominance interval, use mask), shared by the single-query, batch and
+  register-allocation layers.
 * :mod:`repro.core.batch` — :class:`BatchQueryEngine`, answering many
-  ``(variable, block)`` queries in one pass by reusing the per-variable
-  ``T_q ∩ sdom(def)`` setup; this is what makes whole-program clients
+  ``(variable, block)`` queries in one pass by adding hot-target masks on
+  top of the shared plans; this is what makes whole-program clients
   such as :mod:`repro.regalloc` affordable.
 """
 
 from repro.core.batch import BatchQueryEngine
 from repro.core.reduced_graph import ReducedReachability
 from repro.core.targets import TargetSets
+from repro.core.plans import PlanCache, QueryPlan
 from repro.core.precompute import LivenessPrecomputation
 from repro.core.query import SetBasedChecker
 from repro.core.bitset_query import BitsetChecker
@@ -40,6 +45,8 @@ __all__ = [
     "BatchQueryEngine",
     "ReducedReachability",
     "TargetSets",
+    "PlanCache",
+    "QueryPlan",
     "LivenessPrecomputation",
     "SetBasedChecker",
     "BitsetChecker",

@@ -9,22 +9,20 @@ that is ``|V| × |B|`` independent runs of Algorithm 3, each of which
 re-derives the same per-variable facts: ``num(def(a))``, ``maxnum(def(a))``
 and the use set.
 
-:class:`BatchQueryEngine` amortises that per-variable setup.  For one
-variable ``a`` it precomputes
-
-* the dominance-preorder interval ``(num(def), maxnum(def)]`` outside of
-  which ``a`` can never be live (most queries die here for free);
-* a ``uses`` bitset over block numbers; and
-* a *hot-target* mask ``H_a`` with bit ``t`` set iff ``t`` lies in the
-  interval and ``R_t ∩ uses(a) ≠ ∅`` — i.e. the candidates of Algorithm 1
-  that would answer ``true``.
+Those shared facts are exactly a :class:`~repro.core.plans.QueryPlan`, so
+the engine takes them from the checker's plan cache (one compilation per
+variable, shared with the single-query path) and adds the batch-specific
+part on top: a *hot-target* mask ``H_a`` with bit ``t`` set iff ``t`` lies
+in the plan's dominance interval and ``R_t ∩ uses(a) ≠ ∅`` — i.e. the
+candidates of Algorithm 1 that would answer ``true``.
 
 With ``H_a`` in hand, every live-in query collapses to one machine-word
 test per block: ``a`` is live-in at ``q`` iff ``q`` is in the interval and
-``T_q ∩ H_a ≠ ∅`` (a single big-int AND, since both are bitsets).  The
-live-out variant adds Algorithm 2's two special cases (the definition
-block, and the "use in q itself only counts on a loop" rule), which need a
-second mask ``H'_a`` built from ``R_t ∩ (uses(a) ∖ {t})``.
+``T_q ∩ H_a ≠ ∅`` (a single big-int AND, since both are raw masks from the
+precomputation's numeric arrays).  The live-out variant adds Algorithm 2's
+two special cases (the definition block, and the "use in q itself only
+counts on a loop" rule), which need a second mask ``H'_a`` built from
+``R_t ∩ (uses(a) ∖ {t})``.
 
 Correctness does not depend on reducibility or on the ``TargetSets``
 strategy: the masks simply evaluate the full (non-fast-path) candidate
@@ -39,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.core.plans import QueryPlan
 from repro.core.precompute import LivenessPrecomputation
 from repro.ir.value import Variable
 
@@ -48,30 +47,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for type hints
 
 @dataclass
 class _VariableSetup:
-    """The per-variable facts shared by all queries about one variable."""
+    """A query plan plus the batch-only hot-target masks."""
 
-    #: ``num(def(a))``.
-    def_num: int
-    #: ``maxnum(def(a))`` — upper end of the dominance interval.
-    max_dom: int
-    #: Use blocks as a raw bit mask over dominance-preorder numbers.
-    use_mask: int
+    #: The shared per-variable plan (def/interval/uses as numbers).
+    plan: QueryPlan
     #: Bit ``t`` set iff ``t ∈ (def, maxdom]`` and ``R_t ∩ uses ≠ ∅``.
     hot_mask: int
     #: Like ``hot_mask`` but testing ``R_t ∩ (uses ∖ {t})`` — the
     #: Algorithm-2 rule for a candidate that is the query block itself.
     hot_mask_excl: int
-    #: Algorithm 2, special case 1: a use outside the definition block.
-    has_nonlocal_use: bool
 
 
 class BatchQueryEngine:
     """Amortised liveness queries on top of a :class:`FastLivenessChecker`.
 
     The engine caches one :class:`_VariableSetup` per variable; the cache
-    is owned by the checker and dropped alongside its def–use chains, so
-    the invalidation contract is unchanged (CFG edits drop everything,
-    instruction edits drop the per-variable setups but keep ``R``/``T``).
+    is owned by the checker and dropped alongside its query plans, so the
+    invalidation contract is unchanged (CFG edits drop everything,
+    instruction edits drop the per-variable plans and masks but keep
+    ``R``/``T``).
     """
 
     def __init__(self, checker: "FastLivenessChecker") -> None:
@@ -91,29 +85,18 @@ class BatchQueryEngine:
         checker = self._checker
         checker.prepare()
         pre: LivenessPrecomputation = checker.precomputation
-        defuse = checker.defuse
-        def_num = pre.num(defuse.def_block(var))
-        max_dom = pre.maxnum(pre.node_of(def_num))
-        use_nums = [pre.num(use) for use in defuse.use_blocks(var)]
-        use_mask = 0
-        for num in use_nums:
-            use_mask |= 1 << num
+        plan = checker.plans.plan(var)
+        r_masks = pre.r_masks
+        use_mask = plan.use_mask
         hot = 0
         hot_excl = 0
-        for t in range(def_num + 1, max_dom + 1):
-            reach_mask = pre.reach.bitset(pre.node_of(t)).mask
+        for t in range(plan.def_num + 1, plan.max_dom + 1):
+            reach_mask = r_masks[t]
             if reach_mask & use_mask:
                 hot |= 1 << t
-            if reach_mask & (use_mask & ~(1 << t)):
-                hot_excl |= 1 << t
-        setup = _VariableSetup(
-            def_num=def_num,
-            max_dom=max_dom,
-            use_mask=use_mask,
-            hot_mask=hot,
-            hot_mask_excl=hot_excl,
-            has_nonlocal_use=bool(use_mask & ~(1 << def_num)),
-        )
+                if reach_mask & (use_mask & ~(1 << t)):
+                    hot_excl |= 1 << t
+        setup = _VariableSetup(plan=plan, hot_mask=hot, hot_mask_excl=hot_excl)
         self._setups[var] = setup
         return setup
 
@@ -129,27 +112,27 @@ class BatchQueryEngine:
     # Queries on block numbers
     # ------------------------------------------------------------------
     def _live_in_num(self, setup: _VariableSetup, query_num: int) -> bool:
-        if query_num <= setup.def_num or query_num > setup.max_dom:
+        plan = setup.plan
+        if query_num <= plan.def_num or query_num > plan.max_dom:
             return False
-        pre = self._checker.precomputation
-        t_q = pre.targets.bitset(pre.node_of(query_num)).mask
+        t_q = self._checker.precomputation.t_masks[query_num]
         return bool(t_q & setup.hot_mask)
 
     def _live_out_num(self, setup: _VariableSetup, query_num: int) -> bool:
-        if query_num == setup.def_num:
-            return setup.has_nonlocal_use
-        if query_num <= setup.def_num or query_num > setup.max_dom:
+        plan = setup.plan
+        if query_num == plan.def_num:
+            return plan.has_nonlocal_use
+        if query_num <= plan.def_num or query_num > plan.max_dom:
             return False
         pre = self._checker.precomputation
-        query_node = pre.node_of(query_num)
-        t_q = pre.targets.bitset(query_node).mask
+        t_q = pre.t_masks[query_num]
         query_bit = 1 << query_num
         if t_q & setup.hot_mask & ~query_bit:
             return True
         if t_q & query_bit:
             # Candidate t == q: a use in q itself only counts when q can be
             # left and re-entered, i.e. when q is a back-edge target.
-            if pre.is_back_edge_target(query_node):
+            if pre.is_back_target[query_num]:
                 return bool(setup.hot_mask & query_bit)
             return bool(setup.hot_mask_excl & query_bit)
         return False
@@ -171,9 +154,10 @@ class BatchQueryEngine:
         """All blocks where ``var`` is live-in, in one interval sweep."""
         setup = self._setup(var)
         pre = self._checker.precomputation
+        plan = setup.plan
         return {
             pre.node_of(num)
-            for num in range(setup.def_num + 1, setup.max_dom + 1)
+            for num in range(plan.def_num + 1, plan.max_dom + 1)
             if self._live_in_num(setup, num)
         }
 
@@ -181,13 +165,14 @@ class BatchQueryEngine:
         """All blocks where ``var`` is live-out, in one interval sweep."""
         setup = self._setup(var)
         pre = self._checker.precomputation
+        plan = setup.plan
         result = {
             pre.node_of(num)
-            for num in range(setup.def_num + 1, setup.max_dom + 1)
+            for num in range(plan.def_num + 1, plan.max_dom + 1)
             if self._live_out_num(setup, num)
         }
-        if setup.has_nonlocal_use:
-            result.add(pre.node_of(setup.def_num))
+        if plan.has_nonlocal_use:
+            result.add(pre.node_of(plan.def_num))
         return result
 
     def query_many(
@@ -212,15 +197,37 @@ class BatchQueryEngine:
                 raise ValueError(f"unknown query kind {kind!r}")
         return answers
 
+    def live_maps(
+        self, variables: Sequence[Variable]
+    ) -> tuple[dict[str, set[Variable]], dict[str, set[Variable]]]:
+        """Live-in and live-out sets for every block, in one joint sweep.
+
+        This is the bulk primitive behind register-pressure computation
+        (:class:`repro.regalloc.pressure.BlockLiveness`): each variable is
+        set up once and its dominance interval swept once for both
+        directions, instead of ``|V| × |B|`` full Algorithm-3 runs.
+        """
+        self._checker.prepare()
+        pre = self._checker.precomputation
+        live_in: dict[str, set[Variable]] = {node: set() for node in pre.graph.nodes()}
+        live_out: dict[str, set[Variable]] = {node: set() for node in pre.graph.nodes()}
+        for var in variables:
+            setup = self._setup(var)
+            plan = setup.plan
+            for num in range(plan.def_num + 1, plan.max_dom + 1):
+                node = pre.node_of(num)
+                if self._live_in_num(setup, num):
+                    live_in[node].add(var)
+                if self._live_out_num(setup, num):
+                    live_out[node].add(var)
+            if plan.has_nonlocal_use:
+                live_out[pre.node_of(plan.def_num)].add(var)
+        return live_in, live_out
+
     def live_in_map(
         self, variables: Sequence[Variable]
     ) -> dict[str, set[Variable]]:
-        """Live-in sets for every block, restricted to ``variables``.
-
-        This is the bulk primitive behind register-pressure computation:
-        one interval sweep per variable instead of ``|V| × |B|`` full
-        Algorithm-3 runs.
-        """
+        """Live-in sets for every block, restricted to ``variables``."""
         self._checker.prepare()
         result: dict[str, set[Variable]] = {
             block: set() for block in self._checker.precomputation.graph.nodes()

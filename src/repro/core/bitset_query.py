@@ -17,8 +17,15 @@ bitsets and the def–use chain:
   exposed as ``reducible_fast_path`` and benchmarked by the ordering
   ablation.
 
-The checker works on dominance-preorder block *numbers*; the wrapper in
-:mod:`repro.core.live_checker` translates variables and block names.
+The checker works purely on the *numeric* view of the precomputation: the
+flat ``r_masks``/``t_masks``/``maxnums``/``is_back_target`` arrays indexed
+by dominance-preorder number, with uses passed as one raw integer mask.
+A query is a handful of word-level integer operations — no ``node_of``
+translation, no :class:`~repro.sets.bitset.BitSet` dispatch.  The wrappers
+in :mod:`repro.core.live_checker` translate variables and block names
+through cached :class:`~repro.core.plans.QueryPlan` objects; the
+``Sequence[int]`` entry points below are kept for callers (and tests) that
+hold use numbers rather than a mask.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.precompute import LivenessPrecomputation
+from repro.sets.bitset import next_set_bit_in_mask
 
 
 class BitsetChecker:
@@ -37,6 +45,10 @@ class BitsetChecker:
         reducible_fast_path: bool = True,
     ) -> None:
         self._pre = precomputation
+        self._maxnums = precomputation.maxnums
+        self._r_masks = precomputation.r_masks
+        self._t_masks = precomputation.t_masks
+        self._is_back_target = precomputation.is_back_target
         # Theorem 2 relies on the exact Definition-5 sets being totally
         # ordered by dominance (Lemma 3); the "propagate" strategy may add
         # extra targets that break the total order, so the fast path is
@@ -61,60 +73,70 @@ class BitsetChecker:
         return self._fast_path
 
     # ------------------------------------------------------------------
-    # Algorithm 3
+    # Algorithm 3 on raw integer masks (the hot path)
     # ------------------------------------------------------------------
-    def is_live_in(self, def_num: int, use_nums: Sequence[int], query_num: int) -> bool:
-        """Live-in check on dominance-preorder block numbers.
+    def is_live_in_mask(self, def_num: int, use_mask: int, query_num: int) -> bool:
+        """Live-in check with the uses given as one bit mask.
 
-        ``def_num`` is ``num(def(a))``, ``use_nums`` the numbers of the
-        blocks in the def–use chain, ``query_num`` is ``num(q)``.
+        ``def_num`` is ``num(def(a))``, ``use_mask`` has bit ``num(u)`` set
+        for every use block ``u``, ``query_num`` is ``num(q)``.
         """
-        pre = self._pre
-        max_dom = pre.domtree.maxnum(pre.node_of(def_num))
         self.last_candidates_tested = 0
+        max_dom = self._maxnums[def_num]
         if query_num <= def_num or max_dom < query_num:
             return False
-        t_q = pre.targets.bitset(pre.node_of(query_num))
-        t = t_q.next_set_bit(def_num + 1)
-        while t is not None and t <= max_dom:
+        t_mask = self._t_masks[query_num]
+        r_masks = self._r_masks
+        t = next_set_bit_in_mask(t_mask, def_num + 1)
+        while 0 <= t <= max_dom:
             self.last_candidates_tested += 1
-            reach_t = pre.reach.bitset(pre.node_of(t))
-            for use in use_nums:
-                if use in reach_t:
-                    return True
+            if r_masks[t] & use_mask:
+                return True
             if self._fast_path:
                 # Theorem 2: on reducible CFGs the first (most dominating)
                 # candidate already decides the query.
                 return False
-            t = pre.domtree.maxnum(pre.node_of(t)) + 1
-            t = t_q.next_set_bit(t)
+            t = next_set_bit_in_mask(t_mask, self._maxnums[t] + 1)
+        return False
+
+    def is_live_out_mask(self, def_num: int, use_mask: int, query_num: int) -> bool:
+        """Live-out check (Algorithm 2) with the uses given as one bit mask."""
+        self.last_candidates_tested = 0
+        if query_num == def_num:
+            return bool(use_mask & ~(1 << def_num))
+        max_dom = self._maxnums[def_num]
+        if query_num <= def_num or max_dom < query_num:
+            return False
+        # A use in the query block itself only counts when q can be left
+        # and re-entered, i.e. when q is a back-edge target.
+        if self._is_back_target[query_num]:
+            masked_uses = use_mask
+        else:
+            masked_uses = use_mask & ~(1 << query_num)
+        t_mask = self._t_masks[query_num]
+        r_masks = self._r_masks
+        t = next_set_bit_in_mask(t_mask, def_num + 1)
+        while 0 <= t <= max_dom:
+            self.last_candidates_tested += 1
+            effective = masked_uses if t == query_num else use_mask
+            if r_masks[t] & effective:
+                return True
+            t = next_set_bit_in_mask(t_mask, self._maxnums[t] + 1)
         return False
 
     # ------------------------------------------------------------------
-    # Live-out variant (Algorithm 2 with bitsets)
+    # Sequence entry points (tests, callers without a prebuilt mask)
     # ------------------------------------------------------------------
+    def is_live_in(self, def_num: int, use_nums: Sequence[int], query_num: int) -> bool:
+        """Live-in check on dominance-preorder block numbers."""
+        use_mask = 0
+        for use in use_nums:
+            use_mask |= 1 << use
+        return self.is_live_in_mask(def_num, use_mask, query_num)
+
     def is_live_out(self, def_num: int, use_nums: Sequence[int], query_num: int) -> bool:
         """Live-out check on dominance-preorder block numbers."""
-        pre = self._pre
-        self.last_candidates_tested = 0
-        if query_num == def_num:
-            return any(use != def_num for use in use_nums)
-        max_dom = pre.domtree.maxnum(pre.node_of(def_num))
-        if query_num <= def_num or max_dom < query_num:
-            return False
-        query_node = pre.node_of(query_num)
-        query_is_back_target = pre.is_back_edge_target(query_node)
-        t_q = pre.targets.bitset(query_node)
-        t = t_q.next_set_bit(def_num + 1)
-        while t is not None and t <= max_dom:
-            self.last_candidates_tested += 1
-            reach_t = pre.reach.bitset(pre.node_of(t))
-            exclude_query_use = t == query_num and not query_is_back_target
-            for use in use_nums:
-                if exclude_query_use and use == query_num:
-                    continue
-                if use in reach_t:
-                    return True
-            t = pre.domtree.maxnum(pre.node_of(t)) + 1
-            t = t_q.next_set_bit(t)
-        return False
+        use_mask = 0
+        for use in use_nums:
+            use_mask |= 1 << use
+        return self.is_live_out_mask(def_num, use_mask, query_num)

@@ -99,16 +99,22 @@ class TransformationSession:
         )
         self.defuse.add_variable(new_var, block_name)
         self.defuse.add_use(source, block_name)
+        self.checker.notify_variable_changed(source)
         self._note_instruction_edit(f"insert_copy {source.name} in {block_name}")
         return new_var
 
     def add_use(self, var: Variable, block_name: str) -> Instruction:
         """Append an opaque use of ``var`` (a ``store``) to a block."""
         block = self.function.block(block_name)
+        # STORE takes an address and a value; here both are ``var``, so the
+        # chains record one use per operand occurrence — exactly what a
+        # fresh DefUseChains rebuild would count for this instruction.
         inst = Instruction(Opcode.STORE, operands=[var, var])
         block.insert_before_terminator(inst)
-        self.defuse.add_use(var, block_name)
-        self.defuse.add_use(var, block_name)
+        for operand in inst.operands:
+            assert operand is var
+            self.defuse.add_use(var, block_name)
+        self.checker.notify_variable_changed(var)
         self._note_instruction_edit(f"add_use {var.name} in {block_name}")
         return inst
 
@@ -119,8 +125,10 @@ class TransformationSession:
             raise ValueError("instruction does not belong to a block")
         for value in inst.used_variables():
             self.defuse.remove_use(value, block.name)
+            self.checker.notify_variable_changed(value)
         if inst.result is not None:
             self.defuse.remove_variable(inst.result)
+            self.checker.notify_variable_changed(inst.result)
         block.remove(inst)
         self._note_instruction_edit(f"remove_instruction in {block.name}")
 

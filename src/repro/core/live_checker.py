@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.core.batch import BatchQueryEngine
 from repro.core.bitset_query import BitsetChecker
+from repro.core.plans import PlanCache, QueryPlan
 from repro.core.precompute import LivenessPrecomputation
 from repro.core.query import SetBasedChecker
 from repro.ir.function import Function
@@ -46,6 +47,7 @@ class FastLivenessChecker(LivenessOracle):
         self._bitset_checker: BitsetChecker | None = None
         self._set_checker: SetBasedChecker | None = None
         self._batch: BatchQueryEngine | None = None
+        self._plans: PlanCache | None = None
 
     # ------------------------------------------------------------------
     # Precomputation management
@@ -59,8 +61,12 @@ class FastLivenessChecker(LivenessOracle):
                 self._pre, reducible_fast_path=self._reducible_fast_path
             )
             self._set_checker = SetBasedChecker(self._pre)
+            self._plans = None
         if self._defuse is None:
             self._defuse = DefUseChains(self._function)
+            self._plans = None
+        if self._plans is None:
+            self._plans = PlanCache(self._pre, self._defuse)
 
     @property
     def precomputation(self) -> LivenessPrecomputation:
@@ -76,6 +82,13 @@ class FastLivenessChecker(LivenessOracle):
         assert self._defuse is not None
         return self._defuse
 
+    @property
+    def plans(self) -> PlanCache:
+        """The per-variable query-plan cache (shared with the batch engine)."""
+        self.prepare()
+        assert self._plans is not None
+        return self._plans
+
     def notify_cfg_changed(self) -> None:
         """Invalidate the precomputation after a CFG edit.
 
@@ -87,18 +100,33 @@ class FastLivenessChecker(LivenessOracle):
         self._bitset_checker = None
         self._set_checker = None
         self._batch = None
+        self._plans = None
 
     def notify_instructions_changed(self) -> None:
-        """Rebuild def–use chains after instruction-level edits.
+        """Drop the per-variable plans after instruction-level edits.
 
         The precomputation is deliberately left untouched: that it survives
-        such edits is the paper's headline property.  The batch engine's
-        per-variable setups are derived from the chains, so they are
-        dropped with them.
+        such edits is the paper's headline property.  Everything derived
+        from the def–use chains goes — the chains themselves (rebuilt
+        lazily), the query plans and the batch engine's hot masks.
         """
         self._defuse = None
+        self._plans = None
         if self._batch is not None:
             self._batch.invalidate()
+
+    def notify_variable_changed(self, var: Variable) -> None:
+        """Drop cached numeric state for one variable only.
+
+        For callers that maintain the def–use chains *incrementally* (e.g.
+        :class:`repro.core.invalidation.TransformationSession`): the chains
+        stay valid, so only the stale compiled artefacts — the variable's
+        query plan and batch masks — need to go.
+        """
+        if self._plans is not None:
+            self._plans.discard(var)
+        if self._batch is not None:
+            self._batch.discard(var)
 
     # ------------------------------------------------------------------
     # Oracle interface
@@ -106,32 +134,30 @@ class FastLivenessChecker(LivenessOracle):
     def is_live_in(self, var: Variable, block: str) -> bool:
         self.prepare()
         assert self._defuse is not None and self._pre is not None
-        def_block = self._defuse.def_block(var)
-        uses = self._defuse.use_blocks(var)
         if self._use_bitsets:
-            assert self._bitset_checker is not None
-            return self._bitset_checker.is_live_in(
-                self._pre.num(def_block),
-                [self._pre.num(use) for use in uses],
-                self._pre.num(block),
+            assert self._bitset_checker is not None and self._plans is not None
+            plan = self._plans.plan(var)
+            return self._bitset_checker.is_live_in_mask(
+                plan.def_num, plan.use_mask, self._pre.num(block)
             )
         assert self._set_checker is not None
-        return self._set_checker.is_live_in(def_block, uses, block)
+        return self._set_checker.is_live_in(
+            self._defuse.def_block(var), self._defuse.use_blocks(var), block
+        )
 
     def is_live_out(self, var: Variable, block: str) -> bool:
         self.prepare()
         assert self._defuse is not None and self._pre is not None
-        def_block = self._defuse.def_block(var)
-        uses = self._defuse.use_blocks(var)
         if self._use_bitsets:
-            assert self._bitset_checker is not None
-            return self._bitset_checker.is_live_out(
-                self._pre.num(def_block),
-                [self._pre.num(use) for use in uses],
-                self._pre.num(block),
+            assert self._bitset_checker is not None and self._plans is not None
+            plan = self._plans.plan(var)
+            return self._bitset_checker.is_live_out_mask(
+                plan.def_num, plan.use_mask, self._pre.num(block)
             )
         assert self._set_checker is not None
-        return self._set_checker.is_live_out(def_block, uses, block)
+        return self._set_checker.is_live_out(
+            self._defuse.def_block(var), self._defuse.use_blocks(var), block
+        )
 
     def live_variables(self) -> list[Variable]:
         self.prepare()

@@ -12,6 +12,15 @@ CFG untouched — adding or removing instructions, introducing or coalescing
 variables, rewriting uses.  Only CFG edits (adding/removing blocks or
 edges) require building a new instance, which is exactly the invalidation
 contract the paper claims as its main practical advantage.
+
+On top of the object-level views (``reach``/``targets`` return
+:class:`~repro.sets.bitset.BitSet` instances — the readable construction
+and teaching representation), the constructor lowers everything the query
+engine touches to flat parallel arrays indexed by dominance-preorder
+number: ``r_masks``, ``t_masks``, ``maxnums`` and ``is_back_target``.
+The numeric core (:mod:`repro.core.bitset_query`,
+:mod:`repro.core.batch`) runs Algorithm 3 on these raw ints with zero
+``node_of``/``BitSet`` round-trips per query.
 """
 
 from __future__ import annotations
@@ -36,6 +45,20 @@ class LivenessPrecomputation:
         self.targets = TargetSets(graph, self.dfs, self.domtree, self.reach, strategy)
         self.reducible = is_reducible(graph, self.dfs, self.domtree)
         self._back_edge_targets = set(self.dfs.back_edge_targets())
+        # ------------------------------------------------------------------
+        # The numeric view: flat arrays indexed by dominance-preorder number.
+        # ------------------------------------------------------------------
+        order = self.domtree.preorder()
+        #: ``maxnums[n]`` = largest preorder number in the subtree of node n.
+        self.maxnums: list[int] = [self.domtree.maxnum(node) for node in order]
+        #: ``r_masks[n]`` = raw bit mask of ``R_v`` for the node numbered n.
+        self.r_masks: list[int] = [self.reach.bitset(node).mask for node in order]
+        #: ``t_masks[n]`` = raw bit mask of ``T_v`` for the node numbered n.
+        self.t_masks: list[int] = [self.targets.bitset(node).mask for node in order]
+        #: ``is_back_target[n]`` = a DFS back edge points at node number n.
+        self.is_back_target: list[bool] = [
+            node in self._back_edge_targets for node in order
+        ]
 
     # ------------------------------------------------------------------
     # Node numbering helpers (Section 5.1)

@@ -76,6 +76,15 @@ class BlockLiveness:
         blocks = [block.name for block in self.function]
         self._live_in = {name: set() for name in blocks}
         self._live_out = {name: set() for name in blocks}
+        if use_batch and hasattr(oracle, "batch"):
+            # One joint interval sweep per variable over the shared query
+            # plans — both directions at once.
+            live_in, live_out = oracle.batch.live_maps(self.variables)
+            for name, members in live_in.items():
+                self._live_in[name] |= members
+            for name, members in live_out.items():
+                self._live_out[name] |= members
+            return
         batched = use_batch and hasattr(oracle, "live_in_set")
         for var in self.variables:
             if batched:

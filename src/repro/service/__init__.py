@@ -1,0 +1,27 @@
+"""Multi-function liveness serving on top of :mod:`repro.core`.
+
+The paper's checker answers queries about one function; a compilation
+server answers them about *thousands*, interleaved with program edits.
+This package provides :class:`LivenessService` — a keyed, LRU-bounded
+cache of :class:`~repro.core.live_checker.FastLivenessChecker` instances
+over a whole :class:`~repro.ir.module.Module`, with a multi-function batch
+API (:meth:`LivenessService.submit`), per-function edit routing and
+hit/miss/eviction statistics.
+
+``bench/table_service.py`` measures this layer: a mixed many-function
+workload against per-query checker reconstruction.
+"""
+
+from repro.service.service import (
+    DEFAULT_CAPACITY,
+    LivenessRequest,
+    LivenessService,
+    ServiceStats,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "LivenessRequest",
+    "LivenessService",
+    "ServiceStats",
+]

@@ -1,0 +1,288 @@
+"""A multi-function liveness-query front door.
+
+Everything below :mod:`repro.core` serves exactly one
+:class:`~repro.ir.function.Function` at a time; a compiler (or a
+compilation server) holds *many* functions and fires interleaved queries
+and edit notifications at them.  :class:`LivenessService` is that front
+door: it keeps a bounded, LRU-managed cache of
+:class:`~repro.core.live_checker.FastLivenessChecker` instances keyed by
+function name, builds checkers on demand, routes per-function edit
+notifications to the right cache entry, and answers multi-function batch
+requests in one call.
+
+Design points:
+
+* **Bounded cache.**  A checker's precomputation is the expensive part
+  (DFS + dominance + ``R``/``T``); the service caps how many are resident
+  (``capacity``) and evicts least-recently-used entries.  Re-touching an
+  evicted function rebuilds its checker from scratch — the same trade the
+  paper's Section 6.1 memory discussion makes explicit.
+* **Invalidation contract, per function.**  ``notify_cfg_changed(name)``
+  drops that function's precomputation (nothing else);
+  ``notify_instructions_changed(name)`` drops only its query plans and
+  def–use chains; other functions are never touched.
+* **Batch API.**  :meth:`submit` takes a stream of
+  :class:`LivenessRequest` items spanning any number of functions and
+  answers them in order, routing each through the owning checker's batch
+  engine so per-variable query plans are compiled once per function no
+  matter how the stream interleaves.
+* **Observability.**  :class:`ServiceStats` counts cache hits, misses,
+  evictions, invalidations and answered queries — the numbers
+  ``bench/table_service.py`` reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.live_checker import FastLivenessChecker
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.value import Variable
+
+#: Default maximum number of resident checkers.
+DEFAULT_CAPACITY = 64
+
+
+@dataclass(frozen=True)
+class LivenessRequest:
+    """One liveness question addressed to a named function."""
+
+    #: Name of the function the question is about.
+    function: str
+    #: ``"in"`` or ``"out"``.
+    kind: str
+    #: The variable queried.
+    variable: Variable
+    #: The block queried.
+    block: str
+
+
+@dataclass
+class ServiceStats:
+    """Cache and traffic counters of one :class:`LivenessService`."""
+
+    #: Checker found resident in the cache.
+    hits: int = 0
+    #: Checker had to be (re)built.
+    misses: int = 0
+    #: Checkers dropped because the cache was over capacity.
+    evictions: int = 0
+    #: Per-function CFG invalidations routed through the service.
+    cfg_invalidations: int = 0
+    #: Per-function instruction-level invalidations routed through.
+    instruction_invalidations: int = 0
+    #: Individual liveness questions answered.
+    queries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total checker lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for JSON reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "cfg_invalidations": self.cfg_invalidations,
+            "instruction_invalidations": self.instruction_invalidations,
+            "queries": self.queries,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LivenessService:
+    """Liveness queries for a whole :class:`~repro.ir.module.Module`.
+
+    Parameters
+    ----------
+    module:
+        Functions to serve.  More can be registered later with
+        :meth:`register`; a plain iterable of functions works too.
+    capacity:
+        Maximum number of resident checkers (≥ 1).  Least-recently-used
+        entries are evicted beyond that.
+    strategy:
+        ``TargetSets`` construction strategy handed to every checker.
+    """
+
+    def __init__(
+        self,
+        module: Module | Iterable[Function] | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+        strategy: str = "exact",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self._functions: dict[str, Function] = {}
+        self._checkers: OrderedDict[str, FastLivenessChecker] = OrderedDict()
+        self._capacity = capacity
+        self._strategy = strategy
+        self.stats = ServiceStats()
+        if module is not None:
+            for function in module:
+                self.register(function)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, function: Function) -> Function:
+        """Make ``function`` servable; names must be unique."""
+        if function.name in self._functions:
+            raise ValueError(f"duplicate function name {function.name!r}")
+        self._functions[function.name] = function
+        return function
+
+    def functions(self) -> list[str]:
+        """Names of every registered function, in registration order."""
+        return list(self._functions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    # ------------------------------------------------------------------
+    # The checker cache
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident checkers."""
+        return self._capacity
+
+    def resident(self) -> list[str]:
+        """Functions with a live checker, least-recently-used first."""
+        return list(self._checkers)
+
+    def checker(self, name: str) -> FastLivenessChecker:
+        """The (cached) checker for function ``name``.
+
+        Builds and prepares one on a miss; touching an entry makes it
+        most-recently-used.  May evict another function's checker.
+        """
+        cached = self._checkers.get(name)
+        if cached is not None:
+            self._checkers.move_to_end(name)
+            self.stats.hits += 1
+            return cached
+        try:
+            function = self._functions[name]
+        except KeyError:
+            raise KeyError(f"unknown function {name!r}") from None
+        self.stats.misses += 1
+        checker = FastLivenessChecker(function, strategy=self._strategy)
+        checker.prepare()
+        self._checkers[name] = checker
+        while len(self._checkers) > self._capacity:
+            self._checkers.popitem(last=False)
+            self.stats.evictions += 1
+        return checker
+
+    def evict(self, name: str) -> bool:
+        """Drop one function's checker (True if it was resident)."""
+        return self._checkers.pop(name, None) is not None
+
+    def clear(self) -> None:
+        """Drop every resident checker (registrations are kept)."""
+        self._checkers.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_live_in(self, function: str, var: Variable, block: str) -> bool:
+        """Live-in query against one function, through the cached checker."""
+        self.stats.queries += 1
+        return self.checker(function).batch.is_live_in(var, block)
+
+    def is_live_out(self, function: str, var: Variable, block: str) -> bool:
+        """Live-out query against one function, through the cached checker."""
+        self.stats.queries += 1
+        return self.checker(function).batch.is_live_out(var, block)
+
+    def submit(
+        self, requests: Sequence[LivenessRequest | tuple[str, str, Variable, str]]
+    ) -> list[bool]:
+        """Answer a mixed multi-function request stream, in order.
+
+        Each item is a :class:`LivenessRequest` or a plain
+        ``(function, kind, variable, block)`` tuple with ``kind`` one of
+        ``"in"`` / ``"out"``.  Consecutive requests for the same function
+        share one cache lookup; every request shares the per-variable
+        query plans the checker already holds.
+        """
+        answers: list[bool] = []
+        current_name: str | None = None
+        current_checker: FastLivenessChecker | None = None
+        for request in requests:
+            if isinstance(request, LivenessRequest):
+                name, kind, var, block = (
+                    request.function,
+                    request.kind,
+                    request.variable,
+                    request.block,
+                )
+            else:
+                name, kind, var, block = request
+            if name != current_name:
+                current_checker = self.checker(name)
+                current_name = name
+            assert current_checker is not None
+            self.stats.queries += 1
+            if kind == "in":
+                answers.append(current_checker.batch.is_live_in(var, block))
+            elif kind == "out":
+                answers.append(current_checker.batch.is_live_out(var, block))
+            else:
+                raise ValueError(f"unknown query kind {kind!r}")
+        return answers
+
+    # ------------------------------------------------------------------
+    # Edit notifications, routed per function
+    # ------------------------------------------------------------------
+    def _require_known(self, function: str) -> None:
+        # A typoed name must fail loudly here: silently "invalidating"
+        # nothing would leave the real function's checker stale.
+        if function not in self._functions:
+            raise KeyError(f"unknown function {function!r}")
+
+    def notify_cfg_changed(self, function: str) -> None:
+        """The function's CFG changed: its precomputation is gone."""
+        self._require_known(function)
+        self.stats.cfg_invalidations += 1
+        cached = self._checkers.get(function)
+        if cached is not None:
+            cached.notify_cfg_changed()
+
+    def notify_instructions_changed(self, function: str) -> None:
+        """Instruction-level edits: drop the function's plans only."""
+        self._require_known(function)
+        self.stats.instruction_invalidations += 1
+        cached = self._checkers.get(function)
+        if cached is not None:
+            cached.notify_instructions_changed()
+
+    def notify_variable_changed(self, function: str, var: Variable) -> None:
+        """One variable's chain changed (incremental def–use maintenance)."""
+        self._require_known(function)
+        cached = self._checkers.get(function)
+        if cached is not None:
+            cached.notify_variable_changed(var)
+
+    def __repr__(self) -> str:
+        return (
+            f"LivenessService(functions={len(self._functions)}, "
+            f"resident={len(self._checkers)}/{self._capacity}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )

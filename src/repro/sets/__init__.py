@@ -16,8 +16,8 @@ all three representations:
   data-flow liveness for global live sets.
 """
 
-from repro.sets.bitset import BitSet
+from repro.sets.bitset import BitSet, next_set_bit_in_mask
 from repro.sets.sparse_set import SparseSet
 from repro.sets.sorted_set import SortedArraySet
 
-__all__ = ["BitSet", "SparseSet", "SortedArraySet"]
+__all__ = ["BitSet", "SparseSet", "SortedArraySet", "next_set_bit_in_mask"]

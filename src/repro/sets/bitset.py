@@ -19,6 +19,23 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 
+def next_set_bit_in_mask(mask: int, start: int) -> int:
+    """Smallest set bit of ``mask`` at position ``>= start``, or ``-1``.
+
+    The raw-integer counterpart of :meth:`BitSet.next_set_bit`, used by the
+    numeric query core (:mod:`repro.core.bitset_query`) which operates on
+    plain ``int`` masks with no :class:`BitSet` objects on the hot path.
+    Returns ``-1`` when exhausted (the paper's ``MAX_INT`` sentinel).
+    """
+    if start > 0:
+        mask >>= start
+    else:
+        start = 0
+    if mask == 0:
+        return -1
+    return start + ((mask & -mask).bit_length() - 1)
+
+
 class BitSet:
     """A mutable set of small non-negative integers drawn from ``range(universe)``.
 

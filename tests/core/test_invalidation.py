@@ -71,6 +71,45 @@ class TestInstructionEdits:
         assert copy_var not in session.defuse
         assert session.stats.instruction_edits == 2
 
+    def test_add_use_chain_counts_match_fresh_rebuild(self, session):
+        """Regression: the incremental chains must count exactly one use per
+        operand occurrence of the inserted STORE (which reads the variable
+        twice — address and value), no more and no fewer."""
+        from repro.ssa.defuse import DefUseChains
+
+        function = session.function
+        var = session.checker.live_variables()[0]
+        block = function.entry.name
+        inst = session.add_use(var, block)
+        assert inst.operands.count(var) == 2
+        rebuilt = DefUseChains(function)
+        for tracked in session.defuse.variables():
+            assert session.defuse.num_uses(tracked) == rebuilt.num_uses(tracked), (
+                tracked.name
+            )
+            assert sorted(session.defuse.uses(tracked)) == sorted(
+                rebuilt.uses(tracked)
+            ), tracked.name
+
+    def test_edit_mix_chain_counts_match_fresh_rebuild(self, session):
+        """The same multiset invariant after a mixed edit sequence."""
+        from repro.ssa.defuse import DefUseChains
+
+        function = session.function
+        var = session.checker.live_variables()[0]
+        block = function.entry.name
+        copy_var = session.insert_copy(block, var)
+        session.add_use(copy_var, block)
+        session.add_use(var, block)
+        removable = session.insert_copy(block, var)
+        session.remove_instruction(removable.definition)
+        rebuilt = DefUseChains(function)
+        assert len(session.defuse) == len(rebuilt)
+        for tracked in session.defuse.variables():
+            assert session.defuse.num_uses(tracked) == rebuilt.num_uses(tracked), (
+                tracked.name
+            )
+
 
 class TestCfgEdits:
     def test_split_edge_invalidates_checker(self, session):

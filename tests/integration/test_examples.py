@@ -14,6 +14,7 @@ EXPECTED_SNIPPETS = {
     "jit_invalidation.py": "answered identically by both engines",
     "register_pressure.py": "maximum block-level pressure",
     "register_allocation.py": "verified against the independent data-flow oracle",
+    "liveness_service.py": "service statistics",
 }
 
 
