@@ -55,6 +55,7 @@ from repro.ir import (
     FunctionBuilder,
     Instruction,
     Module,
+    ParallelCopy,
     Phi,
     Variable,
     parse_function,
@@ -83,6 +84,12 @@ from repro.ssa import (
     construct_ssa,
     destruct_ssa,
 )
+from repro.ssadestruct import (
+    DestructReport,
+    destruct,
+    verify_conventional_ssa,
+    verify_destructed,
+)
 
 __version__ = "1.0.0"
 
@@ -101,6 +108,7 @@ __all__ = [
     "Variable",
     "Instruction",
     "Phi",
+    "ParallelCopy",
     "BasicBlock",
     "Function",
     "Module",
@@ -114,6 +122,11 @@ __all__ = [
     "destruct_ssa",
     "InterferenceChecker",
     "CopyCoalescer",
+    # ssadestruct (the staged out-of-SSA client)
+    "destruct",
+    "DestructReport",
+    "verify_conventional_ssa",
+    "verify_destructed",
     # liveness
     "LivenessOracle",
     "CountingOracle",

@@ -132,7 +132,10 @@ class FastLivenessChecker(LivenessOracle):
     # Oracle interface
     # ------------------------------------------------------------------
     def is_live_in(self, var: Variable, block: str) -> bool:
-        self.prepare()
+        # Hot path: skip the prepare() call when everything is resident
+        # (plans are built last, so a live plan cache implies the rest).
+        if self._plans is None:
+            self.prepare()
         assert self._defuse is not None and self._pre is not None
         if self._use_bitsets:
             assert self._bitset_checker is not None and self._plans is not None
@@ -146,7 +149,8 @@ class FastLivenessChecker(LivenessOracle):
         )
 
     def is_live_out(self, var: Variable, block: str) -> bool:
-        self.prepare()
+        if self._plans is None:
+            self.prepare()
         assert self._defuse is not None and self._pre is not None
         if self._use_bitsets:
             assert self._bitset_checker is not None and self._plans is not None

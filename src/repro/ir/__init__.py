@@ -25,7 +25,7 @@ The IR is deliberately conventional:
 """
 
 from repro.ir.value import Constant, Undef, Value, Variable
-from repro.ir.instruction import Instruction, Opcode, Phi
+from repro.ir.instruction import Instruction, Opcode, ParallelCopy, Phi
 from repro.ir.block import BasicBlock
 from repro.ir.function import Function
 from repro.ir.module import Module
@@ -41,6 +41,7 @@ __all__ = [
     "Undef",
     "Instruction",
     "Phi",
+    "ParallelCopy",
     "Opcode",
     "BasicBlock",
     "Function",

@@ -110,9 +110,10 @@ class BasicBlock:
     # ------------------------------------------------------------------
     def defined_variables(self) -> list:
         """Variables defined by the block's instructions (including φs)."""
-        return [
-            inst.result for inst in self.instructions if inst.result is not None
-        ]
+        result = []
+        for inst in self.instructions:
+            result.extend(inst.defined_variables())
+        return result
 
     def used_variables(self) -> list:
         """Variables used by non-φ instructions of this block.

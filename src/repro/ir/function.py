@@ -81,10 +81,10 @@ class Function:
                 seen.add(id(param))
                 result.append(param)
         for inst in self.instructions():
-            var = inst.result
-            if var is not None and id(var) not in seen:
-                seen.add(id(var))
-                result.append(var)
+            for var in inst.defined_variables():
+                if id(var) not in seen:
+                    seen.add(id(var))
+                    result.append(var)
         return result
 
     def variable_by_name(self, name: str) -> Variable:
@@ -135,6 +135,14 @@ class Function:
         """
         created: list[str] = []
         counter = 0
+        # Predecessor counts, computed once: splitting an edge re-routes it
+        # through a fresh forwarding block without changing how many
+        # predecessors the original target has, so the counts stay valid
+        # throughout the loop (and the quadratic per-edge rescan is avoided).
+        pred_count: dict[str, int] = {name: 0 for name in self.blocks}
+        for block in self:
+            for succ in block.successors():
+                pred_count[succ] += 1
         for block in list(self):
             successors = block.successors()
             if len(successors) < 2:
@@ -143,7 +151,7 @@ class Function:
             assert terminator is not None
             for succ_name in successors:
                 succ = self.blocks[succ_name]
-                if len(self.predecessors(succ_name)) < 2:
+                if pred_count[succ_name] < 2:
                     continue
                 # Insert a forwarding block on the critical edge.
                 while True:

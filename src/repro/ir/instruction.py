@@ -18,6 +18,7 @@ opcode         meaning                                         operands
 ``load``       opaque memory read                              value
 ``store``      opaque memory write (no result)                 value, value
 ``phi``        SSA φ-function                                  per-pred values
+``parcopy``    parallel copy (all reads before any write)      per-pair sources
 ``jump``       unconditional branch                            none
 ``branch``     conditional branch                              value
 ``return``     function return                                 optional value
@@ -51,6 +52,7 @@ class Opcode:
     LOAD = "load"
     STORE = "store"
     PHI = "phi"
+    PARCOPY = "parcopy"
     JUMP = "jump"
     BRANCH = "branch"
     RETURN = "return"
@@ -67,6 +69,7 @@ class Opcode:
             LOAD,
             STORE,
             PHI,
+            PARCOPY,
             JUMP,
             BRANCH,
             RETURN,
@@ -140,6 +143,16 @@ class Instruction:
     def defined_variable(self) -> Variable | None:
         """The variable this instruction defines, if any."""
         return self.result
+
+    def defined_variables(self) -> list[Variable]:
+        """Every variable this instruction defines.
+
+        Ordinary instructions define at most one variable (``result``);
+        :class:`ParallelCopy` overrides this to return all of its
+        destinations.  Analyses that walk definitions should prefer this
+        over ``result`` so multi-definition instructions are handled.
+        """
+        return [self.result] if self.result is not None else []
 
     def used_variables(self) -> list[Variable]:
         """Variables read by this instruction.
@@ -219,3 +232,71 @@ class Phi(Instruction):
         value = self.incoming.pop(old)
         self.incoming[new] = value
         self.operands = list(self.incoming.values())
+
+
+class ParallelCopy(Instruction):
+    """A parallel copy ``(d₁, …, dₙ) ← (s₁, …, sₙ)``.
+
+    All sources are read before any destination is written — exactly the
+    semantics of the copies a φ-function conceptually performs on each
+    incoming edge.  SSA destruction (:mod:`repro.ssadestruct`) isolates φs
+    by materialising these instructions at the ends of predecessor blocks
+    and right after the φ prefix; a later sequentialisation pass lowers
+    each one into an equivalent sequence of plain ``copy`` instructions,
+    breaking cycles with a temporary.
+
+    Unlike every other instruction, a parallel copy defines *several*
+    variables; ``result`` stays ``None`` and :meth:`defined_variables`
+    returns the destinations.  Destinations must be pairwise distinct.
+    """
+
+    def __init__(self, pairs: Iterable[tuple[Variable, Value]]) -> None:
+        pair_list = list(pairs)
+        if not pair_list:
+            raise ValueError("parallel copy needs at least one (dest, src) pair")
+        dests = [dest for dest, _ in pair_list]
+        if len({id(dest) for dest in dests}) != len(dests):
+            raise ValueError("parallel copy has duplicate destinations")
+        self.pairs: list[tuple[Variable, Value]] = pair_list
+        super().__init__(
+            Opcode.PARCOPY,
+            result=None,
+            operands=[src for _, src in pair_list],
+        )
+        for dest, _ in pair_list:
+            dest.definition = self
+
+    @property
+    def destinations(self) -> list[Variable]:
+        """The variables written (in pair order)."""
+        return [dest for dest, _ in self.pairs]
+
+    @property
+    def sources(self) -> list[Value]:
+        """The values read (in pair order)."""
+        return [src for _, src in self.pairs]
+
+    def defined_variables(self) -> list[Variable]:
+        return self.destinations
+
+    def replace_pairs(self, pairs: Iterable[tuple[Variable, Value]]) -> None:
+        """Swap in a new pair list (e.g. after congruence-class renaming)."""
+        pair_list = list(pairs)
+        if not pair_list:
+            raise ValueError("parallel copy needs at least one (dest, src) pair")
+        dests = [dest for dest, _ in pair_list]
+        if len({id(dest) for dest in dests}) != len(dests):
+            raise ValueError("parallel copy has duplicate destinations")
+        self.pairs = pair_list
+        self.operands = [src for _, src in pair_list]
+        for dest, _ in pair_list:
+            dest.definition = self
+
+    def replace_uses(self, old: Variable, new: Value) -> int:
+        count = 0
+        for index, (dest, src) in enumerate(self.pairs):
+            if src is old:
+                self.pairs[index] = (dest, new)
+                count += 1
+        self.operands = [src for _, src in self.pairs]
+        return count

@@ -223,6 +223,12 @@ def _step(
     if opcode == Opcode.COPY:
         env[inst.result.name] = _read(inst.operands[0], env)
         return None
+    if opcode == Opcode.PARCOPY:
+        # All sources are read before any destination is written.
+        staged = [(dest, _read(src, env)) for dest, src in inst.pairs]
+        for dest, value in staged:
+            env[dest.name] = value
+        return None
     if opcode == Opcode.UNOP:
         env[inst.result.name] = _unop(inst.detail, _read(inst.operands[0], env))
         return None

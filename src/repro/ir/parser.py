@@ -11,7 +11,7 @@ from __future__ import annotations
 import re
 
 from repro.ir.function import Function
-from repro.ir.instruction import Instruction, Opcode, Phi
+from repro.ir.instruction import Instruction, Opcode, ParallelCopy, Phi
 from repro.ir.module import Module
 from repro.ir.value import Constant, Undef, Value, Variable
 
@@ -142,6 +142,16 @@ class _FunctionParser:
         if opcode == Opcode.RETURN:
             operands = [self._value(rest)] if rest else []
             self.current.append(Instruction(Opcode.RETURN, operands=operands))
+            return
+        if opcode == Opcode.PARCOPY:
+            pairs = []
+            for chunk in rest.split(","):
+                dest_text, arrow, src_text = chunk.partition("<-")
+                dest_name = dest_text.strip()
+                if not arrow or not re.fullmatch(r"[A-Za-z_][\w.]*", dest_name):
+                    raise IRParseError(f"parcopy needs 'dest <- src' pairs: {line!r}")
+                pairs.append((self._variable(dest_name), self._value(src_text)))
+            self.current.append(ParallelCopy(pairs))
             return
         if opcode == Opcode.STORE:
             parts = [part.strip() for part in rest.split(",")]

@@ -24,7 +24,7 @@ queries is vastly easier when a function can be dumped next to the query.
 from __future__ import annotations
 
 from repro.ir.function import Function
-from repro.ir.instruction import Instruction, Opcode, Phi
+from repro.ir.instruction import Instruction, Opcode, ParallelCopy, Phi
 from repro.ir.module import Module
 from repro.ir.value import Constant, Undef, Value, Variable
 
@@ -47,6 +47,11 @@ def format_instruction(inst: Instruction) -> str:
             f"[{format_value(value)} : {pred}]" for pred, value in inst.incoming.items()
         )
         return f"{inst.result.name} = phi {incoming}"
+    if isinstance(inst, ParallelCopy):
+        pairs = ", ".join(
+            f"{dest.name} <- {format_value(src)}" for dest, src in inst.pairs
+        )
+        return f"parcopy {pairs}"
     opcode = inst.opcode
     if inst.detail and opcode in {Opcode.BINOP, Opcode.UNOP, Opcode.CALL}:
         opcode = f"{inst.opcode}.{inst.detail}"

@@ -102,31 +102,27 @@ def verify_ssa(function: Function) -> None:
     names: dict[str, Variable] = {}
     for block in function:
         for inst in block.instructions:
-            var = inst.result
-            if var is None:
-                continue
-            if id(var) in definitions:
-                raise IRVerificationError(
-                    f"{function.name}: variable {var.name!r} defined more than "
-                    f"once (blocks {definitions[id(var)]!r} and {block.name!r})"
-                )
-            definitions[id(var)] = block.name
+            for var in inst.defined_variables():
+                if id(var) in definitions:
+                    raise IRVerificationError(
+                        f"{function.name}: variable {var.name!r} defined more than "
+                        f"once (blocks {definitions[id(var)]!r} and {block.name!r})"
+                    )
+                definitions[id(var)] = block.name
     for block in function:
         for inst in block.instructions:
-            var = inst.result
-            if var is None:
-                continue
-            if var.name in names and names[var.name] is not var:
-                raise IRVerificationError(
-                    f"{function.name}: two distinct variables share the name "
-                    f"{var.name!r}"
-                )
-            names[var.name] = var
-            if var.definition is not inst:
-                raise IRVerificationError(
-                    f"{function.name}: variable {var.name!r} does not point back "
-                    f"to its defining instruction"
-                )
+            for var in inst.defined_variables():
+                if var.name in names and names[var.name] is not var:
+                    raise IRVerificationError(
+                        f"{function.name}: two distinct variables share the name "
+                        f"{var.name!r}"
+                    )
+                names[var.name] = var
+                if var.definition is not inst:
+                    raise IRVerificationError(
+                        f"{function.name}: variable {var.name!r} does not point back "
+                        f"to its defining instruction"
+                    )
 
     # Dominance property: definition dominates every use.
     for block in function:
@@ -172,7 +168,7 @@ def _defined_before_use(block, var: Variable, use_inst) -> bool:
     for inst in block.instructions:
         if inst is use_inst:
             return False
-        if inst.result is var:
+        if any(defined is var for defined in inst.defined_variables()):
             return True
     raise IRVerificationError(
         f"{block.name}: instruction not found in its own block"

@@ -22,6 +22,7 @@ queries-per-variable figures.
 
 from repro.liveness.oracle import CountingOracle, LivenessOracle, LiveSets
 from repro.liveness.dataflow import DataflowLiveness
+from repro.liveness.ranges import interference_pairs, per_point_live_sets
 from repro.liveness.ssa_liveness import PathExplorationLiveness
 
 __all__ = [
@@ -30,4 +31,6 @@ __all__ = [
     "LiveSets",
     "DataflowLiveness",
     "PathExplorationLiveness",
+    "per_point_live_sets",
+    "interference_pairs",
 ]

@@ -81,6 +81,10 @@ class DataflowLiveness(LivenessOracle):
                     # the φ result is an ordinary definition here.
                     pass
                 else:
+                    # Sources are read before any destination is written
+                    # (which only matters for ParallelCopy, the one
+                    # multi-definition instruction), so uses are recorded
+                    # before this instruction's definitions kill anything.
                     for value in inst.operands:
                         if (
                             isinstance(value, Variable)
@@ -88,10 +92,9 @@ class DataflowLiveness(LivenessOracle):
                             and self._index[value] not in killed
                         ):
                             exposed.add(self._index[value])
-                    if inst.result is not None and inst.result in tracked:
-                        killed.add(self._index[inst.result])
-                if inst.is_phi() and inst.result is not None and inst.result in tracked:
-                    killed.add(self._index[inst.result])
+                for var in inst.defined_variables():
+                    if var in tracked:
+                        killed.add(self._index[var])
             upward[block.name] = exposed
             defs[block.name] = killed
         # φ-attributed uses: at the end of the predecessor, upward-exposed

@@ -1,0 +1,79 @@
+"""Instruction-granularity live sets derived from block-level liveness.
+
+Block-level liveness (any :class:`~repro.liveness.oracle.LivenessOracle`)
+answers "is ``a`` live at the boundary of block ``B``?"; several clients —
+the allocation verifier, the conventional interference-graph baseline the
+destruction benchmark compares against — need the refinement down to
+individual program points.  The refinement is a plain backward walk over
+each block and deliberately lives here, next to the data-flow engine, so
+both :mod:`repro.regalloc` and :mod:`repro.ssadestruct` can share it
+without depending on each other.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.value import Variable
+from repro.liveness.dataflow import DataflowLiveness
+
+
+def per_point_live_sets(function: Function) -> dict[str, list[set[Variable]]]:
+    """Live-after sets for every instruction, from first principles.
+
+    ``result[block][i]`` is the set of variables whose value is still
+    needed *after* instruction ``i`` of ``block``.  Block-level sets come
+    from a fresh data-flow fixpoint; the in-block refinement walks each
+    block backwards: stepping over an instruction removes its definitions
+    and adds its (non-φ) operands, and stepping over the terminator also
+    adds the φ operands that successors read through this block — the
+    parallel copies of SSA destruction sit just before the terminator, so
+    that is where those values are last alive.
+    """
+    oracle = DataflowLiveness(function)
+    sets = oracle.live_sets()
+    edge_uses: dict[str, set[Variable]] = {block.name: set() for block in function}
+    for block in function:
+        for phi in block.phis():
+            for pred, value in phi.incoming.items():
+                if isinstance(value, Variable):
+                    edge_uses[pred].add(value)
+    result: dict[str, list[set[Variable]]] = {}
+    for block in function:
+        live = set(sets.live_out[block.name])
+        points: list[set[Variable]] = [set() for _ in block.instructions]
+        for index in range(len(block.instructions) - 1, -1, -1):
+            points[index] = set(live)
+            inst = block.instructions[index]
+            for defined in inst.defined_variables():
+                live.discard(defined)
+            if not inst.is_phi():
+                for value in inst.operands:
+                    if isinstance(value, Variable):
+                        live.add(value)
+            if inst.is_terminator():
+                live |= edge_uses[block.name]
+        result[block.name] = points
+    return result
+
+
+def interference_pairs(function: Function) -> set[frozenset[int]]:
+    """The full interference graph as ``frozenset({id(a), id(b)})`` edges.
+
+    Two variables interfere when their live ranges share a program point,
+    where a definition point always belongs to the defined variable's
+    range (a dead definition still occupies a register for an instant).
+    This is the *conventional* way to answer interference questions — build
+    the whole graph eagerly, then look edges up — and exists here as the
+    baseline the paper's query-driven approach is measured against.
+    """
+    points = per_point_live_sets(function)
+    edges: set[frozenset[int]] = set()
+    for block in function:
+        for index, inst in enumerate(block.instructions):
+            group = set(points[block.name][index])
+            group.update(inst.defined_variables())
+            members = list(group)
+            for i, first in enumerate(members):
+                for second in members[i + 1:]:
+                    edges.add(frozenset((id(first), id(second))))
+    return edges

@@ -45,6 +45,7 @@ from repro.regalloc.chordal import Coloring, color_function
 from repro.regalloc.pressure import BlockLiveness, PressureInfo, compute_pressure
 from repro.regalloc.spill import SpillReport, lower_pressure
 from repro.regalloc.verify import per_point_live_sets
+from repro.ssa.construction import construct_ssa
 from repro.ssa.destruction import DestructionReport, destruct_ssa
 
 
@@ -174,6 +175,10 @@ class Allocation:
     max_live_before_spill: int = 0
     #: MaxLive of the program that was colored (after spilling, if any).
     max_live: int = 0
+    #: True when the input was not SSA (e.g. the output of an out-of-SSA
+    #: translation) and the allocator round-tripped it through SSA
+    #: construction before analysing it.
+    reconstructed_ssa: bool = False
     spill_report: SpillReport | None = None
     destruction_report: DestructionReport | None = None
     #: Wall-clock seconds of the allocation pipeline (bench bookkeeping).
@@ -221,6 +226,21 @@ def allocate(
         # the backend's precomputation exists, not between color and lower.
         split_edges = True
     prebuilt = isinstance(backend, LivenessBackend)
+    reconstructed = False
+    if not _is_ssa(function):
+        # The input is not SSA — typically the output of an out-of-SSA
+        # translation being re-allocated (a JIT re-entering the pipeline).
+        # Every analysis below requires strict SSA, so round-trip through
+        # SSA construction first; this is an instruction-level rewrite plus
+        # φ insertion, i.e. it must happen before any precomputation.
+        if prebuilt:
+            raise ValueError(
+                "cannot allocate a non-SSA function through a prebuilt "
+                "backend: SSA reconstruction would invalidate it; pass the "
+                "backend by name instead"
+            )
+        construct_ssa(function)
+        reconstructed = True
     if split_edges:
         created = function.split_critical_edges()
         if created and prebuilt:
@@ -237,6 +257,7 @@ def allocate(
         backend=adapter.name,
         num_registers=num_registers,
         max_live_before_spill=info.max_live,
+        reconstructed_ssa=reconstructed,
     )
     if num_registers is not None and info.max_live > num_registers:
         allocation.spill_report = lower_pressure(
@@ -273,6 +294,17 @@ def allocate(
         _extend_after_destruction(allocation)
     allocation.elapsed_seconds = time.perf_counter() - start
     return allocation
+
+
+def _is_ssa(function: Function) -> bool:
+    """Cheap single-definition check (the property construction restores)."""
+    seen: set[int] = set()
+    for inst in function.instructions():
+        for var in inst.defined_variables():
+            if id(var) in seen:
+                return False
+            seen.add(id(var))
+    return True
 
 
 def _extend_after_destruction(allocation: Allocation) -> None:

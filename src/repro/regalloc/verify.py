@@ -21,52 +21,15 @@ from typing import TYPE_CHECKING
 
 from repro.ir.function import Function
 from repro.ir.value import Variable
-from repro.liveness.dataflow import DataflowLiveness
+from repro.liveness.ranges import per_point_live_sets
+
+__all__ = ["per_point_live_sets", "VerificationResult", "verify_allocation"]
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.regalloc.allocator import Allocation
 
 #: Cap on collected error messages (a broken allocation fails everywhere).
 _MAX_ERRORS = 20
-
-
-def per_point_live_sets(function: Function) -> dict[str, list[set[Variable]]]:
-    """Live-after sets for every instruction, from first principles.
-
-    ``result[block][i]`` is the set of variables whose value is still
-    needed *after* instruction ``i`` of ``block``.  Block-level sets come
-    from a fresh data-flow fixpoint; the in-block refinement walks each
-    block backwards: stepping over an instruction removes its result and
-    adds its (non-φ) operands, and stepping over the terminator also adds
-    the φ operands that successors read through this block — the parallel
-    copies of SSA destruction sit just before the terminator, so that is
-    where those values are last alive.
-    """
-    oracle = DataflowLiveness(function)
-    sets = oracle.live_sets()
-    edge_uses: dict[str, set[Variable]] = {block.name: set() for block in function}
-    for block in function:
-        for phi in block.phis():
-            for pred, value in phi.incoming.items():
-                if isinstance(value, Variable):
-                    edge_uses[pred].add(value)
-    result: dict[str, list[set[Variable]]] = {}
-    for block in function:
-        live = set(sets.live_out[block.name])
-        points: list[set[Variable]] = [set() for _ in block.instructions]
-        for index in range(len(block.instructions) - 1, -1, -1):
-            points[index] = set(live)
-            inst = block.instructions[index]
-            if inst.result is not None:
-                live.discard(inst.result)
-            if not inst.is_phi():
-                for value in inst.operands:
-                    if isinstance(value, Variable):
-                        live.add(value)
-            if inst.is_terminator():
-                live |= edge_uses[block.name]
-        result[block.name] = points
-    return result
 
 
 @dataclass
@@ -130,10 +93,11 @@ def verify_allocation(
                     )
                 by_register[register] = var
             inst = block.instructions[index]
-            defined = inst.result
-            if defined is not None:
-                pressure = len(live_after | {defined})
+            defined_vars = inst.defined_variables()
+            if defined_vars:
+                pressure = len(live_after | set(defined_vars))
                 result.max_pressure = max(result.max_pressure, pressure)
+            for defined in defined_vars:
                 register = register_of.get(defined)
                 if register is None:
                     result._record(

@@ -5,8 +5,10 @@ server answers them about *thousands*, interleaved with program edits.
 This package provides :class:`LivenessService` — a keyed, LRU-bounded
 cache of :class:`~repro.core.live_checker.FastLivenessChecker` instances
 over a whole :class:`~repro.ir.module.Module`, with a multi-function batch
-API (:meth:`LivenessService.submit`), per-function edit routing and
-hit/miss/eviction statistics.
+API (:meth:`LivenessService.submit`), per-function edit routing,
+hit/miss/eviction statistics, and an out-of-SSA entry point
+(:meth:`LivenessService.destruct`) that runs the
+:mod:`repro.ssadestruct` pipeline through the cached checker.
 
 ``bench/table_service.py`` measures this layer: a mixed many-function
 workload against per-query checker reconstruction.

@@ -76,6 +76,8 @@ class ServiceStats:
     instruction_invalidations: int = 0
     #: Individual liveness questions answered.
     queries: int = 0
+    #: Out-of-SSA translations performed through :meth:`LivenessService.destruct`.
+    destructions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -98,6 +100,7 @@ class ServiceStats:
             "cfg_invalidations": self.cfg_invalidations,
             "instruction_invalidations": self.instruction_invalidations,
             "queries": self.queries,
+            "destructions": self.destructions,
             "hit_rate": self.hit_rate,
         }
 
@@ -279,6 +282,47 @@ class LivenessService:
         cached = self._checkers.get(function)
         if cached is not None:
             cached.notify_variable_changed(var)
+
+    # ------------------------------------------------------------------
+    # Out-of-SSA translation
+    # ------------------------------------------------------------------
+    def destruct(
+        self,
+        function: str,
+        verify: bool = False,
+        collect_decisions: bool = False,
+    ):
+        """Translate one registered function out of SSA form, in place.
+
+        The pass runs through the function's *cached* checker so all of its
+        interference queries share the per-variable
+        :class:`~repro.core.plans.QueryPlan` cache the service already
+        holds; critical-edge splitting (the pipeline's one CFG edit) is
+        routed through :meth:`notify_cfg_changed`, and φ isolation
+        maintains the checker's def–use chains incrementally through
+        ``notify_variable_changed`` — no other resident function is
+        touched.  Afterwards the function is no longer SSA, so its checker
+        is evicted; a later liveness query against it fails loudly when
+        the def–use chains refuse the multi-definition program.
+
+        Returns the :class:`~repro.ssadestruct.pipeline.DestructReport`.
+        """
+        from repro.ssadestruct.pipeline import destruct as run_destruct
+
+        self._require_known(function)
+        fn = self._functions[function]
+        checker = self.checker(function)
+        report = run_destruct(
+            fn,
+            backend="fast",
+            checker=checker,
+            verify=verify,
+            collect_decisions=collect_decisions,
+            on_cfg_changed=lambda: self.notify_cfg_changed(function),
+        )
+        self.evict(function)
+        self.stats.destructions += 1
+        return report
 
     def __repr__(self) -> str:
         return (

@@ -77,6 +77,13 @@ class InterferenceChecker:
         self.tests += 1
         if a is b:
             return False
+        if a.definition is not None and a.definition is b.definition:
+            # Both written by the same instruction — necessarily a parallel
+            # copy, the one multi-definition instruction.  Their definition
+            # points coincide, so their live ranges share at least that
+            # point: they interfere (they carry different values written in
+            # parallel and must not collapse onto one name).
+            return True
         def_a = self._defuse.def_block(a)
         def_b = self._defuse.def_block(b)
         if def_a == def_b:
@@ -96,9 +103,10 @@ class InterferenceChecker:
 
     def _first_defined(self, block, a: Variable, b: Variable) -> Variable:
         for inst in block.instructions:
-            if inst.result is a:
+            defined = inst.defined_variables()
+            if any(var is a for var in defined):
                 return a
-            if inst.result is b:
+            if any(var is b for var in defined):
                 return b
         raise ValueError(
             f"neither {a.name!r} nor {b.name!r} is defined in block {block.name!r}"
@@ -115,6 +123,13 @@ class InterferenceChecker:
         def_block_name = self._defuse.def_block(other)
         if self._oracle.is_live_out(var, def_block_name):
             return True
+        if def_block_name not in self._defuse.use_blocks(var):
+            # Not live-out and no use recorded in the block: the in-block
+            # scan below could never find anything (φ-attributed uses sit
+            # in successor blocks and are covered by the live-out query),
+            # so skip it.  This keeps each interference test O(uses), not
+            # O(block length).
+            return False
         block = self._function.block(def_block_name)
         other_def = other.definition
         seen_other_def = False

@@ -59,18 +59,18 @@ class DefUseChains:
 
     def _build(self) -> None:
         function = self._function
-        # Pass 1: definitions.
+        # Pass 1: definitions (a ParallelCopy defines several variables).
         for block in function:
             for inst in block.instructions:
-                var = inst.result
-                if var is None:
-                    continue
-                if var in self._chains:
-                    raise ValueError(
-                        f"variable {var.name!r} defined more than once; "
-                        "def-use chains require SSA form"
+                for var in inst.defined_variables():
+                    if var in self._chains:
+                        raise ValueError(
+                            f"variable {var.name!r} defined more than once; "
+                            "def-use chains require SSA form"
+                        )
+                    self._chains[var] = VariableDefUse(
+                        variable=var, def_block=block.name
                     )
-                self._chains[var] = VariableDefUse(variable=var, def_block=block.name)
         # Pass 2: uses, with φ operands attributed to predecessors.
         for block in function:
             for inst in block.instructions:

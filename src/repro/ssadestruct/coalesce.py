@@ -1,0 +1,261 @@
+"""Aggressive copy coalescing over φ congruence classes.
+
+After :mod:`repro.ssadestruct.isolate` the program contains one parallel
+copy per CFG edge into a φ block (plus one per φ block for the results),
+and every φ talks only to fresh, interference-free resources.  Lowering
+those copies verbatim would be correct but wasteful: most of them connect
+variables whose live ranges never overlap, and a register allocator could
+have assigned them the same register anyway.  This pass merges such
+variables into common *congruence classes* so the later sequentialisation
+can drop the corresponding copies.
+
+The driver walks every parallel-copy pair ``dest ← src`` and merges the
+two classes when **no member of one interferes with a member of the
+other**.  How interference is answered is pluggable, and the difference is
+exactly what the paper is about:
+
+* :class:`QueryInterference` — the Budimlić value-interference test, a
+  *constant number of liveness queries* per pair (through any
+  :class:`~repro.liveness.oracle.LivenessOracle`, usually the fast
+  checker).  Nothing is precomputed over the variable universe.
+* :class:`GraphInterference` — the conventional alternative: materialise
+  the full interference graph from per-point live sets up front, then
+  answer pairs by set lookup.  ``bench/table_destruct.py`` measures how
+  much that eager construction costs on workloads where destruction only
+  ever asks about φ-related variables.
+
+Both strategies answer identically (the interference property test pins
+the Budimlić test to live-range overlap, which is what the graph encodes),
+so the recorded :class:`CoalesceDecision` stream must match across
+backends — the differential fuzz harness asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.ir.instruction import ParallelCopy
+from repro.ir.value import Variable
+from repro.liveness.oracle import LivenessOracle
+from repro.liveness.ranges import interference_pairs
+from repro.ssa.coalescing import InterferenceChecker
+from repro.ssa.defuse import DefUseChains
+
+
+# ----------------------------------------------------------------------
+# Congruence classes (union–find with deterministic representatives)
+# ----------------------------------------------------------------------
+class CongruenceClasses:
+    """A union–find over variables with stable, readable representatives.
+
+    Representatives prefer *original* program variables over the fresh
+    resources isolation invented (so coalesced output reads like the input
+    program), breaking ties by registration order.  Determinism matters:
+    the differential fuzz harness compares renamed programs produced under
+    different liveness backends textually.
+    """
+
+    def __init__(self) -> None:
+        self._parent: dict[int, Variable] = {}
+        self._members: dict[int, list[Variable]] = {}
+        #: id(var) -> (is_fresh, registration index): the minimum wins.
+        self._rank: dict[int, tuple[bool, int]] = {}
+        self._counter = 0
+
+    def register(self, var: Variable, fresh: bool = False) -> None:
+        """Make ``var`` a singleton class (idempotent)."""
+        if id(var) in self._parent:
+            return
+        self._parent[id(var)] = var
+        self._members[id(var)] = [var]
+        self._rank[id(var)] = (fresh, self._counter)
+        self._counter += 1
+
+    def find(self, var: Variable) -> Variable:
+        """The representative of ``var``'s class (registering it if new)."""
+        self.register(var)
+        root = var
+        while self._parent[id(root)] is not root:
+            root = self._parent[id(root)]
+        # Path compression.
+        while self._parent[id(var)] is not root:
+            var, self._parent[id(var)] = self._parent[id(var)], root
+        return root
+
+    def members(self, var: Variable) -> list[Variable]:
+        """Every member of ``var``'s class (representative included)."""
+        return list(self._members[id(self.find(var))])
+
+    def union(self, a: Variable, b: Variable) -> Variable:
+        """Merge the two classes; returns the surviving representative."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a is root_b:
+            return root_a
+        if self._rank[id(root_b)] < self._rank[id(root_a)]:
+            root_a, root_b = root_b, root_a
+        self._parent[id(root_b)] = root_a
+        self._members[id(root_a)].extend(self._members.pop(id(root_b)))
+        return root_a
+
+    def renaming(self) -> dict[int, Variable]:
+        """``id(var) -> representative`` for every non-trivial member."""
+        result: dict[int, Variable] = {}
+        for root_id, members in self._members.items():
+            root = self._parent[root_id]
+            for member in members:
+                if member is not root:
+                    result[id(member)] = root
+        return result
+
+
+# ----------------------------------------------------------------------
+# Pluggable interference strategies
+# ----------------------------------------------------------------------
+class QueryInterference:
+    """Budimlić tests through liveness queries (no precomputation)."""
+
+    name = "query"
+
+    def __init__(
+        self,
+        function: Function,
+        oracle: LivenessOracle,
+        defuse: DefUseChains | None = None,
+        domtree=None,
+    ) -> None:
+        self._checker = InterferenceChecker(
+            function, oracle, defuse=defuse, domtree=domtree
+        )
+
+    @property
+    def tests(self) -> int:
+        return self._checker.tests
+
+    def interfere(self, a: Variable, b: Variable) -> bool:
+        return self._checker.interfere(a, b)
+
+
+class GraphInterference:
+    """Eager full interference graph; pair tests become set lookups."""
+
+    name = "graph"
+
+    def __init__(self, function: Function) -> None:
+        self._edges = interference_pairs(function)
+        self.tests = 0
+
+    def interfere(self, a: Variable, b: Variable) -> bool:
+        self.tests += 1
+        if a is b:
+            return False
+        return frozenset((id(a), id(b))) in self._edges
+
+
+# ----------------------------------------------------------------------
+# The coalescer
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CoalesceDecision:
+    """One parallel-copy pair's fate, for cross-backend comparison."""
+
+    block: str
+    dest: str
+    source: str
+    merged: bool
+    #: ``merged`` / ``interference`` / ``same-class`` / ``constant``.
+    reason: str
+
+
+@dataclass
+class CoalesceReport:
+    """Statistics of one coalescing run."""
+
+    pairs_considered: int = 0
+    pairs_coalesced: int = 0
+    classes_merged: int = 0
+    interference_tests: int = 0
+    decisions: list[CoalesceDecision] = field(default_factory=list)
+
+
+def coalesce_parallel_copies(
+    function: Function,
+    classes: CongruenceClasses,
+    interference,
+    collect_decisions: bool = False,
+) -> CoalesceReport:
+    """Merge congruence classes across every parallel-copy pair.
+
+    Two classes merge only when every cross pair of members passes the
+    interference test — members *within* a class are already mutually
+    non-interfering (the φ seeds by construction, merged classes by
+    induction), so cross pairs are all that needs checking.
+
+    The walk order (blocks in function order, copies in instruction order,
+    pairs in pair order) is deterministic and independent of the
+    interference strategy, which keeps decision streams comparable.
+    """
+    report = CoalesceReport()
+    before = interference.tests
+    for block in function:
+        for inst in block.instructions:
+            if not isinstance(inst, ParallelCopy):
+                continue
+            for dest, src in inst.pairs:
+                report.pairs_considered += 1
+                if not isinstance(src, Variable):
+                    _record(report, collect_decisions, block.name, dest, src,
+                            merged=False, reason="constant")
+                    continue
+                root_dest = classes.find(dest)
+                root_src = classes.find(src)
+                if root_dest is root_src:
+                    # Already congruent (e.g. the same value reaching a φ
+                    # through several predecessors): the copy will vanish.
+                    report.pairs_coalesced += 1
+                    _record(report, collect_decisions, block.name, dest, src,
+                            merged=True, reason="same-class")
+                    continue
+                if _classes_interfere(classes, root_dest, root_src, interference):
+                    _record(report, collect_decisions, block.name, dest, src,
+                            merged=False, reason="interference")
+                    continue
+                classes.union(root_dest, root_src)
+                report.classes_merged += 1
+                report.pairs_coalesced += 1
+                _record(report, collect_decisions, block.name, dest, src,
+                        merged=True, reason="merged")
+    report.interference_tests = interference.tests - before
+    return report
+
+
+def _classes_interfere(
+    classes: CongruenceClasses,
+    root_a: Variable,
+    root_b: Variable,
+    interference,
+) -> bool:
+    for a in classes.members(root_a):
+        for b in classes.members(root_b):
+            if interference.interfere(a, b):
+                return True
+    return False
+
+
+def _record(
+    report: CoalesceReport,
+    collect: bool,
+    block: str,
+    dest: Variable,
+    src,
+    merged: bool,
+    reason: str,
+) -> None:
+    if collect:
+        source = src.name if isinstance(src, Variable) else str(src)
+        report.decisions.append(
+            CoalesceDecision(
+                block=block, dest=dest.name, source=source,
+                merged=merged, reason=reason,
+            )
+        )

@@ -1,0 +1,145 @@
+"""φ isolation: rewrite every φ to talk only to fresh copy resources.
+
+This is the first stage of the conservative out-of-SSA translation
+(Sreedhar et al.'s Method I, as revisited by Boissinot et al.): for every
+
+    a₀ ← φ(a₁ : p₁, …, aₙ : pₙ)
+
+the pass introduces one fresh variable per φ resource and two kinds of
+:class:`~repro.ir.instruction.ParallelCopy`:
+
+* at the end of each predecessor ``pᵢ`` a parallel copy writes a fresh
+  ``aᵢ'`` from the old operand ``aᵢ`` (one instruction per CFG edge, with
+  one pair per φ of the successor);
+* right after the φ prefix of the φ's own block, a parallel copy writes
+  the old result ``a₀`` from a fresh ``a₀'`` that becomes the φ's new
+  result.
+
+Afterwards the φ mentions only the fresh resources, whose live ranges are
+squeezed between a parallel copy and the φ itself — so each φ's resource
+set is interference-free by construction.  A program in which every φ's
+congruence class is interference-free is in *conventional* SSA form
+(checked by :mod:`repro.ssadestruct.verify`): renaming each class to a
+single representative is then semantics-preserving, which is what the
+later coalescing and lowering stages exploit.
+
+Isolation only *adds* variables and instructions; the CFG is untouched,
+so a prepared :class:`~repro.core.live_checker.FastLivenessChecker`
+survives the whole stage — the caller hands in its def–use chains (kept
+exact through :meth:`~repro.ssa.defuse.DefUseChains.add_variable` /
+``add_use``) and a per-variable invalidation callback, and never pays a
+precomputation rebuild.  That is the paper's invalidation contract doing
+real work inside a transformation pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ir.function import Function
+from repro.ir.instruction import ParallelCopy
+from repro.ir.value import Value, Variable
+from repro.ssa.defuse import DefUseChains
+from repro.ssadestruct.names import NameAllocator
+
+
+@dataclass
+class IsolationReport:
+    """What one isolation run did."""
+
+    phis_isolated: int = 0
+    parallel_copies: int = 0
+    pairs_inserted: int = 0
+    #: One congruence-class seed per φ: ``[result', operand'₁, …]``.  These
+    #: are interference-free by construction and seed the coalescer.
+    phi_classes: list[list[Variable]] = field(default_factory=list)
+    #: Every variable the stage invented (for bookkeeping and tests).
+    fresh_variables: list[Variable] = field(default_factory=list)
+
+
+def isolate_phis(
+    function: Function,
+    defuse: DefUseChains | None = None,
+    on_variable_changed: Callable[[Variable], None] | None = None,
+) -> IsolationReport:
+    """Isolate every φ of ``function`` behind parallel copies, in place.
+
+    ``defuse`` (if given) is maintained incrementally — fresh variables are
+    registered, φ-attributed uses move onto the parallel copies without
+    changing any use multiset — and ``on_variable_changed`` is invoked for
+    each variable whose *defining instruction* changes (the old φ results,
+    now written by a parallel copy), so per-variable caches layered on top
+    of the chains can drop exactly the stale entries.
+    """
+    report = IsolationReport()
+    alloc = NameAllocator(function)
+
+    for block in list(function):
+        phis = block.phis()
+        if not phis:
+            continue
+        # The verifier guarantees every φ carries one incoming value per
+        # CFG predecessor, so the first φ's keys *are* the predecessor
+        # list (avoiding a quadratic whole-function rescan per block).
+        preds = list(phis[0].incoming)
+
+        # One parallel copy per incoming edge, one pair per φ.
+        per_pred_pairs: dict[str, list[tuple[Variable, Value]]] = {
+            pred: [] for pred in preds
+        }
+        # The copy that reunites the old results with the fresh φ results.
+        result_pairs: list[tuple[Variable, Value]] = []
+
+        for phi in phis:
+            result = phi.result
+            assert result is not None
+            report.phis_isolated += 1
+            members: list[Variable] = []
+
+            fresh_result = alloc.fresh(f"{result.name}.out")
+            members.append(fresh_result)
+            result_pairs.append((result, fresh_result))
+
+            for pred in preds:
+                old_value = phi.incoming[pred]
+                fresh_operand = alloc.fresh(f"{result.name}.in")
+                members.append(fresh_operand)
+                per_pred_pairs[pred].append((fresh_operand, old_value))
+                phi.set_incoming(pred, fresh_operand)
+                if defuse is not None:
+                    # The old operand's φ-attributed use at ``pred`` turns
+                    # into a parallel-copy operand use at ``pred`` — the
+                    # same multiset entry, so its chain needs no edit.  The
+                    # fresh operand is defined by the copy and consumed by
+                    # the φ, both attributed to ``pred``.
+                    defuse.add_variable(fresh_operand, pred)
+                    defuse.add_use(fresh_operand, pred)
+
+            phi.result = fresh_result
+            fresh_result.definition = phi
+            if defuse is not None:
+                defuse.add_variable(fresh_result, block.name)
+                defuse.add_use(fresh_result, block.name)
+
+            report.phi_classes.append(members)
+            report.fresh_variables.extend(members)
+
+        for pred in preds:
+            pairs = per_pred_pairs[pred]
+            pred_block = function.block(pred)
+            pred_block.insert_before_terminator(ParallelCopy(pairs))
+            report.parallel_copies += 1
+            report.pairs_inserted += len(pairs)
+
+        block.insert(len(phis), ParallelCopy(result_pairs))
+        report.parallel_copies += 1
+        report.pairs_inserted += len(result_pairs)
+        if on_variable_changed is not None:
+            # The old φ results are now written by the parallel copy; their
+            # def *block* is unchanged but their defining instruction is
+            # not, so per-variable artefacts must be dropped.
+            for result, _ in result_pairs:
+                on_variable_changed(result)
+
+    return report

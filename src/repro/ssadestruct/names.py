@@ -1,0 +1,32 @@
+"""Fresh-name allocation for the destruction pipeline.
+
+Every variable the pipeline invents — φ-resource copies, sequentialisation
+temporaries — must carry a name that (a) is unique within the function so
+the printed output still round-trips through the parser, and (b) survives
+the textual syntax (letters, digits, dots and underscores only).
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.value import Variable
+
+
+class NameAllocator:
+    """Hands out variable names that are unused in one function."""
+
+    def __init__(self, function: Function) -> None:
+        self._taken = {var.name for var in function.variables()}
+        self._counters: dict[str, int] = {}
+
+    def fresh(self, stem: str) -> Variable:
+        """A new :class:`Variable` named ``<stem><N>`` for the smallest free N."""
+        counter = self._counters.get(stem, 0)
+        while True:
+            name = f"{stem}{counter}"
+            counter += 1
+            if name not in self._taken:
+                break
+        self._counters[stem] = counter
+        self._taken.add(name)
+        return Variable(name)

@@ -1,0 +1,199 @@
+"""The out-of-SSA driver: split → isolate → coalesce → lower.
+
+:func:`destruct` composes the stages of this package into the paper's
+flagship client workload.  The liveness backend is pluggable and is the
+experiment:
+
+* ``"fast"`` — interference is decided by Budimlić tests through a
+  :class:`~repro.core.live_checker.FastLivenessChecker`; every test is a
+  constant number of ``is_live_out`` queries answered by Algorithm 3, and
+  the checker's CFG precomputation is built once (after the single CFG
+  edit, critical-edge splitting) and survives the whole pass — isolation
+  maintains the def–use chains incrementally and routes per-variable
+  invalidation through ``notify_variable_changed``, so the per-variable
+  :class:`~repro.core.plans.QueryPlan` cache stays warm across the many
+  queries each φ resource receives.
+* ``"dataflow"`` — the same query-driven coalescing, but the queries hit
+  a conventional :class:`~repro.liveness.DataflowLiveness` fixpoint
+  (recomputed after isolation, since the universe grew).  Used by the
+  differential tests to check the fast checker's answers change nothing.
+* ``"graph"`` — the conventional *structure*: build the full interference
+  graph eagerly from per-point live sets, then coalesce by edge lookup.
+  This is the baseline ``bench/table_destruct.py`` measures against.
+
+All three make identical coalescing decisions (asserted by the fuzz
+harness); they differ only in how much work answering them costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ir.function import Function
+from repro.liveness.dataflow import DataflowLiveness
+from repro.liveness.oracle import CountingOracle
+from repro.ssa.defuse import DefUseChains
+from repro.ssadestruct.coalesce import (
+    CoalesceDecision,
+    CongruenceClasses,
+    GraphInterference,
+    QueryInterference,
+    coalesce_parallel_copies,
+)
+from repro.ssadestruct.isolate import isolate_phis
+from repro.ssadestruct.names import NameAllocator
+from repro.ssadestruct.sequential import apply_renaming_and_lower
+from repro.ssadestruct.verify import verify_destructed
+
+#: Recognised liveness/interference backends, in reporting order.
+BACKENDS = ("fast", "dataflow", "graph")
+
+
+@dataclass
+class DestructReport:
+    """Everything one :func:`destruct` run did, for tests and benchmarks."""
+
+    backend: str = "fast"
+    critical_edges_split: int = 0
+    phis_isolated: int = 0
+    parallel_copies: int = 0
+    pairs_inserted: int = 0
+    pairs_coalesced: int = 0
+    classes_merged: int = 0
+    interference_tests: int = 0
+    #: Individual liveness queries issued (0 for the ``graph`` backend,
+    #: which precomputes instead of querying).
+    liveness_queries: int = 0
+    copies_emitted: int = 0
+    temps_inserted: int = 0
+    phis_removed: int = 0
+    decisions: list[CoalesceDecision] = field(default_factory=list)
+
+    @property
+    def coalesced_fraction(self) -> float:
+        """Share of parallel-copy pairs that needed no actual copy."""
+        if not self.pairs_inserted:
+            return 0.0
+        return self.pairs_coalesced / self.pairs_inserted
+
+
+def destruct(
+    function: Function,
+    backend: str = "fast",
+    checker=None,
+    verify: bool = False,
+    collect_decisions: bool = False,
+    on_cfg_changed: Callable[[], None] | None = None,
+) -> DestructReport:
+    """Translate ``function`` out of SSA form in place.
+
+    Parameters
+    ----------
+    backend:
+        ``"fast"``, ``"dataflow"`` or ``"graph"`` (see the module docs).
+    checker:
+        A prebuilt :class:`~repro.core.live_checker.FastLivenessChecker`
+        for the ``"fast"`` backend (e.g. the one a
+        :class:`~repro.service.LivenessService` has cached).  It may have
+        been prepared for the unsplit CFG; if any edge is split the
+        checker's ``notify_cfg_changed`` runs, followed by the optional
+        ``on_cfg_changed`` observer (the service counts invalidations
+        through it).
+    verify:
+        Run :func:`~repro.ssadestruct.verify.verify_destructed` on the
+        result (off by default so benchmarks time only the translation).
+    collect_decisions:
+        Record a :class:`~repro.ssadestruct.coalesce.CoalesceDecision` per
+        parallel-copy pair for cross-backend differential comparison.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown destruction backend {backend!r}; expected one of {BACKENDS}"
+        )
+    report = DestructReport(backend=backend)
+
+    # The one CFG edit of the pipeline, performed before any precomputation
+    # is (re)built.
+    split = function.split_critical_edges()
+    report.critical_edges_split = len(split)
+    if split:
+        # The prebuilt checker is always invalidated (idempotent if the
+        # observer below routes back to it); ``on_cfg_changed`` is an
+        # *additional* notification, e.g. for the service's statistics.
+        if checker is not None:
+            checker.notify_cfg_changed()
+        if on_cfg_changed is not None:
+            on_cfg_changed()
+
+    counting: CountingOracle | None = None
+    if backend == "fast":
+        if checker is None:
+            from repro.core.live_checker import FastLivenessChecker
+
+            checker = FastLivenessChecker(function)
+        checker.prepare()
+        iso = isolate_phis(
+            function,
+            defuse=checker.defuse,
+            on_variable_changed=checker.notify_variable_changed,
+        )
+        counting = CountingOracle(checker)
+        interference = QueryInterference(
+            function,
+            counting,
+            defuse=checker.defuse,
+            # The checker's precomputation already holds the dominator
+            # tree of the (split) CFG; no second one is built.
+            domtree=checker.precomputation.domtree,
+        )
+    elif backend == "dataflow":
+        iso = isolate_phis(function)
+        counting = CountingOracle(DataflowLiveness(function))
+        counting.prepare()
+        interference = QueryInterference(
+            function, counting, defuse=DefUseChains(function)
+        )
+    else:  # graph
+        iso = isolate_phis(function)
+        interference = GraphInterference(function)
+
+    report.phis_isolated = iso.phis_isolated
+    report.parallel_copies = iso.parallel_copies
+    report.pairs_inserted = iso.pairs_inserted
+
+    # Seed the congruence classes with the (interference-free) φ resources.
+    classes = CongruenceClasses()
+    for members in iso.phi_classes:
+        for member in members:
+            classes.register(member, fresh=True)
+        for member in members[1:]:
+            classes.union(members[0], member)
+
+    coalescing = coalesce_parallel_copies(
+        function, classes, interference, collect_decisions=collect_decisions
+    )
+    report.pairs_coalesced = coalescing.pairs_coalesced
+    report.classes_merged = coalescing.classes_merged
+    report.interference_tests = coalescing.interference_tests
+    report.decisions = coalescing.decisions
+    if counting is not None:
+        report.liveness_queries = counting.total_queries
+
+    lowering = apply_renaming_and_lower(
+        function, classes.renaming(), NameAllocator(function)
+    )
+    report.copies_emitted = lowering.copies_emitted
+    report.temps_inserted = lowering.temps_inserted
+    report.phis_removed = lowering.phis_removed
+
+    if checker is not None:
+        # The lowering rewrote instructions wholesale and the function is
+        # no longer SSA; whatever per-variable state the checker holds is
+        # meaningless now.  Callers that keep the checker around (the
+        # service evicts it instead) must not query this function again.
+        checker.notify_instructions_changed()
+
+    if verify:
+        verify_destructed(function)
+    return report

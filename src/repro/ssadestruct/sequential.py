@@ -1,0 +1,120 @@
+"""Renaming and parallel-copy sequentialisation: the lowering stage.
+
+Once coalescing has settled the congruence classes, leaving SSA form is
+mechanical:
+
+1. every φ is deleted — isolation guaranteed its result and operands sit
+   in one class, so after renaming the φ would read and write a single
+   variable;
+2. every variable is renamed to its class representative, signature
+   included;
+3. every :class:`~repro.ir.instruction.ParallelCopy` is lowered in place:
+   pairs whose destination and source renamed to the same variable vanish
+   (these are the coalesced copies), the remainder is ordered into plain
+   ``copy`` instructions by the classic worklist algorithm —
+   :func:`repro.ssa.parallel_copy.sequentialize` — which emits a copy
+   whose destination is no longer needed as a source until only cycles
+   remain, then breaks each cycle with one temporary (the swap problem).
+
+The output is an ordinary, φ-free, parallel-copy-free function; it is no
+longer SSA (class representatives are written in several places), which
+is the whole point of the translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction, Opcode, ParallelCopy
+from repro.ir.value import Value, Variable
+from repro.ssa.parallel_copy import sequentialize
+from repro.ssadestruct.names import NameAllocator
+
+
+@dataclass
+class LoweringReport:
+    """Statistics of one renaming + sequentialisation run."""
+
+    copies_emitted: int = 0
+    pairs_dropped: int = 0
+    temps_inserted: int = 0
+    phis_removed: int = 0
+
+
+def apply_renaming_and_lower(
+    function: Function,
+    renaming: dict[int, Variable],
+    alloc: NameAllocator | None = None,
+) -> LoweringReport:
+    """Leave SSA form in place: rename classes, drop φs, lower copies."""
+    report = LoweringReport()
+    alloc = alloc if alloc is not None else NameAllocator(function)
+
+    def rename(value: Value) -> Value:
+        if isinstance(value, Variable):
+            return renaming.get(id(value), value)
+        return value
+
+    # 1. φs first: after renaming they would be self-referential no-ops.
+    for block in function:
+        for phi in block.phis():
+            block.remove(phi)
+            report.phis_removed += 1
+
+    # 2. Rename every remaining def and use, the signature included.
+    function.parameters = [rename(param) for param in function.parameters]
+    for block in function:
+        for inst in block.instructions:
+            if isinstance(inst, ParallelCopy):
+                continue  # handled pair-wise below
+            for index, operand in enumerate(inst.operands):
+                replacement = rename(operand)
+                if replacement is not operand:
+                    inst.operands[index] = replacement
+            if inst.result is not None:
+                replacement = renaming.get(id(inst.result))
+                if replacement is not None:
+                    inst.result = replacement
+
+    # 3. Lower each parallel copy where it stands.
+    for block in function:
+        for inst in list(block.instructions):
+            if not isinstance(inst, ParallelCopy):
+                continue
+            pairs: list[tuple[Variable, Value]] = []
+            for dest, src in inst.pairs:
+                new_dest = renaming.get(id(dest), dest)
+                new_src = rename(src)
+                if new_dest is new_src:
+                    report.pairs_dropped += 1  # coalesced away
+                    continue
+                pairs.append((new_dest, new_src))
+            position = block.instructions.index(inst)
+            block.remove(inst)
+            if not pairs:
+                continue
+
+            temps_before = _TempCounter()
+
+            def make_temp() -> Variable:
+                temps_before.count += 1
+                return alloc.fresh("swap")
+
+            ordered = sequentialize(pairs, make_temp)
+            report.temps_inserted += temps_before.count
+            for dest, src in ordered:
+                block.insert(
+                    position,
+                    Instruction(Opcode.COPY, result=dest, operands=[src]),
+                )
+                position += 1
+                report.copies_emitted += 1
+    return report
+
+
+class _TempCounter:
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0

@@ -1,0 +1,111 @@
+"""Conventional-SSA and destruction-output verifiers.
+
+*Conventional* SSA (CSSA) is the property the whole pipeline pivots on: a
+strict-SSA program is conventional when replacing every φ congruence class
+(φ results and operands, joined transitively across φs that share
+resources) by a single representative preserves semantics — equivalently,
+when no two members of a class interfere.  Freshly constructed SSA is
+usually *not* conventional (the lost-copy and swap patterns are exactly
+φ classes with interfering members); the output of
+:func:`repro.ssadestruct.isolate.isolate_phis` always is, and coalescing
+must keep it that way.  :func:`verify_conventional_ssa` checks the
+property directly with interference tests, so the fuzz harness can assert
+it on every generated program rather than trust the construction.
+
+:func:`verify_destructed` checks the *end* state: no φs, no parallel
+copies, and structural well-formedness — the contract the register
+allocator and the interpreter rely on after :func:`repro.ssadestruct.destruct`.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instruction import ParallelCopy
+from repro.ir.value import Variable
+from repro.ir.verify import IRVerificationError, verify_function, verify_ssa
+from repro.liveness.oracle import LivenessOracle
+from repro.ssa.coalescing import InterferenceChecker
+from repro.ssadestruct.coalesce import CongruenceClasses
+
+
+class ConventionalSSAError(ValueError):
+    """Raised when a φ congruence class contains interfering members."""
+
+
+def phi_congruence_classes(function: Function) -> list[list[Variable]]:
+    """The φ congruence classes: φ resources joined transitively.
+
+    Each φ contributes its result and every variable operand; classes of
+    φs that share a resource are merged.  Variables unrelated to any φ do
+    not appear.
+    """
+    classes = CongruenceClasses()
+    roots: list[Variable] = []
+    for phi in function.phis():
+        result = phi.result
+        assert result is not None
+        classes.register(result)
+        roots.append(result)
+        for value in phi.incoming.values():
+            if isinstance(value, Variable):
+                classes.union(result, value)
+    seen: set[int] = set()
+    result_classes: list[list[Variable]] = []
+    for root in roots:
+        representative = classes.find(root)
+        if id(representative) in seen:
+            continue
+        seen.add(id(representative))
+        result_classes.append(classes.members(representative))
+    return result_classes
+
+
+def verify_conventional_ssa(
+    function: Function,
+    oracle: LivenessOracle | None = None,
+) -> None:
+    """Check strict SSA plus interference-freedom of every φ class.
+
+    ``oracle`` defaults to a fresh fast checker; any
+    :class:`~repro.liveness.oracle.LivenessOracle` covering the whole
+    variable universe works.  Raises :class:`ConventionalSSAError` naming
+    the first offending pair.
+    """
+    verify_ssa(function)
+    if oracle is None:
+        from repro.core.live_checker import FastLivenessChecker
+
+        oracle = FastLivenessChecker(function)
+    oracle.prepare()
+    checker = InterferenceChecker(function, oracle)
+    for members in phi_congruence_classes(function):
+        for index, first in enumerate(members):
+            for second in members[index + 1:]:
+                if checker.interfere(first, second):
+                    raise ConventionalSSAError(
+                        f"{function.name}: φ congruence class members "
+                        f"{first.name!r} and {second.name!r} interfere — the "
+                        "program is not in conventional SSA form"
+                    )
+
+
+def verify_destructed(function: Function) -> None:
+    """Check the output contract of the destruction pipeline.
+
+    The function must be structurally well formed and contain neither
+    φ-functions nor parallel copies.  (It is *not* SSA any more — class
+    representatives are written in several places — so ``verify_ssa``
+    deliberately does not run here.)
+    """
+    verify_function(function)
+    for block in function:
+        for inst in block.instructions:
+            if inst.is_phi():
+                raise IRVerificationError(
+                    f"{function.name}:{block.name}: φ survived destruction: {inst}"
+                )
+            if isinstance(inst, ParallelCopy):
+                raise IRVerificationError(
+                    f"{function.name}:{block.name}: parallel copy survived "
+                    f"destruction: {inst}"
+                )

@@ -25,7 +25,7 @@ from repro.ir.builder import FunctionBuilder
 from repro.ir.function import Function
 from repro.ir.value import Constant, Variable
 from repro.ssa.construction import construct_ssa
-from repro.synth.random_cfg import random_cfg, random_reducible_cfg
+from repro.synth.random_cfg import random_cfg, random_irreducible_cfg, random_reducible_cfg
 
 _BINOPS = ("add", "sub", "mul", "xor", "and", "or", "cmplt", "cmpeq", "max")
 
@@ -36,15 +36,21 @@ def random_ssa_function(
     num_variables: int = 4,
     instructions_per_block: int = 3,
     allow_irreducible: bool = True,
+    force_irreducible: bool = False,
     name: str = "synthetic",
 ) -> Function:
     """Generate a strict-SSA function over a random CFG.
 
     ``num_variables`` is the size of the pre-SSA named-variable pool; after
     construction each of them typically splits into several SSA versions
-    joined by φs.
+    joined by φs.  ``force_irreducible`` requests the dedicated
+    irreducible-CFG generator instead of the occasional mix (callers that
+    must exercise the loop-forest fallback use it; tiny graphs may still
+    come out reducible, so check if it matters).
     """
-    if allow_irreducible:
+    if force_irreducible:
+        graph = random_irreducible_cfg(rng, max(num_blocks, 4))
+    elif allow_irreducible:
         graph = random_cfg(rng, num_blocks)
     else:
         graph = random_reducible_cfg(rng, num_blocks)

@@ -232,6 +232,14 @@ def generate_function_with_blocks(
     return best
 
 
+#: One benchmark procedure in this many is generated over an *irreducible*
+#: CFG.  The paper's §6.1 found 60 irreducible back edges across all of
+#: SPEC2000 CINT — rare but present — and a workload without any would
+#: never exercise the checker's loop-forest fallback (the multi-candidate
+#: ``T_q`` loop of Algorithm 3), leaving that path untested by the tables.
+IRREDUCIBLE_PERIOD = 12
+
+
 def generate_benchmark_functions(
     profile: BenchmarkProfile,
     scale: int,
@@ -239,21 +247,64 @@ def generate_benchmark_functions(
 ) -> list[Function]:
     """Generate ``scale`` SSA-form functions shaped like one benchmark.
 
-    The block counts are drawn from :func:`sample_block_count`; the bodies
-    come from the terminating program generator and are compiled through
-    the normal front-end + SSA pipeline, with a feedback loop that keeps the
-    realised block counts close to the sampled targets.
+    The block counts are drawn from :func:`sample_block_count`; most
+    bodies come from the terminating program generator and are compiled
+    through the normal front-end + SSA pipeline (with a feedback loop that
+    keeps the realised block counts close to the sampled targets), and
+    every :data:`IRREDUCIBLE_PERIOD`-th procedure is instead generated
+    over an irreducible CFG so the population, like SPEC, is not purely
+    reducible.
     """
     rng = random.Random((hash(profile.name) & 0xFFFF) * 7919 + seed)
     functions: list[Function] = []
     for index in range(scale):
         target_blocks = sample_block_count(rng, profile)
+        name = f"proc_{profile.name.replace('.', '_')}_{index}"
+        if index % IRREDUCIBLE_PERIOD == IRREDUCIBLE_PERIOD - 1:
+            functions.append(
+                _irreducible_procedure(rng, target_blocks, name)
+            )
+            continue
         functions.append(
             generate_function_with_blocks(
                 rng,
                 target_blocks,
-                name=f"proc_{profile.name.replace('.', '_')}_{index}",
+                name=name,
                 max_blocks=int(profile.max_blocks * 1.2),
             )
         )
     return functions
+
+
+def _irreducible_procedure(
+    rng: random.Random, target_blocks: int, name: str
+) -> Function:
+    """One procedure over an (almost certainly) irreducible CFG.
+
+    Uses the random-CFG function generator with irreducibility enabled,
+    retrying a few times because tiny graphs occasionally stay reducible
+    after the goto-like edges are added; a reducible straggler is kept
+    rather than looping forever (the regression test asserts the
+    *population* contains irreducible members, not every sample).
+    """
+    from repro.cfg.reducibility import is_reducible
+    from repro.synth.random_function import random_ssa_function
+
+    blocks = max(6, min(target_blocks, 60))
+    best = None
+    for _ in range(8):
+        function = random_ssa_function(
+            rng,
+            num_blocks=blocks,
+            num_variables=4,
+            instructions_per_block=4,
+            force_irreducible=True,
+            name=name,
+        )
+        # Without φs the procedure would record no destruction queries at
+        # all, defeating the purpose of including it in the workload.
+        if function.phis() and not is_reducible(function.build_cfg()):
+            return function
+        if best is None or (function.phis() and not best.phis()):
+            best = function
+    return best

@@ -15,6 +15,7 @@ EXPECTED_SNIPPETS = {
     "register_pressure.py": "maximum block-level pressure",
     "register_allocation.py": "verified against the independent data-flow oracle",
     "liveness_service.py": "service statistics",
+    "out_of_ssa.py": "translated through the cached checker",
 }
 
 

@@ -1,8 +1,9 @@
 """Hypothesis property tests over randomly generated programs and graphs.
 
 The strategies draw RNG seeds and size knobs; the actual structures come
-from the library's own generators, so shrinking a failing example reduces
-to shrinking a seed + size pair, which stays readable.
+from the library's own generators — functions through the suite's shared
+:mod:`tests.support.genfn` — so shrinking a failing example reduces to
+shrinking a seed + size pair, which stays readable.
 """
 
 import random
@@ -10,18 +11,13 @@ import random
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import FastLivenessChecker, LivenessPrecomputation, SetBasedChecker
-from repro.frontend import compile_source
 from repro.ir import verify_function, verify_ssa
 from repro.ir.interp import execute
 from repro.liveness import DataflowLiveness, PathExplorationLiveness
 from repro.ssa import destruct_ssa
-from repro.synth import (
-    ProgramGeneratorConfig,
-    random_cfg,
-    random_program_source,
-    random_ssa_function,
-)
+from repro.synth import random_cfg
 from tests.conftest import reference_is_live_in, reference_is_live_out
+from tests.support.genfn import GenSpec, generate_function, structured_function
 
 SETTINGS = settings(
     max_examples=30,
@@ -63,8 +59,9 @@ def test_node_level_checker_matches_brute_force(seed, size):
 def test_function_level_engines_agree(seed, size):
     """The checker, the data-flow baseline and the path-exploration engine
     answer identically for every (variable, block) pair."""
-    rng = random.Random(seed)
-    function = random_ssa_function(rng, num_blocks=size, num_variables=4)
+    function = generate_function(
+        seed, GenSpec(blocks=size, pool_variables=4, irreducible=(seed % 3 == 0))
+    )
     verify_ssa(function)
     checker = FastLivenessChecker(function)
     dataflow = DataflowLiveness(function)
@@ -84,10 +81,7 @@ def test_function_level_engines_agree(seed, size):
 def test_compiled_random_programs_round_trip_through_the_pipeline(seed):
     """front-end → SSA → destruction preserves observable behaviour."""
     rng = random.Random(seed)
-    source = random_program_source(
-        rng, ProgramGeneratorConfig(num_statements=6, max_depth=2)
-    )
-    function = list(compile_source(source))[0]
+    function = structured_function(seed, target_blocks=3 + seed % 20)
     args = [rng.randrange(-5, 6), rng.randrange(0, 6)]
     before = execute(function, args).observable()
     destruct_ssa(function)

@@ -24,7 +24,7 @@ import pytest
 
 from repro.core import TransformationSession
 from repro.liveness import DataflowLiveness
-from repro.synth import random_ssa_function
+from tests.support.genfn import GenSpec, generate_function
 
 NUM_FUNCTIONS = 50
 EDITS_PER_FUNCTION = 6
@@ -123,12 +123,15 @@ def _cross_check(session: TransformationSession, rng: random.Random, context: st
 @pytest.mark.parametrize("seed", range(NUM_FUNCTIONS))
 def test_random_edit_query_replay_matches_dataflow(seed):
     rng = random.Random(987_000 + seed)
-    function = random_ssa_function(
-        rng,
-        num_blocks=rng.randrange(3, 9),
-        num_variables=rng.randrange(2, 5),
-        instructions_per_block=rng.randrange(2, 4),
-        allow_irreducible=bool(seed % 3),
+    function = generate_function(
+        987_000 + seed,
+        GenSpec(
+            blocks=3 + seed % 6,
+            pool_variables=2 + seed % 3,
+            instructions_per_block=2 + seed % 2,
+            loop_depth=seed % 4,
+            irreducible=bool(seed % 3),
+        ),
         name=f"session_prop_{seed}",
     )
     # track_dataflow adds the session's own per-query cross-check on top of

@@ -1,0 +1,117 @@
+"""Unit tests for the ParallelCopy instruction across the IR stack."""
+
+import pytest
+
+from repro.ir import (
+    Function,
+    Instruction,
+    IRVerificationError,
+    Opcode,
+    ParallelCopy,
+    verify_ssa,
+)
+from repro.ir.interp import execute
+from repro.ir.value import Constant, Undef, Variable
+
+
+def _function_with(parcopy_pairs, ret):
+    function = Function("f")
+    block = function.add_block("entry")
+    block.append(ParallelCopy(parcopy_pairs))
+    block.append(Instruction(Opcode.RETURN, operands=[ret]))
+    return function
+
+
+class TestConstruction:
+    def test_defines_all_destinations(self):
+        a, b = Variable("a"), Variable("b")
+        parcopy = ParallelCopy([(a, Constant(1)), (b, Constant(2))])
+        assert parcopy.defined_variables() == [a, b]
+        assert parcopy.result is None
+        assert a.definition is parcopy and b.definition is parcopy
+
+    def test_sources_are_the_operands(self):
+        a, b, c = Variable("a"), Variable("b"), Variable("c")
+        parcopy = ParallelCopy([(a, b), (c, Constant(4))])
+        assert parcopy.sources == [b, Constant(4)]
+        assert parcopy.used_variables() == [b]
+
+    def test_rejects_empty_and_duplicate_destinations(self):
+        a = Variable("a")
+        with pytest.raises(ValueError, match="at least one"):
+            ParallelCopy([])
+        with pytest.raises(ValueError, match="duplicate destinations"):
+            ParallelCopy([(a, Constant(1)), (a, Constant(2))])
+
+    def test_replace_uses_rewrites_pairs_and_operands(self):
+        a, b, c = Variable("a"), Variable("b"), Variable("c")
+        parcopy = ParallelCopy([(a, b), (c, b)])
+        assert parcopy.replace_uses(b, Constant(9)) == 2
+        assert parcopy.sources == [Constant(9), Constant(9)]
+        assert parcopy.operands == [Constant(9), Constant(9)]
+
+    def test_replace_pairs_revalidates(self):
+        a, b = Variable("a"), Variable("b")
+        parcopy = ParallelCopy([(a, Constant(1))])
+        parcopy.replace_pairs([(b, a)])
+        assert parcopy.destinations == [b]
+        assert b.definition is parcopy
+        with pytest.raises(ValueError, match="duplicate"):
+            parcopy.replace_pairs([(b, a), (b, a)])
+
+
+class TestInterpreter:
+    def test_all_reads_happen_before_writes(self):
+        """A swap through a parallel copy must not need a temporary."""
+        a, b, r = Variable("a"), Variable("b"), Variable("r")
+        function = Function("f")
+        block = function.add_block("entry")
+        block.append(Instruction(Opcode.CONST, result=a, operands=[Constant(3)]))
+        block.append(Instruction(Opcode.CONST, result=b, operands=[Constant(4)]))
+        block.append(ParallelCopy([(a, b), (b, a)]))
+        block.append(
+            Instruction(Opcode.BINOP, result=r, operands=[a, b], detail="sub")
+        )
+        block.append(Instruction(Opcode.RETURN, operands=[r]))
+        # After the swap a=4, b=3 → a-b = 1 (a sequential reading gives -1).
+        assert execute(function, []).return_value == 1
+
+    def test_constant_and_undef_sources(self):
+        a, b = Variable("a"), Variable("b")
+        function = _function_with([(a, Constant(7)), (b, Undef())], a)
+        assert execute(function, []).return_value == 7
+
+
+class TestVerifier:
+    def test_parcopy_participates_in_single_definition_check(self):
+        a = Variable("a")
+        function = Function("f")
+        block = function.add_block("entry")
+        block.append(Instruction(Opcode.CONST, result=a, operands=[Constant(1)]))
+        other = Variable("b")
+        block.append(ParallelCopy([(other, a), (a, Constant(2))]))
+        block.append(Instruction(Opcode.RETURN, operands=[a]))
+        with pytest.raises(IRVerificationError, match="defined more than once"):
+            verify_ssa(function)
+
+    def test_valid_parcopy_passes_ssa_verification(self):
+        a, b = Variable("a"), Variable("b")
+        function = Function("f")
+        block = function.add_block("entry")
+        block.append(Instruction(Opcode.CONST, result=a, operands=[Constant(1)]))
+        block.append(ParallelCopy([(b, a)]))
+        block.append(Instruction(Opcode.RETURN, operands=[b]))
+        verify_ssa(function)
+
+    def test_use_before_parallel_definition_rejected(self):
+        a, b = Variable("a"), Variable("b")
+        function = Function("f")
+        block = function.add_block("entry")
+        # b is read before the parcopy defines it.
+        r = Variable("r")
+        block.append(Instruction(Opcode.COPY, result=r, operands=[b]))
+        block.append(Instruction(Opcode.CONST, result=a, operands=[Constant(1)]))
+        block.append(ParallelCopy([(b, a)]))
+        block.append(Instruction(Opcode.RETURN, operands=[r]))
+        with pytest.raises(IRVerificationError, match="used before its definition"):
+            verify_ssa(function)

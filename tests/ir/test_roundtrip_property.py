@@ -1,0 +1,95 @@
+"""Printer → parser → printer fixpoint over generated functions.
+
+Three stages of the destruction pipeline each stress a different corner of
+the textual syntax:
+
+* the SSA input (φs, parameters, every ordinary opcode);
+* the isolated intermediate form (``parcopy`` instructions and the
+  dotted block names critical-edge splitting creates);
+* the destructed output (plain copies, repeated definitions — the parser
+  must reproduce non-SSA programs byte-for-byte too).
+
+For each, ``print(parse(print(f)))`` must equal ``print(f)`` exactly, and
+parsing must preserve enough structure for the verifier and interpreter.
+"""
+
+import copy
+
+import pytest
+
+from repro.ir import ParallelCopy, parse_function, print_function, verify_function, verify_ssa
+from repro.ir.interp import execute
+from repro.ssadestruct import destruct, isolate_phis
+from tests.support.genfn import fuzz_function
+
+SEEDS = range(0, 60, 2)
+
+
+def _roundtrip(function) -> None:
+    text = print_function(function)
+    reparsed = parse_function(text)
+    assert print_function(reparsed) == text
+    return reparsed
+
+
+@pytest.mark.parametrize("index", SEEDS)
+def test_ssa_input_roundtrips(index):
+    function = fuzz_function(index)
+    reparsed = _roundtrip(function)
+    verify_ssa(reparsed)
+    args = [index % 5, index % 3]
+    assert (
+        execute(reparsed, args).observable() == execute(function, args).observable()
+    )
+
+
+@pytest.mark.parametrize("index", SEEDS)
+def test_isolated_form_roundtrips_with_parcopy_and_split_blocks(index):
+    function = fuzz_function(index)
+    function.split_critical_edges()
+    report = isolate_phis(function)
+    reparsed = _roundtrip(function)
+    verify_ssa(reparsed)
+    if report.phis_isolated:
+        parcopies = [
+            inst
+            for inst in reparsed.instructions()
+            if isinstance(inst, ParallelCopy)
+        ]
+        assert len(parcopies) == report.parallel_copies
+        assert sum(len(pc.pairs) for pc in parcopies) == report.pairs_inserted
+
+
+@pytest.mark.parametrize("index", SEEDS)
+def test_destructed_output_roundtrips(index):
+    function = fuzz_function(index)
+    args = [index % 5, index % 3]
+    before = execute(function, args).observable()
+    destruct(function, verify=True)
+    reparsed = _roundtrip(function)
+    verify_function(reparsed)
+    assert execute(reparsed, args).observable() == before
+
+
+def test_parcopy_text_forms():
+    """The parcopy grammar: pairs, constants, undef, error cases."""
+    from repro.ir.parser import IRParseError
+
+    text = (
+        "function f(a) {\n"
+        "entry:\n"
+        "  parcopy x <- a, y <- 3, z <- undef\n"
+        "  return x\n"
+        "}"
+    )
+    function = parse_function(text)
+    assert print_function(function) == text
+    (parcopy,) = [
+        inst for inst in function.instructions() if isinstance(inst, ParallelCopy)
+    ]
+    assert [dest.name for dest in parcopy.destinations] == ["x", "y", "z"]
+
+    with pytest.raises(IRParseError, match="parcopy"):
+        parse_function(
+            "function f(a) {\nentry:\n  parcopy x a\n  return x\n}"
+        )

@@ -12,7 +12,6 @@ data-flow analysis, and intersect the ranges wholesale.
 from __future__ import annotations
 
 import itertools
-import random
 
 import pytest
 
@@ -20,7 +19,7 @@ from repro.core.live_checker import FastLivenessChecker
 from repro.ir.value import Variable
 from repro.liveness.dataflow import DataflowLiveness
 from repro.ssa.coalescing import InterferenceChecker
-from repro.synth.random_function import random_ssa_function
+from tests.support.genfn import GenSpec, generate_function
 
 
 def _live_ranges(function) -> dict[Variable, set[tuple[str, int]]]:
@@ -76,13 +75,16 @@ def _check_function(function, oracle) -> int:
 
 @pytest.mark.parametrize("seed", range(100))
 def test_interference_equals_live_range_overlap(seed):
-    rng = random.Random(31000 + seed)
-    function = random_ssa_function(
-        rng,
-        num_blocks=rng.randrange(3, 12),
-        num_variables=rng.randrange(2, 6),
-        instructions_per_block=rng.randrange(1, 4),
-        allow_irreducible=(seed % 3 == 0),
+    function = generate_function(
+        31000 + seed,
+        GenSpec(
+            blocks=3 + seed % 9,
+            pool_variables=2 + seed % 4,
+            instructions_per_block=1 + seed % 3,
+            loop_depth=seed % 4,
+            phi_density=0.3 + 0.15 * (seed % 4),
+            irreducible=(seed % 3 == 0),
+        ),
     )
     pairs = _check_function(function, FastLivenessChecker(function))
     assert pairs > 0
@@ -90,8 +92,7 @@ def test_interference_equals_live_range_overlap(seed):
 
 @pytest.mark.parametrize("seed", range(10))
 def test_interference_with_dataflow_oracle(seed):
-    rng = random.Random(32000 + seed)
-    function = random_ssa_function(rng, num_blocks=rng.randrange(3, 10))
+    function = generate_function(32000 + seed, GenSpec(blocks=3 + seed % 7))
     _check_function(function, DataflowLiveness(function))
 
 

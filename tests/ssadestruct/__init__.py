@@ -1,0 +1,1 @@
+"""Tests for the repro.ssadestruct out-of-SSA subsystem."""

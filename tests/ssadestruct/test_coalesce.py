@@ -1,0 +1,152 @@
+"""Congruence classes and the interference-strategy-driven coalescer."""
+
+import pytest
+
+from repro.ir import parse_function
+from repro.ir.value import Variable
+from repro.liveness.dataflow import DataflowLiveness
+from repro.ssadestruct import (
+    CongruenceClasses,
+    GraphInterference,
+    QueryInterference,
+    coalesce_parallel_copies,
+    isolate_phis,
+)
+
+
+class TestCongruenceClasses:
+    def test_singletons_and_find(self):
+        classes = CongruenceClasses()
+        a, b = Variable("a"), Variable("b")
+        assert classes.find(a) is a
+        assert classes.find(b) is b
+        assert classes.members(a) == [a]
+
+    def test_union_prefers_original_over_fresh(self):
+        classes = CongruenceClasses()
+        fresh = Variable("x.out0")
+        original = Variable("x")
+        classes.register(fresh, fresh=True)
+        classes.register(original, fresh=False)
+        assert classes.union(fresh, original) is original
+        assert classes.find(fresh) is original
+        assert set(classes.members(original)) == {fresh, original}
+
+    def test_union_is_transitive_and_stable(self):
+        classes = CongruenceClasses()
+        variables = [Variable(f"v{i}") for i in range(5)]
+        for var in variables:
+            classes.register(var)
+        classes.union(variables[0], variables[1])
+        classes.union(variables[2], variables[3])
+        classes.union(variables[1], variables[3])
+        roots = {classes.find(var).name for var in variables[:4]}
+        assert roots == {"v0"}
+        assert classes.find(variables[4]) is variables[4]
+
+    def test_renaming_skips_singletons(self):
+        classes = CongruenceClasses()
+        a, b, c = (Variable(n) for n in "abc")
+        for var in (a, b, c):
+            classes.register(var)
+        classes.union(a, b)
+        renaming = classes.renaming()
+        assert renaming == {id(b): a}
+
+
+SWAP = """
+function swap(n) {
+entry:
+  a0 = const 1
+  b0 = const 2
+  jump loop
+loop:
+  a = phi [a0 : entry] [b : body]
+  b = phi [b0 : entry] [a : body]
+  i = phi [n : entry] [i2 : body]
+  i2 = binop.sub i, 1
+  c = binop.cmpgt i2, 0
+  branch c, body, exit
+body:
+  jump loop
+exit:
+  r = binop.add a, b
+  return r
+}
+"""
+
+
+def _isolated_swap():
+    function = parse_function(SWAP)
+    function.split_critical_edges()
+    report = isolate_phis(function)
+    classes = CongruenceClasses()
+    for members in report.phi_classes:
+        for member in members:
+            classes.register(member, fresh=True)
+        for member in members[1:]:
+            classes.union(members[0], member)
+    return function, classes
+
+
+class TestCoalescer:
+    @pytest.mark.parametrize("strategy", ["query", "graph"])
+    def test_swap_keeps_exactly_the_cyclic_copies(self, strategy):
+        function, classes = _isolated_swap()
+        if strategy == "query":
+            interference = QueryInterference(function, DataflowLiveness(function))
+        else:
+            interference = GraphInterference(function)
+        report = coalesce_parallel_copies(
+            function, classes, interference, collect_decisions=True
+        )
+        # The swap cycle a↔b cannot be coalesced across the back edge; the
+        # counter chain and everything else can.
+        kept = [d for d in report.decisions if not d.merged]
+        assert len(kept) == 2
+        assert {d.reason for d in kept} == {"interference"}
+        assert report.pairs_considered == report.pairs_coalesced + 2
+        assert report.interference_tests > 0
+
+    def test_constant_sources_are_never_merged(self):
+        function = parse_function(
+            """
+function g(p) {
+entry:
+  c = binop.cmpgt p, 0
+  branch c, a, b
+a:
+  jump join
+b:
+  jump join
+join:
+  x = phi [1 : a] [2 : b]
+  return x
+}
+"""
+        )
+        function.split_critical_edges()
+        report_iso = isolate_phis(function)
+        classes = CongruenceClasses()
+        for members in report_iso.phi_classes:
+            for member in members:
+                classes.register(member, fresh=True)
+            for member in members[1:]:
+                classes.union(members[0], member)
+        interference = QueryInterference(function, DataflowLiveness(function))
+        report = coalesce_parallel_copies(
+            function, classes, interference, collect_decisions=True
+        )
+        reasons = {d.reason for d in report.decisions}
+        assert "constant" in reasons
+
+    def test_query_and_graph_strategies_count_costs_differently(self):
+        function, classes_a = _isolated_swap()
+        query = QueryInterference(function, DataflowLiveness(function))
+        coalesce_parallel_copies(function, classes_a, query)
+        assert query.tests > 0
+
+        function_b, classes_b = _isolated_swap()
+        graph = GraphInterference(function_b)
+        report = coalesce_parallel_copies(function_b, classes_b, graph)
+        assert graph.tests == report.interference_tests > 0

@@ -1,0 +1,148 @@
+"""φ isolation: structure, def–use maintenance, conventional-SSA property."""
+
+import copy
+
+import pytest
+
+from repro.core.live_checker import FastLivenessChecker
+from repro.ir import ParallelCopy, parse_function, verify_ssa
+from repro.ir.interp import execute
+from repro.ssa.defuse import DefUseChains
+from repro.ssadestruct import isolate_phis, verify_conventional_ssa
+from tests.support.genfn import fuzz_function
+
+LOST_COPY = """
+function lostcopy(n) {
+entry:
+  x0 = const 1
+  jump loop
+loop:
+  x = phi [x0 : entry] [x2 : loop]
+  x2 = binop.add x, 1
+  c = binop.cmplt x2, n
+  branch c, loop, exit
+exit:
+  return x
+}
+"""
+
+
+def _parse_lost_copy():
+    function = parse_function(LOST_COPY)
+    function.split_critical_edges()
+    return function
+
+
+class TestIsolationStructure:
+    def test_every_phi_becomes_fresh_resources(self):
+        function = _parse_lost_copy()
+        report = isolate_phis(function)
+        assert report.phis_isolated == 1
+        # One copy per incoming edge plus the result copy.
+        assert report.parallel_copies == 3
+        assert report.pairs_inserted == 3
+        (phi,) = function.phis()
+        # The φ now only mentions fresh resources.
+        fresh_names = {var.name for var in report.fresh_variables}
+        assert phi.result.name in fresh_names
+        for value in phi.incoming.values():
+            assert value.name in fresh_names
+
+    def test_isolated_function_is_strict_ssa_and_equivalent(self):
+        function = _parse_lost_copy()
+        before = execute(function, [5]).observable()
+        isolate_phis(function)
+        verify_ssa(function)
+        assert execute(function, [5]).observable() == before
+
+    def test_result_copy_sits_right_after_phi_prefix(self):
+        function = _parse_lost_copy()
+        isolate_phis(function)
+        loop = function.block("loop")
+        phis = loop.phis()
+        follower = loop.instructions[len(phis)]
+        assert isinstance(follower, ParallelCopy)
+
+    def test_classes_seeded_per_phi(self):
+        function = _parse_lost_copy()
+        report = isolate_phis(function)
+        assert len(report.phi_classes) == 1
+        (members,) = report.phi_classes
+        # result' plus one operand' per predecessor.
+        assert len(members) == 3
+
+
+class TestIncrementalMaintenance:
+    def test_defuse_chains_match_fresh_rebuild(self):
+        for index in (1, 2, 3, 4, 6, 7):
+            function = fuzz_function(index)
+            function.split_critical_edges()
+            checker = FastLivenessChecker(function)
+            checker.prepare()
+            isolate_phis(
+                function,
+                defuse=checker.defuse,
+                on_variable_changed=checker.notify_variable_changed,
+            )
+            fresh = DefUseChains(function)
+            maintained = checker.defuse
+            assert {v.name for v in maintained.variables()} == {
+                v.name for v in fresh.variables()
+            }
+            for var in fresh.variables():
+                twin = next(
+                    v for v in maintained.variables() if v is var
+                )
+                assert maintained.def_block(twin) == fresh.def_block(var)
+                assert sorted(maintained.uses(twin)) == sorted(fresh.uses(var))
+
+    def test_checker_stays_correct_through_isolation(self):
+        """Queries after isolation agree with a from-scratch checker."""
+        function = fuzz_function(3)
+        function.split_critical_edges()
+        checker = FastLivenessChecker(function)
+        checker.prepare()
+        isolate_phis(
+            function,
+            defuse=checker.defuse,
+            on_variable_changed=checker.notify_variable_changed,
+        )
+        rebuilt = FastLivenessChecker(function)
+        for var in rebuilt.live_variables():
+            for block in function.blocks:
+                maintained_var = next(
+                    v for v in checker.live_variables() if v is var
+                )
+                assert checker.is_live_in(maintained_var, block) == rebuilt.is_live_in(
+                    var, block
+                )
+                assert checker.is_live_out(maintained_var, block) == rebuilt.is_live_out(
+                    var, block
+                )
+
+
+class TestConventionalProperty:
+    def test_lost_copy_is_not_conventional_before_isolation(self):
+        from repro.ssadestruct import ConventionalSSAError
+
+        function = _parse_lost_copy()
+        with pytest.raises(ConventionalSSAError):
+            verify_conventional_ssa(function)
+
+    @pytest.mark.parametrize("index", range(0, 24, 2))
+    def test_isolation_establishes_conventional_ssa(self, index):
+        function = fuzz_function(index)
+        function.split_critical_edges()
+        isolate_phis(function)
+        verify_conventional_ssa(function)
+
+    def test_isolation_of_phi_free_function_is_a_no_op(self):
+        function = parse_function(
+            "function f(a) {\nentry:\n  b = binop.add a, 1\n  return b\n}"
+        )
+        snapshot = copy.deepcopy(function)
+        report = isolate_phis(function)
+        assert report.phis_isolated == 0
+        from repro.ir import print_function
+
+        assert print_function(function) == print_function(snapshot)

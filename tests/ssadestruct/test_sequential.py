@@ -1,0 +1,112 @@
+"""Renaming + parallel-copy sequentialisation (cycle breaking included)."""
+
+from repro.ir import Opcode, ParallelCopy, parse_function, print_function
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction
+from repro.ir.value import Constant, Undef, Variable
+from repro.ssadestruct import NameAllocator, apply_renaming_and_lower
+from repro.ssadestruct.names import NameAllocator as DirectNameAllocator
+
+
+def _one_block_function(pairs) -> Function:
+    function = Function("f")
+    block = function.add_block("entry")
+    block.append(ParallelCopy(pairs))
+    block.append(Instruction(Opcode.RETURN, operands=[pairs[0][0]]))
+    return function
+
+
+def _copies(function: Function):
+    return [
+        (inst.result.name, inst.operands[0])
+        for inst in function.block("entry").instructions
+        if inst.opcode == Opcode.COPY
+    ]
+
+
+class TestSequentialisation:
+    def test_chain_orders_copies_without_temp(self):
+        a, b, c = (Variable(n) for n in "abc")
+        function = _one_block_function([(b, a), (c, b)])
+        report = apply_renaming_and_lower(function, {})
+        assert report.temps_inserted == 0
+        assert report.copies_emitted == 2
+        names = [name for name, _ in _copies(function)]
+        # c must be saved from b before b is overwritten.
+        assert names == ["c", "b"]
+
+    def test_swap_cycle_breaks_with_one_temp(self):
+        a, b = Variable("a"), Variable("b")
+        function = _one_block_function([(a, b), (b, a)])
+        report = apply_renaming_and_lower(function, {})
+        assert report.temps_inserted == 1
+        assert report.copies_emitted == 3
+
+    def test_coalesced_pairs_vanish(self):
+        a, b = Variable("a"), Variable("b")
+        function = _one_block_function([(b, a)])
+        report = apply_renaming_and_lower(function, {id(b): a})
+        assert report.pairs_dropped == 1
+        assert report.copies_emitted == 0
+        assert not any(
+            isinstance(inst, ParallelCopy)
+            for inst in function.block("entry").instructions
+        )
+
+    def test_constant_and_undef_sources_become_copies(self):
+        a, b = Variable("a"), Variable("b")
+        function = _one_block_function([(a, Constant(7)), (b, Undef())])
+        report = apply_renaming_and_lower(function, {})
+        assert report.copies_emitted == 2
+        sources = [src for _, src in _copies(function)]
+        assert any(isinstance(src, Constant) for src in sources)
+        assert any(isinstance(src, Undef) for src in sources)
+
+    def test_temp_names_avoid_existing_variables(self):
+        a, b = Variable("a"), Variable("b")
+        clash = Variable("swap0")
+        function = Function("f")
+        block = function.add_block("entry")
+        block.append(Instruction(Opcode.CONST, result=clash, operands=[Constant(0)]))
+        block.append(ParallelCopy([(a, b), (b, a)]))
+        block.append(Instruction(Opcode.RETURN, operands=[a]))
+        apply_renaming_and_lower(function, {}, NameAllocator(function))
+        names = [var.name for var in function.variables()]
+        assert len(names) == len(set(names))
+
+    def test_phis_are_removed(self):
+        function = parse_function(
+            """
+function f(p) {
+entry:
+  c = binop.cmpgt p, 0
+  branch c, a, b
+a:
+  x = const 1
+  jump join
+b:
+  jump join
+join:
+  y = phi [x : a] [p : b]
+  return y
+}
+"""
+        )
+        # Pretend coalescing merged everything into p's class.
+        phi = function.phis()[0]
+        x = function.variable_by_name("x")
+        p = function.variable_by_name("p")
+        y = phi.result
+        report = apply_renaming_and_lower(function, {id(x): p, id(y): p})
+        assert report.phis_removed == 1
+        assert not function.phis()
+        assert "phi" not in print_function(function)
+
+
+def test_direct_alias_of_name_allocator():
+    function = Function("f")
+    function.add_block("entry")
+    alloc = DirectNameAllocator(function)
+    first = alloc.fresh("t")
+    second = alloc.fresh("t")
+    assert first.name != second.name

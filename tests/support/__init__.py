@@ -1,0 +1,1 @@
+"""Shared, non-test helpers for the test suite (generators, oracles)."""

@@ -1,0 +1,317 @@
+"""The test suite's one seeded random-SSA-function generator.
+
+Before this module, every property test rolled its own knob mix on top of
+:func:`repro.synth.random_function.random_ssa_function`; the knobs now
+live in one :class:`GenSpec` so the suites draw from the same, documented
+distribution — and so the *executable* variant exists exactly once.
+
+Three families are produced:
+
+* :func:`generate_function` — SSA over a random CFG with explicit knobs
+  for **loop depth** (how loop-heavy the CFG expansion is), **φ density**
+  (how often blocks redefine the shared variable pool, which is what
+  forces φs at joins) and **irreducibility** (goto-like edges creating
+  multi-entry loops, exercising the checker's loop-forest fallback).
+* the **executable** mode of the same generator: every branch burns one
+  unit of a pre-SSA ``fuel`` counter and, once fuel is exhausted, is
+  steered onto the successor closest to an exit (by CFG distance), so
+  every execution provably terminates — random *irreducible* programs can
+  therefore be run through the interpreter for differential testing, not
+  just analysed.
+* :func:`structured_function` — terminating structured programs through
+  the same spec-profile-shaped generator the benchmark workloads use
+  (:func:`repro.synth.spec_profiles.generate_function_with_blocks`, the
+  engine under ``bench/workload.py``).
+
+:func:`fuzz_function` deterministically mixes all three per index, which
+is what the 200-function differential destruction fuzz iterates over.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.reducibility import is_reducible
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.value import Constant, Variable
+from repro.ir.verify import verify_ssa
+from repro.ssa.construction import construct_ssa
+from repro.synth.random_cfg import random_reducible_cfg
+from repro.synth.spec_profiles import generate_function_with_blocks
+
+_BINOPS = ("add", "sub", "mul", "xor", "and", "or", "max")
+_COMPARES = ("cmplt", "cmple", "cmpgt", "cmpeq", "cmpne")
+
+#: loop_depth knob → expansion bias of the structured CFG generator.
+_LOOP_BIAS = {0: 0.0, 1: 0.25, 2: 0.45, 3: 0.6}
+
+
+@dataclass(frozen=True)
+class GenSpec:
+    """Knobs of one generated function."""
+
+    #: Target CFG size (exact for reducible graphs).
+    blocks: int = 8
+    #: Pre-SSA named-variable pool; each splits into SSA versions at joins.
+    pool_variables: int = 4
+    #: Upper bound on body instructions per block.
+    instructions_per_block: int = 3
+    #: 0 (loop-free) … 3 (loop-heavy, nested) — drives the CFG expansion.
+    loop_depth: int = 1
+    #: Probability that a body instruction redefines a pool variable
+    #: (higher ⇒ more reaching definitions ⇒ more φs).
+    phi_density: float = 0.6
+    #: Add goto-like edges until the CFG is irreducible.
+    irreducible: bool = False
+    #: Guarantee termination via the fuel mechanism (see module docs).
+    executable: bool = True
+    #: Branch budget before executions are steered to an exit.
+    fuel: int = 24
+    #: Number of function parameters.
+    parameters: int = 2
+
+
+def generate_function(seed: int, spec: GenSpec = GenSpec(), name: str = "genfn") -> Function:
+    """Generate one strict-SSA function for ``spec``, deterministically."""
+    rng = random.Random(0x5EED ^ (seed * 2654435761 % (1 << 31)))
+    graph, dists = _usable_cfg(rng, spec)
+    function = _populate(rng, graph, dists, spec, name)
+    construct_ssa(function)
+    verify_ssa(function)
+    return function
+
+
+def structured_function(
+    seed: int, target_blocks: int = 20, name: str = "structured"
+) -> Function:
+    """A terminating structured program, spec-profile shaped.
+
+    This is the same generator the benchmark workloads
+    (``bench/workload.py`` → ``synth.spec_profiles``) are built on, so
+    property tests exercise exactly the population the tables measure.
+    """
+    rng = random.Random(0xB47C8 + seed)
+    return generate_function_with_blocks(rng, target_blocks, name=name)
+
+
+def fuzz_spec(index: int) -> GenSpec:
+    """The deterministic knob mix used by the differential fuzz suites.
+
+    Every third index is irreducible; sizes, loop depth, φ density and
+    fuel cycle through their ranges so the corpus covers the whole grid.
+    """
+    return GenSpec(
+        blocks=4 + (index % 9),
+        pool_variables=2 + (index % 4),
+        instructions_per_block=1 + (index % 3),
+        loop_depth=index % 4,
+        phi_density=0.3 + 0.15 * (index % 4),
+        irreducible=(index % 3 == 1),
+        executable=True,
+        fuel=16 + (index % 3) * 8,
+    )
+
+
+def fuzz_function(index: int, base_seed: int = 0) -> Function:
+    """One deterministic corpus member: structured every 5th, random else."""
+    seed = base_seed * 100_003 + index
+    if index % 5 == 0:
+        return structured_function(
+            seed, target_blocks=6 + (index % 4) * 8, name=f"fuzz{index}"
+        )
+    return generate_function(seed, fuzz_spec(index), name=f"fuzz{index}")
+
+
+# ----------------------------------------------------------------------
+# CFG shaping
+# ----------------------------------------------------------------------
+def _usable_cfg(
+    rng: random.Random, spec: GenSpec
+) -> tuple[ControlFlowGraph, dict]:
+    """A CFG matching the spec whose every node can reach an exit.
+
+    Retries until (a) no node has more than two successors (so fuel
+    guards fit on every branch), (b) exit distances exist everywhere (the
+    termination argument needs them) and (c) the irreducibility request
+    is honoured.
+    """
+    loop_bias = _LOOP_BIAS[min(max(spec.loop_depth, 0), 3)]
+    last_error = "exhausted attempts"
+    for _ in range(24):
+        if spec.irreducible:
+            graph = _irreducible_cfg(rng, max(spec.blocks, 4), loop_bias)
+            if graph is None or is_reducible(graph):
+                last_error = "could not make the CFG irreducible"
+                continue
+        else:
+            graph = random_reducible_cfg(rng, spec.blocks, loop_bias=loop_bias)
+        if any(len(graph.successors(node)) > 2 for node in graph.nodes()):
+            last_error = "a node has more than two successors"
+            continue
+        dists = _distance_to_exit(graph)
+        if dists is None:
+            last_error = "a node cannot reach any exit"
+            continue
+        return graph, dists
+    raise RuntimeError(f"could not generate a usable CFG: {last_error}")
+
+
+def _irreducible_cfg(
+    rng: random.Random, num_blocks: int, loop_bias: float
+) -> ControlFlowGraph | None:
+    """A reducible skeleton plus goto-like edges from single-exit blocks.
+
+    Only blocks with exactly one successor receive the extra edge, so the
+    out-degree cap of 2 survives and every cycle still runs through a
+    conditional branch (which is what carries the fuel guard).
+    """
+    graph = random_reducible_cfg(rng, num_blocks, loop_bias=max(loop_bias, 0.35))
+    nodes = graph.nodes()
+    added = 0
+    for _ in range(24):
+        if added >= 2 and not is_reducible(graph):
+            break
+        sources = [node for node in nodes if len(graph.successors(node)) == 1]
+        if not sources:
+            return None
+        source = rng.choice(sources)
+        target = rng.choice(nodes)
+        if (
+            target == graph.entry
+            or target == source
+            or graph.has_edge(source, target)
+        ):
+            continue
+        graph.add_edge(source, target)
+        added += 1
+    return graph if added else None
+
+
+def _distance_to_exit(graph: ControlFlowGraph) -> dict | None:
+    """Shortest distance to any exit node, or ``None`` if one is cut off."""
+    nodes = graph.nodes()
+    preds: dict = {node: [] for node in nodes}
+    exits = []
+    for node in nodes:
+        succs = graph.successors(node)
+        if not succs:
+            exits.append(node)
+        for succ in succs:
+            preds[succ].append(node)
+    if not exits:
+        return None
+    dist = {node: 0 for node in exits}
+    queue = deque(exits)
+    while queue:
+        node = queue.popleft()
+        for pred in preds[node]:
+            if pred not in dist:
+                dist[pred] = dist[node] + 1
+                queue.append(pred)
+    if len(dist) != len(nodes):
+        return None
+    return dist
+
+
+# ----------------------------------------------------------------------
+# Code emission
+# ----------------------------------------------------------------------
+def _populate(
+    rng: random.Random,
+    graph: ControlFlowGraph,
+    dists: dict,
+    spec: GenSpec,
+    name: str,
+) -> Function:
+    pool = [Variable(f"v{index}") for index in range(spec.pool_variables)]
+    builder = FunctionBuilder(
+        name, parameters=[f"p{index}" for index in range(spec.parameters)]
+    )
+    params = list(builder.function.parameters)
+    #: The pre-SSA fuel counter: seeded in the entry, burned at branches.
+    fuel = Variable("fuel") if spec.executable else None
+
+    blocks = {graph.entry: builder.function.block("entry")}
+    for node in graph.nodes():
+        if node != graph.entry:
+            blocks[node] = builder.add_block(f"b{node}")
+
+    builder.set_insertion_point(blocks[graph.entry])
+    if fuel is not None:
+        builder.const(spec.fuel, result=fuel)
+    for variable in pool:
+        source = rng.choice(params + [Constant(rng.randrange(64))])
+        builder.copy(source, result=variable)
+
+    available = pool + params
+    for node in graph.nodes():
+        builder.set_insertion_point(blocks[node])
+        for _ in range(rng.randrange(spec.instructions_per_block + 1)):
+            if rng.random() < spec.phi_density:
+                # Redefine a pool variable (φ pressure at the next join).
+                target = rng.choice(pool)
+                if rng.random() < 0.75:
+                    right = (
+                        rng.choice(available)
+                        if rng.random() < 0.7
+                        else Constant(rng.randrange(16))
+                    )
+                    builder.binop(
+                        rng.choice(_BINOPS), rng.choice(available), right,
+                        result=target,
+                    )
+                else:
+                    builder.copy(rng.choice(available), result=target)
+            elif rng.random() < 0.5:
+                builder.store(Constant(rng.randrange(8)), rng.choice(available))
+            else:
+                builder.binop(
+                    rng.choice(_COMPARES),
+                    rng.choice(available),
+                    rng.choice(available),
+                )
+        successors = graph.successors(node)
+        if not successors:
+            builder.ret(rng.choice(available))
+        elif len(successors) == 1:
+            builder.jump(blocks[successors[0]].name)
+        else:
+            condition = _branch_condition(rng, builder, fuel, available, dists, successors)
+            builder.branch(
+                condition, blocks[successors[0]].name, blocks[successors[1]].name
+            )
+    return builder.function
+
+
+def _branch_condition(
+    rng: random.Random,
+    builder: FunctionBuilder,
+    fuel: Variable | None,
+    available: list,
+    dists: dict,
+    successors: list,
+):
+    """A branch condition, fuel-guarded in executable mode.
+
+    While fuel lasts the branch follows a random comparison; once it runs
+    out the condition is forced towards the successor with the smaller
+    exit distance, so the remaining path length strictly decreases and
+    the program terminates within ``fuel`` branches plus one exit walk.
+    """
+    raw = builder.binop(
+        rng.choice(_COMPARES), rng.choice(available), rng.choice(available)
+    )
+    if fuel is None:
+        return raw
+    builder.binop("sub", fuel, Constant(1), result=fuel)
+    has_fuel = builder.binop("cmpgt", fuel, Constant(0))
+    if dists[successors[0]] <= dists[successors[1]]:
+        # Force TRUE (first successor) on exhaustion: raw ∨ ¬has_fuel.
+        exhausted = builder.unop("not", has_fuel)
+        return builder.binop("or", raw, exhausted)
+    # Force FALSE (second successor) on exhaustion: raw ∧ has_fuel.
+    return builder.binop("and", raw, has_fuel)

@@ -144,3 +144,116 @@ class TestSpecProfiles:
         first = generate_benchmark_functions(SPEC_PROFILES[0], scale=2, seed=1)
         second = generate_benchmark_functions(SPEC_PROFILES[0], scale=2, seed=1)
         assert [len(f.blocks) for f in first] == [len(f.blocks) for f in second]
+
+
+class TestIrreducibleWorkloadCoverage:
+    """Regression: the benchmark population must contain irreducible CFGs.
+
+    The paper's SPEC workload has (rare) irreducible regions; a purely
+    structured synthetic population would never drive the checker through
+    its loop-forest fallback (the general multi-candidate ``T_q`` loop),
+    so that path would be dead in every table.  Pinned here so a future
+    generator rewrite cannot silently lose the coverage.
+    """
+
+    def test_benchmark_population_contains_irreducible_cfgs(self):
+        from repro.synth.spec_profiles import IRREDUCIBLE_PERIOD
+
+        profile = profile_by_name("181.mcf")
+        functions = generate_benchmark_functions(
+            profile, scale=IRREDUCIBLE_PERIOD, seed=0
+        )
+        irreducible = [
+            f for f in functions if not is_reducible(f.build_cfg())
+        ]
+        assert irreducible, (
+            "benchmark population must include at least one irreducible CFG"
+        )
+        for function in irreducible:
+            verify_ssa(function)
+
+    def test_workload_replays_queries_through_the_loop_forest_path(self):
+        """On an irreducible workload procedure, the fast checker (whose
+        reducible fast path cannot apply everywhere) must still agree with
+        the conventional engine on the recorded destruction queries."""
+        from repro.bench.workload import build_workload
+        from repro.core import FastLivenessChecker
+        from repro.liveness import DataflowLiveness
+        from repro.synth.spec_profiles import IRREDUCIBLE_PERIOD
+
+        profile = profile_by_name("181.mcf")
+        workload = build_workload(profile, scale=IRREDUCIBLE_PERIOD, seed=0)
+        irreducible = [
+            proc
+            for proc in workload.procedures
+            if not is_reducible(proc.function.build_cfg())
+        ]
+        assert irreducible, "workload must contain an irreducible procedure"
+        # A φ-free straggler records no queries; at least one irreducible
+        # procedure must, and every recorded stream must replay cleanly.
+        with_queries = [proc for proc in irreducible if proc.queries]
+        assert with_queries, "no irreducible procedure recorded any queries"
+        for proc in with_queries:
+            checker = FastLivenessChecker(proc.function)
+            dataflow = DataflowLiveness(proc.function)
+            for kind, var, block in proc.queries:
+                if kind == "in":
+                    assert checker.is_live_in(var, block) == dataflow.is_live_in(
+                        var, block
+                    )
+                else:
+                    assert checker.is_live_out(var, block) == dataflow.is_live_out(
+                        var, block
+                    )
+
+    def test_force_irreducible_knob(self, rng):
+        hits = sum(
+            not is_reducible(
+                random_ssa_function(rng, num_blocks=12, force_irreducible=True)
+                .build_cfg()
+            )
+            for _ in range(10)
+        )
+        assert hits >= 8
+
+
+class TestGenfnSupportGenerator:
+    """The shared test-suite generator (tests/support/genfn.py)."""
+
+    def test_knobs_and_validity(self):
+        from tests.support.genfn import GenSpec, generate_function
+
+        function = generate_function(
+            11, GenSpec(blocks=10, pool_variables=5, loop_depth=2)
+        )
+        verify_ssa(function)
+        assert len(function.blocks) >= 10
+
+    def test_irreducible_knob_is_honoured(self):
+        from tests.support.genfn import GenSpec, generate_function
+
+        for seed in range(6):
+            function = generate_function(
+                400 + seed, GenSpec(blocks=8, irreducible=True)
+            )
+            assert not is_reducible(function.build_cfg())
+
+    def test_executable_mode_always_terminates(self):
+        from tests.support.genfn import GenSpec, generate_function
+
+        for seed in range(8):
+            function = generate_function(
+                500 + seed,
+                GenSpec(blocks=9, loop_depth=3, irreducible=(seed % 2 == 0)),
+            )
+            for args in ([0, 0], [9, 2], [-3, 8]):
+                trace = execute(function, args, max_steps=20_000)
+                assert trace.steps > 0
+
+    def test_loop_free_spec_has_no_back_edges(self):
+        from repro.cfg.dfs import DepthFirstSearch
+        from tests.support.genfn import GenSpec, generate_function
+
+        function = generate_function(77, GenSpec(blocks=8, loop_depth=0))
+        dfs = DepthFirstSearch(function.build_cfg())
+        assert not dfs.back_edges()
