@@ -13,10 +13,10 @@ import time
 
 from repro.bench.reporting import format_table
 from repro.core.live_checker import FastLivenessChecker
-from repro.liveness.dataflow import DataflowLiveness
-from repro.ssa.defuse import DefUseChains
 from repro.ir.instruction import Instruction, Opcode
 from repro.ir.value import Variable
+from repro.liveness.dataflow import DataflowLiveness
+from repro.ssa.defuse import DefUseChains
 
 
 def _edit_query_mix(proc, rounds=10, queries_per_round=8):

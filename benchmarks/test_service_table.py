@@ -55,3 +55,27 @@ def test_cached_service_beats_per_query_rebuild_5x(service_rows):
         f"on the mixed profile, got {mixed.speedup('service'):.2f}x "
         f"({mixed.millis['service']:.0f} ms vs {mixed.millis['rebuild']:.0f} ms)"
     )
+
+
+def test_dispatch_layer_overhead_is_within_budget():
+    """The typed protocol façade must stay thin: CompilerClient.dispatch on
+    a BatchLiveness stream may cost at most 10% over calling
+    LivenessService.submit directly (the ``--smoke`` bench guard)."""
+    from repro.bench.table_service import (
+        MAX_DISPATCH_OVERHEAD,
+        SMOKE_PROFILES,
+        generate_request_stream,
+        generate_service_module,
+        measure_dispatch_overhead,
+    )
+
+    profile = SMOKE_PROFILES[0]
+    module = generate_service_module(profile)
+    requests = generate_request_stream(module, profile.queries)
+    # Best-of-7 on both sides: scheduling noise shrinks the minimum of
+    # more repeats, it never inflates it.
+    overhead = measure_dispatch_overhead(module, requests, repeats=7)
+    assert overhead.overhead < MAX_DISPATCH_OVERHEAD, (
+        f"dispatch() adds {overhead.overhead:.1%} over submit() "
+        f"({overhead.dispatch_millis:.2f} ms vs {overhead.submit_millis:.2f} ms)"
+    )

@@ -16,7 +16,7 @@ a tuned C compiler on a Pentium M):
 
 import pytest
 
-from repro.bench.table2 import compute_row, compute_table2, format_table2
+from repro.bench.table2 import compute_table2, format_table2
 from repro.bench.workload import ProcedureWorkload
 from repro.core.live_checker import FastLivenessChecker
 from repro.core.precompute import LivenessPrecomputation

@@ -13,7 +13,8 @@ cross-checking every answer, and prints how many precomputations each
 engine needed.
 """
 
-from repro import TransformationSession, compile_source
+from repro import CompilerClient, TransformationSession, compile_source
+from repro.api import CompileSourceRequest, LivenessQuery
 
 SOURCE = """
 func hot_loop(n, base) {
@@ -72,6 +73,34 @@ def main() -> None:
     print(f"  data-flow recomputations:         {session.stats.dataflow_precomputations}")
     print()
     print("every query above was answered identically by both engines.")
+    print()
+
+    # The same invalidation contract, *enforced* at the API boundary: a
+    # JIT that holds a revisioned handle across an edit gets a structured
+    # STALE_HANDLE error instead of a silently-stale liveness fact.
+    client = CompilerClient()
+    (handle,) = client.dispatch(CompileSourceRequest(source=SOURCE)).functions
+    fn = client.service.function(handle.name)
+    var = fn.variables()[0]
+    block = next(iter(fn.blocks))
+    query = LivenessQuery(
+        function=handle, kind="in", variable=var.name, block=block
+    )
+    assert client.dispatch(query).ok
+    client.service.notify_instructions_changed(handle.name)  # the JIT edits
+    rejected = client.dispatch(query)
+    print(
+        f"handle {handle} after an edit: {rejected.error.code.value} — "
+        "the server refuses to answer from invalidated state"
+    )
+    fresh = LivenessQuery(
+        function=client.handle(handle.name),
+        kind="in",
+        variable=var.name,
+        block=block,
+    )
+    assert client.dispatch(fresh).ok
+    print(f"re-minted {client.handle(handle.name)}: served again")
 
 
 if __name__ == "__main__":

@@ -1,18 +1,20 @@
-"""Serve liveness queries for a whole module through LivenessService.
+"""Serve liveness queries for a whole module through the compiler server.
 
 Run with::
 
     python examples/liveness_service.py
 
 A compilation server holds many functions and answers interleaved
-liveness questions about all of them.  :class:`repro.LivenessService`
-fronts that workload: it builds one
-:class:`~repro.core.FastLivenessChecker` per function *on demand*, keeps
-the checkers in a bounded LRU cache, routes per-function edit
-notifications, and answers multi-function batch requests in one call.
+liveness questions about all of them.  :class:`repro.CompilerClient` is
+the typed front door: source goes in as a ``CompileSourceRequest``, every
+function comes back as a revisioned handle, and a mixed multi-function
+``BatchLiveness`` stream is answered in one dispatch — by one
+:class:`~repro.core.FastLivenessChecker` per function, built on demand
+and kept in a bounded LRU cache underneath.
 """
 
-from repro import LivenessRequest, LivenessService, compile_source
+from repro import CompilerClient
+from repro.api import BatchLiveness, CompileSourceRequest, LivenessQuery
 
 SOURCE = """
 func gcd(a, b) {
@@ -43,37 +45,63 @@ func clamp(x, lo, hi) {
 
 
 def main() -> None:
-    module = compile_source(SOURCE)
-    service = LivenessService(module, capacity=2)  # deliberately tight
-    print(f"serving {len(service)} functions with capacity {service.capacity}")
+    client = CompilerClient(capacity=2)  # deliberately tight cache
+    response = client.dispatch(CompileSourceRequest(source=SOURCE))
+    assert response.ok, response.error
+    handles = {handle.name: handle for handle in response.functions}
+    service = client.service
+    print(
+        f"serving {len(service)} functions with capacity {service.capacity}: "
+        + ", ".join(str(handle) for handle in response.functions)
+    )
     print()
 
-    # A mixed multi-function request stream, answered in one submit() call.
-    requests = []
-    for function in module:
+    # A mixed multi-function request stream, answered in one dispatch.
+    queries = []
+    for name, handle in handles.items():
+        function = service.function(name)
         for var in function.variables()[:3]:
             for block in list(function.blocks)[:3]:
-                requests.append(
-                    LivenessRequest(
-                        function=function.name,
-                        kind="in",
-                        variable=var,
-                        block=block,
+                queries.append(
+                    LivenessQuery(
+                        function=handle, kind="in", variable=var.name, block=block
                     )
                 )
-    answers = service.submit(requests)
-    live = sum(answers)
-    print(f"submitted {len(requests)} requests -> {live} answered live-in=True")
+    batch = client.dispatch(BatchLiveness(queries=tuple(queries)))
+    assert batch.ok, batch.error
+    live = sum(batch.values)
+    print(f"dispatched {len(queries)} queries -> {live} answered live-in=True")
     print(f"resident checkers (LRU order): {service.resident()}")
     print()
 
     # Edits route per function: an instruction-level edit drops only that
-    # function's query plans; its R/T precomputation survives.
+    # function's query plans; its R/T precomputation survives.  Every edit
+    # bumps the function's revision, so the old handle is now *stale*.
     gcd_checker = service.checker("gcd")
     pre_before = gcd_checker.precomputation
     service.notify_instructions_changed("gcd")
     assert service.checker("gcd").precomputation is pre_before
     print("instruction edit on 'gcd': precomputation survived (plans dropped)")
+
+    stale = client.dispatch(
+        BatchLiveness(queries=(queries[0],))  # still pinned to revision 0
+    )
+    print(f"old handle after the edit: {stale.error.code.value} ({stale.error.detail})")
+    handles["gcd"] = client.handle("gcd")  # re-mint at the new revision
+    retry = client.dispatch(
+        BatchLiveness(
+            queries=(
+                LivenessQuery(
+                    function=handles["gcd"],
+                    kind="in",
+                    variable=queries[0].variable,
+                    block=queries[0].block,
+                ),
+            )
+        )
+    )
+    assert retry.ok
+    print(f"re-minted handle {handles['gcd']}: answered again")
 
     service.notify_cfg_changed("gcd")
     assert service.checker("gcd").precomputation is not pre_before
@@ -86,6 +114,7 @@ def main() -> None:
     print(f"  hit rate:  {stats.hit_rate:.0%}")
     print(f"  evictions: {stats.evictions}")
     print(f"  queries:   {stats.queries}")
+    print(f"  stale-handle rejections: {stats.stale_handle_rejections}")
 
 
 if __name__ == "__main__":

@@ -24,9 +24,9 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
+from repro.api import FAST, CompilerClient, DestructRequest  # noqa: E402
 from repro.ir import Module, parse_function, print_function  # noqa: E402
 from repro.ir.interp import execute  # noqa: E402
-from repro.service import LivenessService  # noqa: E402
 from repro.ssadestruct import (  # noqa: E402
     ConventionalSSAError,
     destruct,
@@ -78,7 +78,7 @@ def main() -> None:
 
     # 3. The full pipeline: coalesce with liveness queries, then lower.
     lowered = copy.deepcopy(function)
-    report = destruct(lowered, backend="fast", verify=True, collect_decisions=True)
+    report = destruct(lowered, backend=FAST, verify=True, collect_decisions=True)
     print("\n== after coalescing + sequentialisation (out of SSA) ==")
     print(print_function(lowered))
     print(
@@ -96,14 +96,20 @@ def main() -> None:
     assert trace_after.observable() == trace_before.observable()
     print(f"return value after destruction: {trace_after.return_value} (unchanged)")
 
-    # The same thing through the multi-function service front door.
+    # The same thing through the compiler-server front door: one
+    # DestructRequest against a revisioned handle.
     module = Module("demo")
     module.add_function(parse_function(SWAP))
-    service = LivenessService(module)
-    service.destruct("swap", verify=True)
+    client = CompilerClient(module)
+    response = client.dispatch(
+        DestructRequest(function=client.handle("swap"), verify=True)
+    )
+    assert response.ok, response.error
+    service = client.service
     print(
         f"\nservice destruction: {service.stats.destructions} function(s) "
-        f"translated through the cached checker"
+        f"translated through the cached checker; 'swap' is now at "
+        f"{response.function}"
     )
 
 

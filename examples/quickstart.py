@@ -4,13 +4,16 @@ Run with::
 
     python examples/quickstart.py
 
-The example compiles a loop through the bundled mini-language front-end,
-prints the SSA form, and then answers a handful of live-in / live-out
-queries with the paper's fast checker, cross-checking each answer against
-the conventional data-flow analysis.
+Everything goes through the typed front door: a
+:class:`repro.CompilerClient` compiles the mini-language source with a
+``CompileSourceRequest``, hands back a revisioned function handle, and
+answers every ``LivenessQuery`` through the paper's fast checker — while
+this script cross-checks each answer against the conventional data-flow
+analysis.
 """
 
-from repro import DataflowLiveness, FastLivenessChecker, compile_source
+from repro import CompilerClient, DataflowLiveness
+from repro.api import CompileSourceRequest, LivenessQuery
 from repro.ir import print_function
 
 SOURCE = """
@@ -31,15 +34,18 @@ func weighted_sum(n, w) {
 
 
 def main() -> None:
-    module = compile_source(SOURCE)
-    function = module.function("weighted_sum")
+    client = CompilerClient()
+    response = client.dispatch(CompileSourceRequest(source=SOURCE))
+    assert response.ok, response.error
+    (handle,) = response.functions
+    print(f"compiled through the API: handle {handle}")
+    function = client.service.function(handle.name)
 
-    print("SSA form produced by the front-end:")
+    print("\nSSA form produced by the front-end:")
     print(print_function(function))
     print()
 
-    checker = FastLivenessChecker(function)
-    checker.prepare()
+    checker = client.service.checker(handle.name)
     baseline = DataflowLiveness(function)
 
     pre = checker.precomputation
@@ -52,8 +58,16 @@ def main() -> None:
     print(f"{'variable':>10} {'block':>10} {'live-in':>8} {'live-out':>9}")
     for var in checker.live_variables():
         for block in function.blocks:
-            live_in = checker.is_live_in(var, block)
-            live_out = checker.is_live_out(var, block)
+            live_in = client.dispatch(
+                LivenessQuery(
+                    function=handle, kind="in", variable=var.name, block=block
+                )
+            ).value
+            live_out = client.dispatch(
+                LivenessQuery(
+                    function=handle, kind="out", variable=var.name, block=block
+                )
+            ).value
             # The conventional engine must agree on every single query.
             assert live_in == baseline.is_live_in(var, block)
             assert live_out == baseline.is_live_out(var, block)

@@ -1,20 +1,25 @@
-"""Allocate registers for a function using only liveness queries.
+"""Allocate registers for a function through the compiler-server API.
 
 Run with::
 
     python examples/register_allocation.py
 
-This drives the whole :mod:`repro.regalloc` pipeline on a small program:
-measure MaxLive, spill down to a 3-register budget with the
-furthest-next-use heuristic, color the chordal SSA interference in
-dominance order, and finally check the result against the independent
-data-flow oracle.  Every global liveness fact along the way is an
+The whole :mod:`repro.regalloc` pipeline — measure MaxLive, spill down to
+a 3-register budget with the furthest-next-use heuristic, color the
+chordal SSA interference in dominance order — runs server-side behind one
+``AllocateRequest`` dispatched through :class:`repro.CompilerClient`.
+Every global liveness fact along the way is an
 ``is_live_in``/``is_live_out`` query against the paper's checker — no
 live sets are ever materialised, and the spill rewrites never invalidate
-the checker's CFG precomputation.
+the checker's CFG precomputation.  The wire-format
+:class:`~repro.api.protocol.AllocationSummary` that comes back is rich
+enough to rebuild the assignment and verify it against the independent
+data-flow oracle.
 """
 
-from repro import allocate, compile_source, verify_allocation
+from repro import CompilerClient, verify_allocation
+from repro.api import AllocateRequest, CompileSourceRequest
+from repro.regalloc import Allocation
 
 SOURCE = """
 func polyeval(x, n) {
@@ -34,34 +39,64 @@ func polyeval(x, n) {
 
 
 def main() -> None:
-    function = compile_source(SOURCE).function("polyeval")
+    client = CompilerClient()
+    (handle,) = client.dispatch(CompileSourceRequest(source=SOURCE)).functions
+    function = client.service.function(handle.name)
     print(
-        f"compiled 'polyeval': {len(function.blocks)} blocks, "
+        f"compiled {handle}: {len(function.blocks)} blocks, "
         f"{len(function.variables())} SSA variables"
     )
 
-    allocation = allocate(function, num_registers=3, backend="fast")
-    print(
-        f"MaxLive before spilling: {allocation.max_live_before_spill}, "
-        f"after: {allocation.max_live}, budget: {allocation.num_registers}"
+    response = client.dispatch(
+        AllocateRequest(function=handle, num_registers=3)
     )
-    if allocation.spill_report is not None:
-        report = allocation.spill_report
+    assert response.ok, response.error
+    summary = response.allocation
+    print(
+        f"MaxLive before spilling: {summary.max_live_before_spill}, "
+        f"after: {summary.max_live}, budget: 3"
+    )
+    if summary.spilled:
         print(
-            f"spilled {len(report.spilled)} value(s) in {report.rounds} round(s): "
-            + ", ".join(f"{var.name}->slot{report.slot_of[var]}" for var in report.spilled)
+            f"spilled {len(summary.spilled)} value(s): "
+            + ", ".join(
+                f"{name}->slot{summary.spill_slots[name]}"
+                for name in summary.spilled
+            )
         )
-    print(f"registers used: {allocation.registers_used}")
+    print(f"registers used: {summary.registers_used}")
+    print(f"function is now at {response.function} (the old handle is stale)")
     print()
 
     print(f"{'variable':>16}  {'register':>8}")
-    shown = sorted(allocation.register_of.items(), key=lambda item: item[0].name)
-    for var, register in shown[:10]:
-        print(f"{var.name:>16}  r{register:<7}")
+    shown = sorted(summary.registers.items())
+    for name, register in shown[:10]:
+        print(f"{name:>16}  r{register:<7}")
     if len(shown) > 10:
         print(f"{'...':>16}  ({len(shown) - 10} more)")
     print()
 
+    # Rebuild the identity-keyed assignment from the wire summary and hand
+    # it to the independent verifier — the summary loses nothing.
+    by_name = {var.name: var for var in function.variables()}
+    allocation = Allocation(
+        function=function,
+        backend="api",
+        register_of={
+            by_name[name]: reg
+            for name, reg in summary.registers.items()
+            if name in by_name
+        },
+        spill_slot_of={
+            by_name[name]: slot
+            for name, slot in summary.spill_slots.items()
+            if name in by_name
+        },
+        num_registers=3,
+        registers_used=summary.registers_used,
+        max_live=summary.max_live,
+        max_live_before_spill=summary.max_live_before_spill,
+    )
     result = verify_allocation(function, allocation)
     assert result.ok, result.errors
     print(

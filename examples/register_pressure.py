@@ -5,27 +5,20 @@ Run with::
     python examples/register_pressure.py
 
 Register allocators need, for every block, the number of values that are
-live across it — the register pressure.  With per-block live *sets* this is
-a lookup; with the paper's checker it is a handful of queries per variable,
-but in exchange nothing has to be recomputed when the allocator inserts
-spill code.  This example computes block-level pressure for a generated
-SPEC-shaped procedure with the checker and validates the numbers against
-the data-flow sets.
+live across it — the register pressure.  With per-block live *sets* this
+is a lookup; with the paper's checker it is a handful of queries per
+variable, but in exchange nothing has to be recomputed when the allocator
+inserts spill code.  This example asks the compiler server for each
+block's live-in set (one ``LiveSetRequest`` per block through
+:class:`repro.CompilerClient`) on a generated SPEC-shaped procedure and
+validates the numbers against the data-flow sets.
 """
 
 import random
 
-from repro import DataflowLiveness, FastLivenessChecker
+from repro import CompilerClient, DataflowLiveness
+from repro.api import LiveSetRequest
 from repro.synth.spec_profiles import generate_function_with_blocks
-
-
-def block_pressure(function, oracle) -> dict[str, int]:
-    """Number of variables live-in at each block, per the given oracle."""
-    pressure = {}
-    variables = oracle.live_variables()
-    for block in function.blocks:
-        pressure[block] = sum(1 for var in variables if oracle.is_live_in(var, block))
-    return pressure
 
 
 def main() -> None:
@@ -37,32 +30,41 @@ def main() -> None:
     )
     print()
 
-    checker = FastLivenessChecker(function)
-    checker.prepare()
+    client = CompilerClient([function])
+    handle = client.handle(function.name)
     baseline = DataflowLiveness(function)
 
-    from_checker = block_pressure(function, checker)
-    from_sets = block_pressure(function, baseline)
-    assert from_checker == from_sets, "engines disagree on register pressure!"
+    from_api = {}
+    for block in function.blocks:
+        response = client.dispatch(LiveSetRequest(function=handle, block=block))
+        assert response.ok, response.error
+        from_api[block] = len(response.variables)
+    from_sets = {
+        block: sum(
+            1 for var in baseline.live_variables() if baseline.is_live_in(var, block)
+        )
+        for block in function.blocks
+    }
+    assert from_api == from_sets, "engines disagree on register pressure!"
 
     print(f"{'block':>22}  {'live-in variables':>18}")
-    for block, count in sorted(from_checker.items(), key=lambda item: -item[1])[:12]:
+    for block, count in sorted(from_api.items(), key=lambda item: -item[1])[:12]:
         print(f"{block:>22}  {count:>18}")
     print()
 
-    hottest = max(from_checker.items(), key=lambda item: item[1])
+    hottest = max(from_api.items(), key=lambda item: item[1])
     print(
         f"maximum block-level pressure is {hottest[1]} live values at block "
         f"'{hottest[0]}' — an allocator with fewer registers than that must spill."
     )
-    print("(checker and data-flow sets agree on every block)")
+    print("(API live sets and data-flow sets agree on every block)")
 
     # The real allocator refines this to instruction granularity: MaxLive,
     # the pressure maximum over *definition points*, is what the chordal
     # coloring of repro.regalloc provably needs.
     from repro.regalloc import compute_pressure
 
-    info = compute_pressure(function, checker)
+    info = compute_pressure(function, client.service.checker(function.name))
     print(
         f"instruction-level MaxLive is {info.max_live} "
         f"(hottest definition point in block '{info.max_block}')"

@@ -4,22 +4,17 @@ Run with::
 
     python examples/ssa_destruction.py
 
-The script compiles a function with several φs, runs the Sreedhar-style
-out-of-SSA translation twice — once with the fast liveness checker and once
-with the conventional data-flow analysis — and shows that both engines lead
-to exactly the same coalescing decisions while issuing the same number of
-queries, then verifies the transformed code still computes the same values.
+The script compiles a function with several φs and dispatches a
+``DestructRequest`` through :class:`repro.CompilerClient` twice — once
+with the fast liveness checker and once with the conventional data-flow
+engine (both resolved through the engine registry).  Both engines lead to
+exactly the same coalescing decisions while issuing the same number of
+interference tests, and the interpreter verifies the transformed code
+still computes the same values.
 """
 
-import copy
-
-from repro import (
-    CountingOracle,
-    DataflowLiveness,
-    FastLivenessChecker,
-    compile_source,
-    destruct_ssa,
-)
+from repro import CompilerClient
+from repro.api import DATAFLOW, FAST, CompileSourceRequest, DestructRequest
 from repro.ir import print_function
 from repro.ir.interp import execute
 
@@ -43,55 +38,48 @@ func polynomial(x, n) {
 """
 
 
-def run_destruction(oracle_name: str):
-    function = compile_source(SOURCE).function("polynomial")
+def run_destruction(engine: str):
+    client = CompilerClient()
+    (handle,) = client.dispatch(CompileSourceRequest(source=SOURCE)).functions
+    function = client.service.function(handle.name)
     reference = [execute(function, [2, n]).return_value for n in range(6)]
 
-    factories = {
-        "fast checker": lambda fn: CountingOracle(FastLivenessChecker(fn)),
-        "data-flow sets": lambda fn: CountingOracle(DataflowLiveness(fn)),
-    }
-    holder = {}
-
-    def factory(fn):
-        oracle = factories[oracle_name](fn)
-        holder["oracle"] = oracle
-        return oracle
-
-    report = destruct_ssa(function, oracle_factory=factory)
-    oracle = holder["oracle"]
+    response = client.dispatch(DestructRequest(function=handle, engine=engine))
+    assert response.ok, response.error
 
     after = [execute(function, [2, n]).return_value for n in range(6)]
     assert after == reference, "destruction changed the program's behaviour!"
-    return function, report, oracle
+    return function, response.stats
 
 
 def main() -> None:
-    ssa_function = compile_source(SOURCE).function("polynomial")
+    preview = CompilerClient()
+    (handle,) = preview.dispatch(CompileSourceRequest(source=SOURCE)).functions
     print("SSA form before destruction:")
-    print(print_function(ssa_function))
+    print(print_function(preview.service.function(handle.name)))
     print()
 
     results = {}
-    for oracle_name in ("fast checker", "data-flow sets"):
-        function, report, oracle = run_destruction(oracle_name)
-        results[oracle_name] = (report, oracle)
-        print(f"--- destruction with the {oracle_name} ---")
-        print(f"  φs processed:          {report.phis_processed}")
-        print(f"  resources coalesced:   {report.resources_coalesced}")
-        print(f"  copies inserted:       {report.copies_inserted}")
-        print(f"  interference tests:    {report.interference_tests}")
-        print(f"  liveness queries:      {oracle.total_queries}")
+    for engine in (FAST, DATAFLOW):
+        function, stats = run_destruction(engine)
+        results[engine] = stats
+        print(f"--- destruction with the {engine!r} engine ---")
+        print(f"  φs isolated:           {stats.phis_isolated}")
+        print(f"  pairs coalesced:       {stats.pairs_coalesced}/{stats.pairs_inserted}")
+        print(f"  copies emitted:        {stats.copies_emitted}")
+        print(f"  interference tests:    {stats.interference_tests}")
+        print(f"  liveness queries:      {stats.liveness_queries}")
         print()
 
-    fast_report, _ = results["fast checker"]
-    dataflow_report, _ = results["data-flow sets"]
-    assert fast_report.copies_inserted == dataflow_report.copies_inserted
-    assert fast_report.resources_coalesced == dataflow_report.resources_coalesced
+    fast_stats = results[FAST]
+    dataflow_stats = results[DATAFLOW]
+    assert fast_stats.pairs_coalesced == dataflow_stats.pairs_coalesced
+    assert fast_stats.copies_emitted == dataflow_stats.copies_emitted
+    assert fast_stats.interference_tests == dataflow_stats.interference_tests
     print("both oracles made identical coalescing decisions.")
     print()
 
-    function, _, _ = run_destruction("fast checker")
+    function, _ = run_destruction(FAST)
     print("non-SSA code after destruction (checker-driven):")
     print(print_function(function))
 

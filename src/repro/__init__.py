@@ -28,6 +28,17 @@ See ``DESIGN.md`` for the module map and ``EXPERIMENTS.md`` for the
 reproduction of the paper's evaluation.
 """
 
+from repro.api import (
+    ApiError,
+    CompilerClient,
+    EngineSpec,
+    ErrorCode,
+    FunctionHandle,
+    QueryKind,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from repro.cfg import (
     ControlFlowGraph,
     DepthFirstSearch,
@@ -95,6 +106,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # api (the versioned front door)
+    "ApiError",
+    "CompilerClient",
+    "EngineSpec",
+    "ErrorCode",
+    "FunctionHandle",
+    "QueryKind",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     # cfg
     "ControlFlowGraph",
     "DepthFirstSearch",

@@ -1,0 +1,363 @@
+"""The compiler-server façade: one typed door in front of everything.
+
+:class:`CompilerClient` wraps the whole serving stack —
+front-end compilation, the multi-function
+:class:`~repro.service.LivenessService`, out-of-SSA translation and
+register allocation — behind a single ``dispatch(request) -> response``
+entry point speaking the protocol of :mod:`repro.api.protocol`:
+
+* every function is addressed through a revisioned
+  :class:`~repro.api.handles.FunctionHandle`; a request pinned to an old
+  revision is answered with a ``STALE_HANDLE`` error, never a
+  silently-stale liveness fact;
+* every failure crosses the boundary as a structured
+  :class:`~repro.api.errors.ApiError` inside the matching response —
+  ``dispatch`` does not raise;
+* :meth:`CompilerClient.dispatch_json` drives the same dispatcher from
+  (and back to) wire-format JSON envelopes, so a service can be fronted
+  by any transport or replayed from a request log.
+
+The batch path is deliberately thin: a :class:`BatchLiveness` stream is
+answered through exactly the same per-checker batch engine
+:meth:`LivenessService.submit` uses, with per-function variable-name
+resolution cached per revision — ``bench/table_service.py --smoke``
+guards that this layer stays within 10% of calling ``submit`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.api.errors import ApiError, ErrorCode, ProtocolError
+from repro.api.handles import FunctionHandle
+from repro.api.protocol import (
+    AllocateRequest,
+    AllocateResponse,
+    AllocationSummary,
+    BatchLiveness,
+    BatchLivenessResponse,
+    CompileSourceRequest,
+    CompileSourceResponse,
+    DestructRequest,
+    DestructResponse,
+    DestructStats,
+    ErrorResponse,
+    LivenessQuery,
+    LivenessResponse,
+    LiveSetRequest,
+    LiveSetResponse,
+    QueryKind,
+    Request,
+    Response,
+    RESPONSE_FOR,
+    decode_request,
+    encode_response,
+)
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.value import Variable
+from repro.service.service import DEFAULT_CAPACITY, LivenessService
+
+
+class CompilerClient:
+    """Typed request/response façade over the compiler-server stack."""
+
+    def __init__(
+        self,
+        module: Module | Iterable[Function] | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+        strategy: str = "exact",
+    ) -> None:
+        self._service = LivenessService(
+            module, capacity=capacity, strategy=strategy
+        )
+        #: function name → (revision the map was built at, name → Variable).
+        self._variable_maps: dict[str, tuple[int, dict[str, Variable]]] = {}
+
+    @property
+    def service(self) -> LivenessService:
+        """The underlying service (stats, cache introspection, …)."""
+        return self._service
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers
+    # ------------------------------------------------------------------
+    def compile(
+        self, source: str, module_name: str = "module"
+    ) -> tuple[FunctionHandle, ...]:
+        """Compile and register ``source``; raise on failure.
+
+        The exception-free equivalent is dispatching a
+        :class:`CompileSourceRequest`.
+        """
+        response = self.dispatch(
+            CompileSourceRequest(source=source, module_name=module_name)
+        )
+        if response.error is not None:
+            raise ProtocolError(response.error.code, response.error.detail)
+        assert response.functions is not None
+        return response.functions
+
+    def handle(self, name: str) -> FunctionHandle:
+        """A fresh handle for ``name`` at its current revision."""
+        return self._service.handle(name)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Request) -> Response:
+        """Answer one protocol request; never raises across the boundary."""
+        try:
+            return self._dispatch(request)
+        except ProtocolError as exc:
+            return self._failure(request, exc.error)
+        except KeyError as exc:
+            # The service's loud unknown-function failures surface here;
+            # any other KeyError is an internal bug and must say so.
+            if "unknown function" in str(exc):
+                return self._failure(
+                    request, ApiError(ErrorCode.UNKNOWN_FUNCTION, str(exc))
+                )
+            return self._failure(
+                request,
+                ApiError(ErrorCode.INTERNAL, f"KeyError: {exc}"),
+            )
+        except Exception as exc:  # noqa: BLE001 - the boundary must hold
+            return self._failure(
+                request,
+                ApiError(ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"),
+            )
+
+    def dispatch_json(self, payload) -> dict:
+        """Wire driver: JSON envelope in, JSON envelope out."""
+        try:
+            request = decode_request(payload)
+        except ProtocolError as exc:
+            return encode_response(ErrorResponse(error=exc.error))
+        return encode_response(self.dispatch(request))
+
+    def _failure(self, request, error: ApiError) -> Response:
+        response_cls = RESPONSE_FOR.get(type(request), ErrorResponse)
+        return response_cls(error=error)
+
+    def _dispatch(self, request: Request) -> Response:
+        if isinstance(request, LivenessQuery):
+            return self._liveness_query(request)
+        if isinstance(request, BatchLiveness):
+            return self._batch_liveness(request)
+        if isinstance(request, LiveSetRequest):
+            return self._live_set(request)
+        if isinstance(request, DestructRequest):
+            return self._destruct(request)
+        if isinstance(request, AllocateRequest):
+            return self._allocate(request)
+        if isinstance(request, CompileSourceRequest):
+            return self._compile_source(request)
+        raise ProtocolError(
+            ErrorCode.INVALID_REQUEST,
+            f"unsupported request type {type(request).__name__}",
+        )
+
+    # ------------------------------------------------------------------
+    # Resolution helpers
+    # ------------------------------------------------------------------
+    def _resolve_function(self, handle: FunctionHandle) -> Function:
+        if handle.name not in self._service:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_FUNCTION,
+                f"no function named {handle.name!r} is registered",
+            )
+        return self._service.check_handle(handle)
+
+    def _variable_map(self, name: str) -> dict[str, Variable]:
+        revision = self._service.revision(name)
+        cached = self._variable_maps.get(name)
+        if cached is not None and cached[0] == revision:
+            return cached[1]
+        mapping = {
+            var.name: var for var in self._service.function(name).variables()
+        }
+        self._variable_maps[name] = (revision, mapping)
+        return mapping
+
+    def _resolve_variable(self, function_name: str, variable: str) -> Variable:
+        try:
+            return self._variable_map(function_name)[variable]
+        except KeyError:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_VARIABLE,
+                f"function {function_name!r} has no variable {variable!r}",
+            ) from None
+
+    def _require_block(self, function: Function, block: str) -> str:
+        if block not in function:
+            raise ProtocolError(
+                ErrorCode.UNKNOWN_BLOCK,
+                f"function {function.name!r} has no block {block!r}",
+            )
+        return block
+
+    # ------------------------------------------------------------------
+    # Request handlers
+    # ------------------------------------------------------------------
+    def _liveness_query(self, request: LivenessQuery) -> LivenessResponse:
+        function = self._resolve_function(request.function)
+        name = request.function.name
+        var = self._resolve_variable(name, request.variable)
+        block = self._require_block(function, request.block)
+        checker = self._service.checker(name)
+        self._service.stats.queries += 1
+        if request.kind == QueryKind.LIVE_IN:
+            value = checker.batch.is_live_in(var, block)
+        else:
+            value = checker.batch.is_live_out(var, block)
+        return LivenessResponse(value=value)
+
+    def _batch_liveness(self, request: BatchLiveness) -> BatchLivenessResponse:
+        # Answers flow through exactly the per-checker batch engines
+        # LivenessService.submit uses; handle validation, checker lookup
+        # and variable-name resolution are amortised to once per function
+        # per batch (a mid-batch stream cannot observe edits, so a
+        # validated handle stays valid for the rest of the dispatch).
+        # Keeping this loop lean is what the dispatch-overhead bench
+        # guard measures.
+        service = self._service
+        stats = service.stats
+        values: list[bool] = []
+        resolved: dict[str, tuple[int | None, Function, object, dict[str, Variable]]] = {}
+        live_in = QueryKind.LIVE_IN
+        for query in request.queries:
+            handle = query.function
+            entry = resolved.get(handle.name)
+            if entry is None:
+                function = self._resolve_function(handle)
+                entry = (
+                    handle.revision,
+                    function,
+                    service.checker(handle.name).batch,
+                    self._variable_map(handle.name),
+                )
+                resolved[handle.name] = entry
+            elif handle.revision != entry[0]:
+                service.check_handle(handle)
+                entry = (handle.revision, entry[1], entry[2], entry[3])
+                resolved[handle.name] = entry
+            _, function, batch, variables = entry
+            var = variables.get(query.variable)
+            if var is None:
+                raise ProtocolError(
+                    ErrorCode.UNKNOWN_VARIABLE,
+                    f"function {handle.name!r} has no variable "
+                    f"{query.variable!r}",
+                )
+            if query.block not in function:
+                raise ProtocolError(
+                    ErrorCode.UNKNOWN_BLOCK,
+                    f"function {handle.name!r} has no block {query.block!r}",
+                )
+            stats.queries += 1
+            if query.kind is live_in:
+                values.append(batch.is_live_in(var, query.block))
+            else:
+                values.append(batch.is_live_out(var, query.block))
+        return BatchLivenessResponse(values=tuple(values))
+
+    def _live_set(self, request: LiveSetRequest) -> LiveSetResponse:
+        function = self._resolve_function(request.function)
+        name = request.function.name
+        block = self._require_block(function, request.block)
+        checker = self._service.checker(name)
+        members: list[str] = []
+        if request.kind == QueryKind.LIVE_IN:
+            probe = checker.batch.is_live_in
+        else:
+            probe = checker.batch.is_live_out
+        for var in checker.live_variables():
+            self._service.stats.queries += 1
+            if probe(var, block):
+                members.append(var.name)
+        return LiveSetResponse(variables=tuple(sorted(members)))
+
+    def _destruct(self, request: DestructRequest) -> DestructResponse:
+        self._resolve_function(request.function)
+        name = request.function.name
+        report = self._service.destruct(
+            name, engine=request.engine, verify=request.verify
+        )
+        return DestructResponse(
+            function=self._service.handle(name),
+            stats=DestructStats.from_report(report),
+        )
+
+    def _allocate(self, request: AllocateRequest) -> AllocateResponse:
+        from repro.regalloc.allocator import allocate
+
+        from repro.api.registry import get_engine
+
+        function = self._resolve_function(request.function)
+        name = request.function.name
+        # Resolve the engine *before* handing the function to allocate():
+        # past this point, any failure may have mutated it.
+        spec = get_engine(request.engine)
+        if spec.oracle_factory is None:
+            spec.make_oracle(function)  # raises the structural UNSUPPORTED
+        try:
+            allocation = allocate(
+                function,
+                num_registers=request.num_registers,
+                backend=request.engine,
+                destruct=request.destruct,
+            )
+        except Exception:
+            # The failure may have left the function half-edited;
+            # invalidate pessimistically so no stale answer survives.
+            self._service.notify_instructions_changed(name)
+            self._service.notify_cfg_changed(name)
+            raise
+        # Allocation may split critical edges (a CFG edit) *and* rewrite
+        # instructions (spill code, φ lowering) — the two notifications
+        # invalidate different state (precomputation vs def–use chains),
+        # so both fire whenever any edit actually happened; each also
+        # marks outstanding handles stale.  An analysis-only allocation
+        # (no splits, no spills, no destruction) edits nothing, so
+        # handles and the resident checker stay valid.
+        mutated = (
+            allocation.reconstructed_ssa
+            or allocation.edges_split > 0
+            or allocation.spill_report is not None
+            or request.destruct
+        )
+        if mutated:
+            self._service.notify_instructions_changed(name)
+            self._service.notify_cfg_changed(name)
+        if request.destruct:
+            # The function is no longer SSA; a rebuilt checker would fail
+            # loudly, so do not keep one resident.
+            self._service.evict(name)
+        return AllocateResponse(
+            function=self._service.handle(name),
+            allocation=AllocationSummary.from_allocation(allocation),
+        )
+
+    def _compile_source(
+        self, request: CompileSourceRequest
+    ) -> CompileSourceResponse:
+        from repro.frontend.compile import compile_source
+
+        try:
+            module = compile_source(request.source, name=request.module_name)
+        except ValueError as exc:
+            # Lexer, parser, lowering and SSA-verification failures are all
+            # ValueError subclasses with positioned messages.
+            raise ProtocolError(ErrorCode.COMPILE_ERROR, str(exc)) from None
+        handles = []
+        for function in module:
+            if function.name in self._service:
+                raise ProtocolError(
+                    ErrorCode.DUPLICATE_FUNCTION,
+                    f"function {function.name!r} is already registered",
+                )
+        for function in module:
+            self._service.register(function)
+            handles.append(self._service.handle(function.name))
+        return CompileSourceResponse(functions=tuple(handles))

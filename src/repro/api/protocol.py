@@ -1,0 +1,674 @@
+"""The typed, versioned request/response protocol of the compiler server.
+
+One tagged union of request dataclasses covers everything the serving
+stack can be asked to do — point liveness queries, multi-function
+batches, whole live sets, out-of-SSA translation, register allocation
+and front-end compilation — and every request type has a matching
+response type carrying either a payload or a structured
+:class:`~repro.api.errors.ApiError` (never a raw exception).
+
+Every request and response encodes to JSON and decodes back **losslessly**
+(``decode(encode(x)) == x``), so a service can be driven over a wire,
+logged, and replayed; the envelope carries :data:`PROTOCOL_VERSION` and
+decoding rejects envelopes from a different major version with an
+``INVALID_REQUEST`` error instead of misinterpreting them.
+
+Functions are addressed by :class:`~repro.api.handles.FunctionHandle`;
+variables and blocks travel by *name* (strings are what survives a wire,
+and names are unique within a function).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum, unique
+from typing import Union
+
+from repro.api.errors import ApiError, ErrorCode, ProtocolError
+from repro.api.handles import FunctionHandle
+from repro.api.registry import FAST
+
+#: Version stamped on (and required in) every envelope.
+PROTOCOL_VERSION = 1
+
+
+@unique
+class QueryKind(str, Enum):
+    """Validated liveness query kind (was a bare ``"in"``/``"out"`` string).
+
+    A ``str`` enum, so ``QueryKind.LIVE_IN == "in"`` — call sites (and one
+    release's worth of callers) that still compare against or pass the old
+    strings keep working; :meth:`coerce` is the single validation point
+    that replaces the old silent acceptance of unknown kinds.
+    """
+
+    LIVE_IN = "in"
+    LIVE_OUT = "out"
+
+    @classmethod
+    def coerce(cls, value: "QueryKind | str") -> "QueryKind":
+        """Normalise a kind, accepting the legacy strings; fail loudly."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown query kind {value!r}; expected "
+                f"{[k.value for k in cls]}"
+            ) from None
+
+
+def _coerce_handle(function: "FunctionHandle | str") -> FunctionHandle:
+    if isinstance(function, FunctionHandle):
+        return function
+    return FunctionHandle(name=function)
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LivenessQuery:
+    """One live-in/live-out question about one variable at one block."""
+
+    function: FunctionHandle
+    kind: QueryKind
+    variable: str
+    block: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "function", _coerce_handle(self.function))
+        object.__setattr__(self, "kind", QueryKind.coerce(self.kind))
+
+    def to_json(self) -> dict:
+        return {
+            "function": self.function.to_json(),
+            "kind": self.kind.value,
+            "variable": self.variable,
+            "block": self.block,
+        }
+
+    @classmethod
+    def from_json(cls, body: dict) -> "LivenessQuery":
+        return cls(
+            function=FunctionHandle.from_json(body["function"]),
+            kind=QueryKind.coerce(body["kind"]),
+            variable=body["variable"],
+            block=body["block"],
+        )
+
+
+@dataclass(frozen=True)
+class BatchLiveness:
+    """An ordered stream of liveness questions spanning any number of
+    functions, answered in order in one round trip."""
+
+    queries: tuple[LivenessQuery, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "queries", tuple(self.queries))
+
+    def to_json(self) -> dict:
+        return {"queries": [query.to_json() for query in self.queries]}
+
+    @classmethod
+    def from_json(cls, body: dict) -> "BatchLiveness":
+        return cls(
+            queries=tuple(
+                LivenessQuery.from_json(item) for item in body["queries"]
+            )
+        )
+
+
+@dataclass(frozen=True)
+class LiveSetRequest:
+    """The whole live-in (or live-out) set of one block, by variable name."""
+
+    function: FunctionHandle
+    block: str
+    kind: QueryKind = QueryKind.LIVE_IN
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "function", _coerce_handle(self.function))
+        object.__setattr__(self, "kind", QueryKind.coerce(self.kind))
+
+    def to_json(self) -> dict:
+        return {
+            "function": self.function.to_json(),
+            "block": self.block,
+            "kind": self.kind.value,
+        }
+
+    @classmethod
+    def from_json(cls, body: dict) -> "LiveSetRequest":
+        return cls(
+            function=FunctionHandle.from_json(body["function"]),
+            block=body["block"],
+            kind=QueryKind.coerce(body.get("kind", QueryKind.LIVE_IN)),
+        )
+
+
+@dataclass(frozen=True)
+class DestructRequest:
+    """Translate one function out of SSA form, in place, server-side."""
+
+    function: FunctionHandle
+    engine: str = FAST
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "function", _coerce_handle(self.function))
+
+    def to_json(self) -> dict:
+        return {
+            "function": self.function.to_json(),
+            "engine": self.engine,
+            "verify": self.verify,
+        }
+
+    @classmethod
+    def from_json(cls, body: dict) -> "DestructRequest":
+        # Defaulted fields may be omitted on the wire (hand-written
+        # envelopes); encode() always emits them, so round-trips stay
+        # lossless either way.
+        return cls(
+            function=FunctionHandle.from_json(body["function"]),
+            engine=body.get("engine", FAST),
+            verify=body.get("verify", False),
+        )
+
+
+@dataclass(frozen=True)
+class AllocateRequest:
+    """Run the register-allocation pipeline on one function."""
+
+    function: FunctionHandle
+    num_registers: int | None = None
+    engine: str = FAST
+    destruct: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "function", _coerce_handle(self.function))
+
+    def to_json(self) -> dict:
+        return {
+            "function": self.function.to_json(),
+            "num_registers": self.num_registers,
+            "engine": self.engine,
+            "destruct": self.destruct,
+        }
+
+    @classmethod
+    def from_json(cls, body: dict) -> "AllocateRequest":
+        return cls(
+            function=FunctionHandle.from_json(body["function"]),
+            num_registers=body.get("num_registers"),
+            engine=body.get("engine", FAST),
+            destruct=body.get("destruct", False),
+        )
+
+
+@dataclass(frozen=True)
+class CompileSourceRequest:
+    """Compile mini-language source text and register every function."""
+
+    source: str
+    module_name: str = "module"
+
+    def to_json(self) -> dict:
+        return {"source": self.source, "module_name": self.module_name}
+
+    @classmethod
+    def from_json(cls, body: dict) -> "CompileSourceRequest":
+        return cls(
+            source=body["source"],
+            module_name=body.get("module_name", "module"),
+        )
+
+
+# ----------------------------------------------------------------------
+# Response payload records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DestructStats:
+    """Wire-safe summary of one out-of-SSA translation."""
+
+    engine: str = ""
+    critical_edges_split: int = 0
+    phis_isolated: int = 0
+    parallel_copies: int = 0
+    pairs_inserted: int = 0
+    pairs_coalesced: int = 0
+    classes_merged: int = 0
+    interference_tests: int = 0
+    liveness_queries: int = 0
+    copies_emitted: int = 0
+    temps_inserted: int = 0
+    phis_removed: int = 0
+
+    @classmethod
+    def from_report(cls, report) -> "DestructStats":
+        """Project a :class:`~repro.ssadestruct.pipeline.DestructReport`."""
+        return cls(
+            engine=report.backend,
+            critical_edges_split=report.critical_edges_split,
+            phis_isolated=report.phis_isolated,
+            parallel_copies=report.parallel_copies,
+            pairs_inserted=report.pairs_inserted,
+            pairs_coalesced=report.pairs_coalesced,
+            classes_merged=report.classes_merged,
+            interference_tests=report.interference_tests,
+            liveness_queries=report.liveness_queries,
+            copies_emitted=report.copies_emitted,
+            temps_inserted=report.temps_inserted,
+            phis_removed=report.phis_removed,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "engine": self.engine,
+            "critical_edges_split": self.critical_edges_split,
+            "phis_isolated": self.phis_isolated,
+            "parallel_copies": self.parallel_copies,
+            "pairs_inserted": self.pairs_inserted,
+            "pairs_coalesced": self.pairs_coalesced,
+            "classes_merged": self.classes_merged,
+            "interference_tests": self.interference_tests,
+            "liveness_queries": self.liveness_queries,
+            "copies_emitted": self.copies_emitted,
+            "temps_inserted": self.temps_inserted,
+            "phis_removed": self.phis_removed,
+        }
+
+    @classmethod
+    def from_json(cls, body: dict) -> "DestructStats":
+        return cls(**body)
+
+
+@dataclass(frozen=True)
+class AllocationSummary:
+    """Wire-safe summary of one register allocation, keyed by name."""
+
+    #: Variable name → register number.
+    registers: dict[str, int] = field(default_factory=dict)
+    #: Spilled variable name → spill slot.
+    spill_slots: dict[str, int] = field(default_factory=dict)
+    registers_used: int = 0
+    max_live: int = 0
+    max_live_before_spill: int = 0
+    #: Spilled variable names, in eviction order.
+    spilled: tuple[str, ...] = ()
+    reconstructed_ssa: bool = False
+
+    @classmethod
+    def from_allocation(cls, allocation) -> "AllocationSummary":
+        """Project a :class:`~repro.regalloc.allocator.Allocation`."""
+        return cls(
+            registers={
+                var.name: reg for var, reg in allocation.register_of.items()
+            },
+            spill_slots={
+                var.name: slot
+                for var, slot in allocation.spill_slot_of.items()
+            },
+            registers_used=allocation.registers_used,
+            max_live=allocation.max_live,
+            max_live_before_spill=allocation.max_live_before_spill,
+            spilled=tuple(var.name for var in allocation.spilled),
+            reconstructed_ssa=allocation.reconstructed_ssa,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "registers": dict(self.registers),
+            "spill_slots": dict(self.spill_slots),
+            "registers_used": self.registers_used,
+            "max_live": self.max_live,
+            "max_live_before_spill": self.max_live_before_spill,
+            "spilled": list(self.spilled),
+            "reconstructed_ssa": self.reconstructed_ssa,
+        }
+
+    @classmethod
+    def from_json(cls, body: dict) -> "AllocationSummary":
+        return cls(
+            registers=dict(body["registers"]),
+            spill_slots=dict(body["spill_slots"]),
+            registers_used=body["registers_used"],
+            max_live=body["max_live"],
+            max_live_before_spill=body["max_live_before_spill"],
+            spilled=tuple(body["spilled"]),
+            reconstructed_ssa=body["reconstructed_ssa"],
+        )
+
+
+# ----------------------------------------------------------------------
+# Responses — one per request type; payload XOR error
+# ----------------------------------------------------------------------
+def _error_to_json(error: ApiError | None):
+    return None if error is None else error.to_json()
+
+
+def _error_from_json(body: dict) -> ApiError | None:
+    raw = body.get("error")
+    return None if raw is None else ApiError.from_json(raw)
+
+
+@dataclass(frozen=True)
+class LivenessResponse:
+    """Answer to one :class:`LivenessQuery`."""
+
+    value: bool | None = None
+    error: ApiError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> dict:
+        return {"value": self.value, "error": _error_to_json(self.error)}
+
+    @classmethod
+    def from_json(cls, body: dict) -> "LivenessResponse":
+        return cls(value=body["value"], error=_error_from_json(body))
+
+
+@dataclass(frozen=True)
+class BatchLivenessResponse:
+    """Answers to a :class:`BatchLiveness` stream, in request order."""
+
+    values: tuple[bool, ...] | None = None
+    error: ApiError | None = None
+
+    def __post_init__(self) -> None:
+        if self.values is not None:
+            object.__setattr__(self, "values", tuple(self.values))
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> dict:
+        values = None if self.values is None else list(self.values)
+        return {"values": values, "error": _error_to_json(self.error)}
+
+    @classmethod
+    def from_json(cls, body: dict) -> "BatchLivenessResponse":
+        values = body["values"]
+        return cls(
+            values=None if values is None else tuple(values),
+            error=_error_from_json(body),
+        )
+
+
+@dataclass(frozen=True)
+class LiveSetResponse:
+    """The requested block's live set, as sorted variable names."""
+
+    variables: tuple[str, ...] | None = None
+    error: ApiError | None = None
+
+    def __post_init__(self) -> None:
+        if self.variables is not None:
+            object.__setattr__(self, "variables", tuple(self.variables))
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> dict:
+        variables = None if self.variables is None else list(self.variables)
+        return {"variables": variables, "error": _error_to_json(self.error)}
+
+    @classmethod
+    def from_json(cls, body: dict) -> "LiveSetResponse":
+        variables = body["variables"]
+        return cls(
+            variables=None if variables is None else tuple(variables),
+            error=_error_from_json(body),
+        )
+
+
+@dataclass(frozen=True)
+class DestructResponse:
+    """Outcome of a :class:`DestructRequest`."""
+
+    #: Handle at the function's *new* revision (the pass edits it).
+    function: FunctionHandle | None = None
+    stats: DestructStats | None = None
+    error: ApiError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> dict:
+        return {
+            "function": None if self.function is None else self.function.to_json(),
+            "stats": None if self.stats is None else self.stats.to_json(),
+            "error": _error_to_json(self.error),
+        }
+
+    @classmethod
+    def from_json(cls, body: dict) -> "DestructResponse":
+        function = body["function"]
+        stats = body["stats"]
+        return cls(
+            function=None if function is None else FunctionHandle.from_json(function),
+            stats=None if stats is None else DestructStats.from_json(stats),
+            error=_error_from_json(body),
+        )
+
+
+@dataclass(frozen=True)
+class AllocateResponse:
+    """Outcome of an :class:`AllocateRequest`."""
+
+    #: Handle at the function's *new* revision (allocation edits it).
+    function: FunctionHandle | None = None
+    allocation: AllocationSummary | None = None
+    error: ApiError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> dict:
+        return {
+            "function": None if self.function is None else self.function.to_json(),
+            "allocation": (
+                None if self.allocation is None else self.allocation.to_json()
+            ),
+            "error": _error_to_json(self.error),
+        }
+
+    @classmethod
+    def from_json(cls, body: dict) -> "AllocateResponse":
+        function = body["function"]
+        allocation = body["allocation"]
+        return cls(
+            function=None if function is None else FunctionHandle.from_json(function),
+            allocation=(
+                None
+                if allocation is None
+                else AllocationSummary.from_json(allocation)
+            ),
+            error=_error_from_json(body),
+        )
+
+
+@dataclass(frozen=True)
+class CompileSourceResponse:
+    """Handles for every function a :class:`CompileSourceRequest` produced."""
+
+    functions: tuple[FunctionHandle, ...] | None = None
+    error: ApiError | None = None
+
+    def __post_init__(self) -> None:
+        if self.functions is not None:
+            object.__setattr__(self, "functions", tuple(self.functions))
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> dict:
+        functions = (
+            None
+            if self.functions is None
+            else [handle.to_json() for handle in self.functions]
+        )
+        return {"functions": functions, "error": _error_to_json(self.error)}
+
+    @classmethod
+    def from_json(cls, body: dict) -> "CompileSourceResponse":
+        functions = body["functions"]
+        return cls(
+            functions=(
+                None
+                if functions is None
+                else tuple(FunctionHandle.from_json(item) for item in functions)
+            ),
+            error=_error_from_json(body),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Fallback response for requests that could not even be decoded.
+
+    When a wire payload is malformed there is no request type to pick the
+    matching response from; :meth:`repro.api.client.CompilerClient.dispatch_json`
+    answers with one of these instead of raising across the boundary.
+    """
+
+    error: ApiError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> dict:
+        return {"error": _error_to_json(self.error)}
+
+    @classmethod
+    def from_json(cls, body: dict) -> "ErrorResponse":
+        return cls(error=_error_from_json(body))
+
+
+#: The request union, for type hints and isinstance dispatch.
+Request = Union[
+    LivenessQuery,
+    BatchLiveness,
+    LiveSetRequest,
+    DestructRequest,
+    AllocateRequest,
+    CompileSourceRequest,
+]
+
+#: The response union.
+Response = Union[
+    LivenessResponse,
+    BatchLivenessResponse,
+    LiveSetResponse,
+    DestructResponse,
+    AllocateResponse,
+    CompileSourceResponse,
+]
+
+#: Wire tag ↔ request class.
+REQUEST_TYPES: dict[str, type] = {
+    "liveness_query": LivenessQuery,
+    "batch_liveness": BatchLiveness,
+    "live_set": LiveSetRequest,
+    "destruct": DestructRequest,
+    "allocate": AllocateRequest,
+    "compile_source": CompileSourceRequest,
+}
+
+#: Wire tag ↔ response class.
+RESPONSE_TYPES: dict[str, type] = {
+    "liveness_query": LivenessResponse,
+    "batch_liveness": BatchLivenessResponse,
+    "live_set": LiveSetResponse,
+    "destruct": DestructResponse,
+    "allocate": AllocateResponse,
+    "compile_source": CompileSourceResponse,
+    "error": ErrorResponse,
+}
+
+#: Request class → matching response class (the dispatcher's error path).
+RESPONSE_FOR: dict[type, type] = {
+    REQUEST_TYPES[tag]: RESPONSE_TYPES[tag] for tag in REQUEST_TYPES
+}
+
+_TAG_OF: dict[type, str] = {}
+for _tag, _cls in REQUEST_TYPES.items():
+    _TAG_OF[_cls] = _tag
+for _tag, _cls in RESPONSE_TYPES.items():
+    _TAG_OF[_cls] = _tag
+
+
+def _encode(message, expected: dict[str, type]) -> dict:
+    tag = _TAG_OF.get(type(message))
+    if tag is None or expected.get(tag) is not type(message):
+        raise ProtocolError(
+            ErrorCode.INVALID_REQUEST,
+            f"cannot encode {type(message).__name__} here",
+        )
+    return {"api": PROTOCOL_VERSION, "type": tag, "body": message.to_json()}
+
+
+def _decode(payload, expected: dict[str, type]):
+    if isinstance(payload, (str, bytes)):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(
+                ErrorCode.INVALID_REQUEST, f"envelope is not JSON: {exc}"
+            ) from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(ErrorCode.INVALID_REQUEST, "envelope must be an object")
+    version = payload.get("api")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            ErrorCode.INVALID_REQUEST,
+            f"protocol version mismatch: got {version!r}, "
+            f"this server speaks {PROTOCOL_VERSION}",
+        )
+    tag = payload.get("type")
+    cls = expected.get(tag)
+    if cls is None:
+        raise ProtocolError(
+            ErrorCode.INVALID_REQUEST, f"unknown message type {tag!r}"
+        )
+    try:
+        return cls.from_json(payload["body"])
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(
+            ErrorCode.INVALID_REQUEST, f"malformed {tag} body: {exc}"
+        ) from None
+
+
+def encode_request(request: Request) -> dict:
+    """Versioned JSON-ready envelope for ``request``."""
+    return _encode(request, REQUEST_TYPES)
+
+
+def decode_request(payload) -> Request:
+    """Inverse of :func:`encode_request`; accepts a dict or a JSON string."""
+    return _decode(payload, REQUEST_TYPES)
+
+
+def encode_response(response: Response) -> dict:
+    """Versioned JSON-ready envelope for ``response``."""
+    return _encode(response, RESPONSE_TYPES)
+
+
+def decode_response(payload) -> Response:
+    """Inverse of :func:`encode_response`; accepts a dict or a JSON string."""
+    return _decode(payload, RESPONSE_TYPES)

@@ -7,7 +7,7 @@ values, so the pytest-benchmark drivers under ``benchmarks/`` (and the
 side-by-side comparison.  See EXPERIMENTS.md for the recorded results.
 """
 
-from repro.bench.workload import BenchmarkWorkload, build_workload
+from repro.bench.reporting import format_table, write_json_report
 from repro.bench.table1 import compute_table1, format_table1
 from repro.bench.table2 import compute_table2, format_table2
 from repro.bench.table_regalloc import (
@@ -20,7 +20,7 @@ from repro.bench.table_service import (
     compute_table_service,
     format_table_service,
 )
-from repro.bench.reporting import format_table, write_json_report
+from repro.bench.workload import BenchmarkWorkload, build_workload
 
 __all__ = [
     "BenchmarkWorkload",

@@ -35,13 +35,14 @@ import sys
 import time
 from dataclasses import dataclass, field
 
+from repro.api.registry import DATAFLOW, FAST, GRAPH
 from repro.bench.reporting import format_table, parse_bench_argv, write_json_report
 from repro.ir.function import Function
 from repro.ssadestruct.pipeline import destruct
 from repro.synth.spec_profiles import generate_function_with_blocks
 
 #: Backend names in reporting order; ``graph`` is the speed-up baseline.
-BACKEND_ORDER = ("fast", "dataflow", "graph")
+BACKEND_ORDER = (FAST, DATAFLOW, GRAPH)
 
 
 @dataclass(frozen=True)
@@ -84,7 +85,7 @@ class TableDestructRow:
     #: Total destruction wall-clock per backend, milliseconds.
     millis: dict[str, float] = field(default_factory=dict)
 
-    def speedup(self, backend: str, baseline: str = "graph") -> float:
+    def speedup(self, backend: str, baseline: str = GRAPH) -> float:
         """How many times faster ``backend`` is than ``baseline``."""
         if not self.millis.get(backend):
             return 0.0
@@ -104,7 +105,7 @@ class TableDestructRow:
             "speedup_vs_graph": {
                 backend: self.speedup(backend)
                 for backend in self.millis
-                if backend != "graph"
+                if backend != GRAPH
             },
         }
 
@@ -189,7 +190,7 @@ def format_table_destruct(rows: list[TableDestructRow]) -> str:
     for backend in backends:
         headers.append(f"{backend} ms")
     for backend in backends:
-        if backend != "graph":
+        if backend != GRAPH:
             headers.append(f"{backend}/graph")
     table_rows = []
     for row in rows:
@@ -204,7 +205,7 @@ def format_table_destruct(rows: list[TableDestructRow]) -> str:
         ]
         cells.extend(row.millis[backend] for backend in backends)
         cells.extend(
-            row.speedup(backend) for backend in backends if backend != "graph"
+            row.speedup(backend) for backend in backends if backend != GRAPH
         )
         table_rows.append(cells)
     return format_table(
@@ -223,7 +224,7 @@ def write_report(rows: list[TableDestructRow], path: str = DEFAULT_JSON_PATH) ->
         path,
         "table_destruct",
         {
-            "baseline": "graph",
+            "baseline": GRAPH,
             "rows": [row.as_dict() for row in rows],
         },
     )
@@ -241,7 +242,7 @@ def main(argv: list[str] | None = None) -> int:
     if large is not None:
         print(
             f"\nlarge profile: query-driven coalescing is "
-            f"{large.speedup('fast'):.2f}x the eager interference-graph baseline"
+            f"{large.speedup(FAST):.2f}x the eager interference-graph baseline"
         )
     written = write_report(rows, json_path)
     print(f"json report: {written}")

@@ -33,13 +33,14 @@ import sys
 import time
 from dataclasses import dataclass, field
 
+from repro.api.registry import DATAFLOW, FAST, SETS
 from repro.bench.reporting import format_table, parse_bench_argv, write_json_report
 from repro.ir.function import Function
 from repro.regalloc.allocator import allocate
 from repro.synth.spec_profiles import generate_function_with_blocks
 
 #: Backend names in reporting order; ``dataflow`` is the speed-up baseline.
-BACKEND_ORDER = ("fast", "sets", "dataflow")
+BACKEND_ORDER = (FAST, SETS, DATAFLOW)
 
 
 @dataclass(frozen=True)
@@ -83,7 +84,7 @@ class TableRegallocRow:
     #: Total allocation wall-clock per backend, milliseconds.
     millis: dict[str, float] = field(default_factory=dict)
 
-    def speedup(self, backend: str, baseline: str = "dataflow") -> float:
+    def speedup(self, backend: str, baseline: str = DATAFLOW) -> float:
         """How many times faster ``backend`` is than ``baseline``."""
         if not self.millis.get(backend):
             return 0.0
@@ -102,7 +103,7 @@ class TableRegallocRow:
             "speedup_vs_dataflow": {
                 backend: self.speedup(backend)
                 for backend in self.millis
-                if backend != "dataflow"
+                if backend != DATAFLOW
             },
         }
 
@@ -184,7 +185,7 @@ def format_table_regalloc(rows: list[TableRegallocRow]) -> str:
     for backend in backends:
         headers.append(f"{backend} ms")
     for backend in backends:
-        if backend != "dataflow":
+        if backend != DATAFLOW:
             headers.append(f"{backend}/df")
     table_rows = []
     for row in rows:
@@ -198,7 +199,7 @@ def format_table_regalloc(rows: list[TableRegallocRow]) -> str:
         ]
         cells.extend(row.millis[backend] for backend in backends)
         cells.extend(
-            row.speedup(backend) for backend in backends if backend != "dataflow"
+            row.speedup(backend) for backend in backends if backend != DATAFLOW
         )
         table_rows.append(cells)
     return format_table(
@@ -217,7 +218,7 @@ def write_report(rows: list[TableRegallocRow], path: str = DEFAULT_JSON_PATH) ->
         path,
         "table_regalloc",
         {
-            "baseline": "dataflow",
+            "baseline": DATAFLOW,
             "rows": [row.as_dict() for row in rows],
         },
     )
@@ -234,7 +235,7 @@ def main(argv: list[str] | None = None) -> int:
     large = next((row for row in rows if row.profile == "large"), None)
     if large is not None:
         print(
-            f"\nlarge profile: fast backend is {large.speedup('fast'):.2f}x the "
+            f"\nlarge profile: fast backend is {large.speedup(FAST):.2f}x the "
             "recompute-full-dataflow baseline"
         )
     written = write_report(rows, json_path)

@@ -269,16 +269,95 @@ def format_table_service(rows: list[TableServiceRow]) -> str:
     )
 
 
-def write_report(rows: list[TableServiceRow], path: str = DEFAULT_JSON_PATH) -> str:
-    """Emit the machine-readable ``BENCH_service.json`` report."""
-    return write_json_report(
-        path,
-        "table_service",
-        {
-            "baseline": "rebuild",
-            "rows": [row.as_dict() for row in rows],
-        },
+@dataclass
+class DispatchOverhead:
+    """Measured cost of the ``CompilerClient.dispatch`` protocol layer."""
+
+    #: Best-of-N wall-clock of ``LivenessService.submit`` (milliseconds).
+    submit_millis: float
+    #: Best-of-N wall-clock of the same stream through ``dispatch``.
+    dispatch_millis: float
+
+    @property
+    def overhead(self) -> float:
+        """Fractional overhead of dispatch over direct submit (0.05 = 5%)."""
+        if not self.submit_millis:
+            return 0.0
+        return self.dispatch_millis / self.submit_millis - 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "submit_millis": self.submit_millis,
+            "dispatch_millis": self.dispatch_millis,
+            "overhead": self.overhead,
+        }
+
+
+#: Bench guard: the protocol layer may cost at most this fraction on top
+#: of calling ``LivenessService.submit`` directly.
+MAX_DISPATCH_OVERHEAD = 0.10
+
+
+def measure_dispatch_overhead(
+    module: Module, requests: list[LivenessRequest], repeats: int = 5
+) -> DispatchOverhead:
+    """Time the same mixed stream through ``submit`` and ``dispatch``.
+
+    The protocol mirror of the stream addresses functions through
+    unversioned handles and variables by name — exactly what a wire
+    client would send.  Both sides get one warm-up pass (so checker
+    construction and name-map building are excluded, as in the steady
+    serving state) and the best of ``repeats`` timed passes is kept.
+    """
+    from repro.api.client import CompilerClient
+    from repro.api.protocol import BatchLiveness, LivenessQuery
+
+    service = LivenessService(module, capacity=len(module))
+    client = CompilerClient(module, capacity=len(module))
+    batch = BatchLiveness(
+        queries=tuple(
+            LivenessQuery(
+                function=request.function,
+                kind=request.kind,
+                variable=request.variable.name,
+                block=request.block,
+            )
+            for request in requests
+        )
     )
+    direct = service.submit(requests)
+    response = client.dispatch(batch)
+    if response.error is not None:
+        raise AssertionError(f"dispatch failed: {response.error}")
+    if list(response.values) != direct:
+        raise AssertionError("dispatch() and submit() disagree on the stream")
+    submit_best = dispatch_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        service.submit(requests)
+        submit_best = min(submit_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        client.dispatch(batch)
+        dispatch_best = min(dispatch_best, time.perf_counter() - start)
+    return DispatchOverhead(
+        submit_millis=submit_best * 1000.0,
+        dispatch_millis=dispatch_best * 1000.0,
+    )
+
+
+def write_report(
+    rows: list[TableServiceRow],
+    path: str = DEFAULT_JSON_PATH,
+    dispatch_overhead: DispatchOverhead | None = None,
+) -> str:
+    """Emit the machine-readable ``BENCH_service.json`` report."""
+    payload = {
+        "baseline": "rebuild",
+        "rows": [row.as_dict() for row in rows],
+    }
+    if dispatch_overhead is not None:
+        payload["dispatch_overhead"] = dispatch_overhead.as_dict()
+    return write_json_report(path, "table_service", payload)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -295,7 +374,28 @@ def main(argv: list[str] | None = None) -> int:
         f"{headline.speedup('service'):.1f}x per-query checker reconstruction "
         f"over {headline.functions} functions"
     )
-    written = write_report(rows, json_path)
+    overhead = None
+    if smoke:
+        # Bench guard: the typed protocol layer must stay thin.  The same
+        # mixed stream is answered through CompilerClient.dispatch() and
+        # through LivenessService.submit() directly; more than
+        # MAX_DISPATCH_OVERHEAD between them fails the smoke run.
+        profile = profiles[0]
+        module = generate_service_module(profile, scale=scale)
+        requests = generate_request_stream(module, profile.queries * scale)
+        overhead = measure_dispatch_overhead(module, requests)
+        print(
+            f"dispatch layer: submit {overhead.submit_millis:.1f} ms, "
+            f"dispatch {overhead.dispatch_millis:.1f} ms "
+            f"({overhead.overhead:+.1%} overhead)"
+        )
+        if overhead.overhead >= MAX_DISPATCH_OVERHEAD:
+            print(
+                f"FAIL: dispatch() adds {overhead.overhead:.1%} over "
+                f"submit(), budget is {MAX_DISPATCH_OVERHEAD:.0%}"
+            )
+            return 1
+    written = write_report(rows, json_path, dispatch_overhead=overhead)
     print(f"json report: {written}")
     return 0
 

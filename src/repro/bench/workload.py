@@ -19,7 +19,7 @@ from repro.ir.function import Function
 from repro.ir.value import Variable
 from repro.liveness.oracle import LivenessOracle
 from repro.ssa.defuse import DefUseChains
-from repro.ssa.destruction import destruct_ssa, phi_related_variables
+from repro.ssadestruct.pipeline import destruct, phi_related_variables
 from repro.synth.spec_profiles import BenchmarkProfile, generate_benchmark_functions
 
 
@@ -95,8 +95,9 @@ def build_workload(
         function.split_critical_edges()
         scratch = copy.deepcopy(function)
         recorder = RecordingOracle(FastLivenessChecker(scratch))
-        destruct_ssa(scratch, oracle=recorder)
-        # The recorded queries reference the scratch copy's variables; remap
+        destruct(scratch, oracle_factory=lambda fn: recorder)
+        # The recorded queries reference the scratch copy's variables (the
+        # isolation stage's fresh φ resources are filtered below); remap
         # them onto the original function by (unique) name.
         by_name = {var.name: var for var in function.variables()}
         queries = [

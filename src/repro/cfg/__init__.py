@@ -20,13 +20,13 @@ depends *only* on graph structure, never on instructions or variables:
   used by the Section 8 "outlook" variant of the checker.
 """
 
-from repro.cfg.graph import ControlFlowGraph, Edge
 from repro.cfg.dfs import DepthFirstSearch, EdgeKind
-from repro.cfg.dominance import DominatorTree
 from repro.cfg.domfrontier import DominanceFrontiers
+from repro.cfg.dominance import DominatorTree
+from repro.cfg.graph import ControlFlowGraph, Edge
+from repro.cfg.loops import Loop, LoopNestingForest
 from repro.cfg.postdominance import PostDominatorTree
 from repro.cfg.reducibility import is_reducible, is_reducible_by_intervals
-from repro.cfg.loops import Loop, LoopNestingForest
 
 __all__ = [
     "ControlFlowGraph",

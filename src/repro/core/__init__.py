@@ -31,15 +31,15 @@ The package is organised to mirror the paper:
 """
 
 from repro.core.batch import BatchQueryEngine
-from repro.core.reduced_graph import ReducedReachability
-from repro.core.targets import TargetSets
+from repro.core.bitset_query import BitsetChecker
+from repro.core.invalidation import TransformationSession
+from repro.core.live_checker import FastLivenessChecker
+from repro.core.loopforest import LoopForestChecker
 from repro.core.plans import PlanCache, QueryPlan
 from repro.core.precompute import LivenessPrecomputation
 from repro.core.query import SetBasedChecker
-from repro.core.bitset_query import BitsetChecker
-from repro.core.live_checker import FastLivenessChecker
-from repro.core.loopforest import LoopForestChecker
-from repro.core.invalidation import TransformationSession
+from repro.core.reduced_graph import ReducedReachability
+from repro.core.targets import TargetSets
 
 __all__ = [
     "BatchQueryEngine",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.core.batch import BatchQueryEngine
 from repro.core.bitset_query import BitsetChecker
-from repro.core.plans import PlanCache, QueryPlan
+from repro.core.plans import PlanCache
 from repro.core.precompute import LivenessPrecomputation
 from repro.core.query import SetBasedChecker
 from repro.ir.function import Function

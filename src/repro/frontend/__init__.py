@@ -23,10 +23,10 @@ compiler back-end would see.
 ['body', 'entry']
 """
 
-from repro.frontend.lexer import Token, TokenKind, tokenize
-from repro.frontend.parser import ParseError, parse_program
-from repro.frontend.lowering import lower_program
 from repro.frontend.compile import compile_function, compile_source
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.lowering import lower_program
+from repro.frontend.parser import ParseError, parse_program
 
 __all__ = [
     "Token",

@@ -24,14 +24,14 @@ The IR is deliberately conventional:
   SSA dominance property.
 """
 
-from repro.ir.value import Constant, Undef, Value, Variable
-from repro.ir.instruction import Instruction, Opcode, ParallelCopy, Phi
 from repro.ir.block import BasicBlock
-from repro.ir.function import Function
-from repro.ir.module import Module
 from repro.ir.builder import FunctionBuilder
-from repro.ir.printer import print_function, print_module
+from repro.ir.function import Function
+from repro.ir.instruction import Instruction, Opcode, ParallelCopy, Phi
+from repro.ir.module import Module
 from repro.ir.parser import parse_function, parse_module
+from repro.ir.printer import print_function, print_module
+from repro.ir.value import Constant, Undef, Value, Variable
 from repro.ir.verify import IRVerificationError, verify_function, verify_ssa
 
 __all__ = [

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ir.function import Function
-from repro.ir.instruction import Instruction, Opcode, Phi
+from repro.ir.instruction import Instruction, Opcode
 from repro.ir.value import Constant, Undef, Value, Variable
 
 _MASK = (1 << 64) - 1

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from repro.cfg.dominance import DominatorTree
 from repro.ir.function import Function
-from repro.ir.instruction import Opcode, Phi
+from repro.ir.instruction import Phi
 from repro.ir.value import Variable
 
 

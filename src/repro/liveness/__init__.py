@@ -20,8 +20,8 @@ any engine and counts queries, which the Table 2 harness uses to report
 queries-per-variable figures.
 """
 
-from repro.liveness.oracle import CountingOracle, LivenessOracle, LiveSets
 from repro.liveness.dataflow import DataflowLiveness
+from repro.liveness.oracle import CountingOracle, LivenessOracle, LiveSets
 from repro.liveness.ranges import interference_pairs, per_point_live_sets
 from repro.liveness.ssa_liveness import PathExplorationLiveness
 

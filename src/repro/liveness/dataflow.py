@@ -64,6 +64,13 @@ class DataflowLiveness(LivenessOracle):
         if self._prepared:
             return
         function = self._function
+        if not self._restricted:
+            # The unrestricted universe is (re)captured whenever the
+            # fixpoint is (re)computed, not at construction: a prebuilt
+            # engine handed to a transformation pass must see the
+            # variables the program has *now* (φ isolation, spill code,
+            # …), and invalidate() deliberately forces this path again.
+            self._variables = function.variables()
         cfg = function.build_cfg()
         universe = len(self._variables)
         self._index = {var: idx for idx, var in enumerate(self._variables)}

@@ -14,20 +14,21 @@ SSA machinery into the JIT-style client the paper envisions:
    ``instructions_changed`` hook;
 4. :mod:`repro.regalloc.chordal` colors the (possibly rewritten) SSA
    program optimally in dominance order;
-5. optionally, :func:`repro.ssa.destruction.destruct_ssa` lowers the φs
-   with the *same* oracle, and the handful of variables the destruction
-   pass invents (congruence-class representatives and parallel-copy
-   temporaries) are folded into the assignment with a small greedy pass
-   over independently computed per-point live sets.
+5. optionally, :func:`repro.ssadestruct.destruct` lowers the φs with the
+   *same* oracle family, and the variables whose assignment the
+   translation invalidated (congruence-class representatives whose live
+   ranges grew, plus parallel-copy temporaries) are recolored with a
+   small greedy pass over independently computed per-point live sets.
 
 The resulting :class:`Allocation` maps every variable to a register plus
 every spilled variable to a slot, and is checked end-to-end by the
 independent :mod:`repro.regalloc.verify`.
 
-Liveness backends are pluggable (``"fast"``, ``"sets"``, ``"dataflow"``)
-and deliberately pay their own maintenance costs: the fast checker only
-rebuilds def–use chains after spill edits, while the data-flow baseline
-must recompute its whole fixpoint — the asymmetry
+Liveness engines are resolved through the registry
+(:mod:`repro.api.registry`) and deliberately pay their own maintenance
+costs: an engine with the ``supports_edits`` capability absorbs spill
+edits through its ``notify_instructions_changed`` hook, while anything
+else is rebuilt from scratch after every edit — the asymmetry
 :mod:`repro.bench.table_regalloc` measures.
 """
 
@@ -36,21 +37,28 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core.live_checker import FastLivenessChecker
+from repro.api.registry import (
+    DATAFLOW,
+    FAST,
+    SETS,
+    EngineCapabilities,
+    EngineSpec,
+    get_engine,
+)
 from repro.ir.function import Function
 from repro.ir.value import Variable
-from repro.liveness.dataflow import DataflowLiveness
 from repro.liveness.oracle import LivenessOracle
-from repro.regalloc.chordal import Coloring, color_function
-from repro.regalloc.pressure import BlockLiveness, PressureInfo, compute_pressure
+from repro.regalloc.chordal import color_function
+from repro.regalloc.pressure import BlockLiveness, compute_pressure
 from repro.regalloc.spill import SpillReport, lower_pressure
 from repro.regalloc.verify import per_point_live_sets
 from repro.ssa.construction import construct_ssa
-from repro.ssa.destruction import DestructionReport, destruct_ssa
+from repro.ssadestruct.pipeline import DestructReport
+from repro.ssadestruct.pipeline import destruct as destruct_pipeline
 
 
 # ----------------------------------------------------------------------
-# Pluggable liveness backends
+# Pluggable liveness backends (adapters over registry engine specs)
 # ----------------------------------------------------------------------
 class LivenessBackend:
     """A named way of answering the allocator's liveness queries.
@@ -79,79 +87,83 @@ class LivenessBackend:
         raise NotImplementedError
 
 
-class FastCheckerBackend(LivenessBackend):
-    """The paper's checker: queries via Algorithm 3 plus the batch engine.
+class OracleBackend(LivenessBackend):
+    """The generic adapter: drives any registered engine spec.
 
-    Spill edits cost a def–use-chain rebuild; the ``R``/``T``
-    precomputation survives untouched.
+    The spec's capabilities decide the maintenance strategy: engines with
+    ``supports_edits`` absorb edits through their ``notify_*`` hooks
+    (e.g. the fast checker's def–use-chain rebuild, which leaves the
+    ``R``/``T`` precomputation untouched); everything else is rebuilt
+    from scratch via the spec's oracle factory, which is exactly what a
+    conventional precomputed representation costs.
     """
 
-    name = "fast"
-    use_batch = True
-
-    def __init__(self, function: Function) -> None:
+    def __init__(self, spec: EngineSpec, function: Function) -> None:
         super().__init__(function)
-        self._checker = FastLivenessChecker(function)
+        self.spec = spec
+        self.name = spec.name
+        self.use_batch = spec.capabilities.batch_queries
+        self._oracle = spec.make_oracle(function)
 
-    def oracle(self) -> FastLivenessChecker:
-        return self._checker
-
-    def instructions_changed(self) -> None:
-        self._checker.notify_instructions_changed()
-
-    def cfg_changed(self) -> None:
-        self._checker.notify_cfg_changed()
-
-
-class SetCheckerBackend(FastCheckerBackend):
-    """The readable Algorithm-1/2 path: same engine, no bitsets, no batch."""
-
-    name = "sets"
-    use_batch = False
-
-    def __init__(self, function: Function) -> None:
-        LivenessBackend.__init__(self, function)
-        self._checker = FastLivenessChecker(function, use_bitsets=False)
-
-
-class DataflowBackend(LivenessBackend):
-    """The conventional baseline: precomputed sets, full recompute on edit."""
-
-    name = "dataflow"
-    use_batch = False
-
-    def __init__(self, function: Function) -> None:
-        super().__init__(function)
-        self._oracle = DataflowLiveness(function)
-
-    def oracle(self) -> DataflowLiveness:
+    def oracle(self) -> LivenessOracle:
         return self._oracle
 
     def instructions_changed(self) -> None:
-        # A conventional engine cannot patch its sets after arbitrary
-        # instruction edits: the universe of variables itself changed
-        # (reload temporaries), so it starts over from scratch.
-        self._oracle = DataflowLiveness(self.function)
+        if self.spec.capabilities.supports_edits:
+            self._oracle.notify_instructions_changed()
+        else:
+            self._oracle = self.spec.make_oracle(self.function)
 
     def cfg_changed(self) -> None:
-        self._oracle = DataflowLiveness(self.function)
+        if self.spec.capabilities.supports_edits:
+            self._oracle.notify_cfg_changed()
+        else:
+            self._oracle = self.spec.make_oracle(self.function)
 
 
+class FastCheckerBackend(OracleBackend):
+    """The paper's checker: queries via Algorithm 3 plus the batch engine."""
+
+    def __init__(self, function: Function) -> None:
+        super().__init__(get_engine(FAST), function)
+
+
+class SetCheckerBackend(OracleBackend):
+    """The readable Algorithm-1/2 path: same engine, no bitsets, no batch."""
+
+    def __init__(self, function: Function) -> None:
+        super().__init__(get_engine(SETS), function)
+
+
+class DataflowBackend(OracleBackend):
+    """The conventional baseline: precomputed sets, full recompute on edit."""
+
+    def __init__(self, function: Function) -> None:
+        super().__init__(get_engine(DATAFLOW), function)
+
+
+#: The built-in engines' named adapter classes; :func:`make_backend`
+#: consults this first so pre-registry call sites see the same types.
 BACKENDS = {
-    backend.name: backend
-    for backend in (FastCheckerBackend, SetCheckerBackend, DataflowBackend)
+    FAST: FastCheckerBackend,
+    SETS: SetCheckerBackend,
+    DATAFLOW: DataflowBackend,
 }
 
 
-def make_backend(name: str, function: Function) -> LivenessBackend:
-    """Instantiate a backend by name (``"fast"``, ``"sets"``, ``"dataflow"``)."""
-    try:
-        cls = BACKENDS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown liveness backend {name!r}; expected one of {sorted(BACKENDS)}"
-        ) from None
-    return cls(function)
+def make_backend(name: str | EngineSpec, function: Function) -> LivenessBackend:
+    """Instantiate a backend adapter for a registered engine (by name).
+
+    Built-in names come back as their named adapter classes (so
+    pre-registry ``isinstance`` checks keep working); anything else the
+    registry knows resolves to the generic :class:`OracleBackend`.
+    """
+    if isinstance(name, EngineSpec):
+        return OracleBackend(name, function)
+    adapter_cls = BACKENDS.get(name)
+    if adapter_cls is not None:
+        return adapter_cls(function)
+    return OracleBackend(get_engine(name), function)
 
 
 # ----------------------------------------------------------------------
@@ -179,8 +191,11 @@ class Allocation:
     #: translation) and the allocator round-tripped it through SSA
     #: construction before analysing it.
     reconstructed_ssa: bool = False
+    #: Number of critical edges the driver split up front (0 means the
+    #: CFG was not edited; callers use this to decide what to invalidate).
+    edges_split: int = 0
     spill_report: SpillReport | None = None
-    destruction_report: DestructionReport | None = None
+    destruction_report: DestructReport | None = None
     #: Wall-clock seconds of the allocation pipeline (bench bookkeeping).
     elapsed_seconds: float = 0.0
 
@@ -200,7 +215,7 @@ class Allocation:
 def allocate(
     function: Function,
     num_registers: int | None = None,
-    backend: str | LivenessBackend = "fast",
+    backend: str | LivenessBackend = FAST,
     destruct: bool = False,
     split_edges: bool = True,
 ) -> Allocation:
@@ -212,7 +227,9 @@ def allocate(
         The register budget ``K``; ``None`` colors without spilling and
         uses exactly MaxLive registers.
     backend:
-        Liveness backend name or a prebuilt :class:`LivenessBackend`.
+        A registered engine name (resolved through
+        :func:`repro.api.registry.get_engine`) or a prebuilt
+        :class:`LivenessBackend`.
     destruct:
         Also translate out of SSA afterwards and extend the assignment to
         the copies the destruction pass introduces.
@@ -226,6 +243,14 @@ def allocate(
         # the backend's precomputation exists, not between color and lower.
         split_edges = True
     prebuilt = isinstance(backend, LivenessBackend)
+    spec: EngineSpec | None = None
+    if not prebuilt:
+        # Resolve (and reject) the engine *before* any mutation below:
+        # a failed request must not leave the function half-edited under
+        # a still-valid handle and a still-resident checker.
+        spec = backend if isinstance(backend, EngineSpec) else get_engine(backend)
+        if spec.oracle_factory is None:
+            spec.make_oracle(function)  # raises the structural error
     reconstructed = False
     if not _is_ssa(function):
         # The input is not SSA — typically the output of an out-of-SSA
@@ -241,13 +266,14 @@ def allocate(
             )
         construct_ssa(function)
         reconstructed = True
+    created: list[str] = []
     if split_edges:
         created = function.split_critical_edges()
         if created and prebuilt:
             # A prebuilt backend may already hold a precomputation for the
             # unsplit CFG; this is the one edit that invalidates it.
             backend.cfg_changed()
-    adapter = backend if prebuilt else make_backend(backend, function)
+    adapter = backend if prebuilt else OracleBackend(spec, function)
     liveness = BlockLiveness(
         function, adapter.oracle(), use_batch=adapter.use_batch
     )
@@ -258,6 +284,7 @@ def allocate(
         num_registers=num_registers,
         max_live_before_spill=info.max_live,
         reconstructed_ssa=reconstructed,
+        edges_split=len(created),
     )
     if num_registers is not None and info.max_live > num_registers:
         allocation.spill_report = lower_pressure(
@@ -285,9 +312,41 @@ def allocate(
     allocation.register_of = dict(coloring.color_of)
     allocation.registers_used = coloring.num_colors
     if destruct:
-        allocation.destruction_report = destruct_ssa(
-            function, oracle=adapter.oracle()
-        )
+        # Drive the staged pipeline.  A fast-checker-family oracle is
+        # handed over directly so the translation rides the same query
+        # plans; engines without edit support are rebuilt *inside* the
+        # pipeline (after φ isolation grows the variable universe), which
+        # is exactly the maintenance cost such a representation implies.
+        # Hand-rolled prebuilt backends need not be in the registry: a
+        # synthetic spec keeps their name on the report.
+        oracle = adapter.oracle()
+        if hasattr(oracle, "precomputation"):
+            if isinstance(adapter, OracleBackend):
+                checker_spec = adapter.spec
+            else:
+                checker_spec = EngineSpec(
+                    name=adapter.name,
+                    oracle_factory=None,
+                    capabilities=EngineCapabilities(
+                        supports_edits=True, batch_queries=adapter.use_batch
+                    ),
+                )
+            allocation.destruction_report = destruct_pipeline(
+                function, backend=checker_spec, checker=oracle
+            )
+        elif isinstance(adapter, OracleBackend):
+            allocation.destruction_report = destruct_pipeline(
+                function, backend=adapter.spec
+            )
+        else:
+            # The oracle_factory escape hatch reuses the backend's oracle
+            # (the pipeline drops whatever pre-isolation state it
+            # accumulated).
+            allocation.destruction_report = destruct_pipeline(
+                function,
+                backend=EngineSpec(name=adapter.name, oracle_factory=None),
+                oracle_factory=lambda fn: oracle,
+            )
         # Destruction rewrote instructions; keep the backend honest in case
         # the caller issues further queries through it.
         adapter.instructions_changed()
@@ -308,18 +367,25 @@ def _is_ssa(function: Function) -> bool:
 
 
 def _extend_after_destruction(allocation: Allocation) -> None:
-    """Assign registers to the variables SSA destruction introduced.
+    """Repair the assignment after the out-of-SSA translation.
 
-    Destruction renames coalesced φ-webs to fresh representatives and
-    inserts parallel-copy temporaries; none of them existed when the
-    chordal scan ran.  Their live ranges are short and few, so a greedy
-    sweep over independently computed per-point live sets suffices: each
-    new variable avoids the registers of everything it is ever
-    simultaneously live with (previously colored variables keep their
-    registers — lowering φs never extends an old variable's range).
+    The translation renames coalesced φ-webs onto a single representative
+    (whose live range therefore *grew* to cover the whole class) and
+    inserts parallel-copy temporaries that never existed when the chordal
+    scan ran.  Both populations are recolored by a greedy sweep over
+    independently computed per-point live sets: each such variable avoids
+    the registers of everything it is ever simultaneously live with.
+    Variables untouched by the translation keep their registers — lowering
+    φs never extends *their* ranges.
     """
     function = allocation.function
     register_of = allocation.register_of
+    report = allocation.destruction_report
+    if report is not None:
+        # A representative absorbed other members' ranges; its pre-translation
+        # color may now clash, so it re-enters the uncolored population.
+        for representative in report.coalesced_representatives:
+            register_of.pop(representative, None)
     points = per_point_live_sets(function)
     forbidden: dict[Variable, set[int]] = {}
     neighbours: dict[Variable, set[Variable]] = {}

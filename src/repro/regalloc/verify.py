@@ -9,9 +9,9 @@ verifier is therefore genuine end-to-end evidence, in the same spirit as
 the differential tests of the liveness engines themselves.
 
 The verifier works on strict-SSA functions and equally on the non-SSA
-output of :func:`repro.ssa.destruction.destruct_ssa` (the data-flow
-analysis never needed SSA form), so the allocator can be checked both
-before and after φ-lowering.
+output of :func:`repro.ssadestruct.destruct` (the data-flow analysis
+never needed SSA form), so the allocator can be checked both before and
+after φ-lowering.
 """
 
 from __future__ import annotations

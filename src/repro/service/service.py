@@ -21,6 +21,12 @@ Design points:
   drops that function's precomputation (nothing else);
   ``notify_instructions_changed(name)`` drops only its query plans and
   def–use chains; other functions are never touched.
+* **Revisions.**  Every edit notification bumps the function's *revision*
+  counter; :meth:`handle` mints
+  :class:`~repro.api.handles.FunctionHandle` values pinned to the current
+  revision and :meth:`check_handle` rejects stale ones — the protocol
+  layer's ``STALE_HANDLE`` enforcement lives here.  Cache eviction does
+  **not** bump revisions (a rebuilt checker answers identically).
 * **Batch API.**  :meth:`submit` takes a stream of
   :class:`LivenessRequest` items spanning any number of functions and
   answers them in order, routing each through the owning checker's batch
@@ -34,9 +40,12 @@ Design points:
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.api.handles import FunctionHandle
+from repro.api.protocol import QueryKind
+from repro.api.registry import FAST, get_engine
 from repro.core.live_checker import FastLivenessChecker
 from repro.ir.function import Function
 from repro.ir.module import Module
@@ -48,16 +57,25 @@ DEFAULT_CAPACITY = 64
 
 @dataclass(frozen=True)
 class LivenessRequest:
-    """One liveness question addressed to a named function."""
+    """One liveness question addressed to a named function.
+
+    ``kind`` is validated at construction (legacy ``"in"``/``"out"``
+    strings are accepted and normalised to :class:`QueryKind`; anything
+    else fails loudly instead of being accepted silently and rejected —
+    or worse, dropped — only at answer time).
+    """
 
     #: Name of the function the question is about.
     function: str
-    #: ``"in"`` or ``"out"``.
-    kind: str
+    #: :class:`QueryKind` (or one of the legacy strings ``"in"``/``"out"``).
+    kind: QueryKind
     #: The variable queried.
     variable: Variable
     #: The block queried.
     block: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", QueryKind.coerce(self.kind))
 
 
 @dataclass
@@ -78,6 +96,8 @@ class ServiceStats:
     queries: int = 0
     #: Out-of-SSA translations performed through :meth:`LivenessService.destruct`.
     destructions: int = 0
+    #: Requests rejected because they carried a stale function handle.
+    stale_handle_rejections: int = 0
 
     @property
     def lookups(self) -> int:
@@ -101,6 +121,7 @@ class ServiceStats:
             "instruction_invalidations": self.instruction_invalidations,
             "queries": self.queries,
             "destructions": self.destructions,
+            "stale_handle_rejections": self.stale_handle_rejections,
             "hit_rate": self.hit_rate,
         }
 
@@ -130,6 +151,7 @@ class LivenessService:
             raise ValueError(f"capacity must be at least 1, got {capacity}")
         self._functions: dict[str, Function] = {}
         self._checkers: OrderedDict[str, FastLivenessChecker] = OrderedDict()
+        self._revisions: dict[str, int] = {}
         self._capacity = capacity
         self._strategy = strategy
         self.stats = ServiceStats()
@@ -145,17 +167,59 @@ class LivenessService:
         if function.name in self._functions:
             raise ValueError(f"duplicate function name {function.name!r}")
         self._functions[function.name] = function
+        self._revisions[function.name] = 0
         return function
 
     def functions(self) -> list[str]:
         """Names of every registered function, in registration order."""
         return list(self._functions)
 
+    def function(self, name: str) -> Function:
+        """The registered function object (raises ``KeyError`` when unknown)."""
+        self._require_known(name)
+        return self._functions[name]
+
     def __contains__(self, name: str) -> bool:
         return name in self._functions
 
     def __len__(self) -> int:
         return len(self._functions)
+
+    # ------------------------------------------------------------------
+    # Revisions and handles
+    # ------------------------------------------------------------------
+    def revision(self, name: str) -> int:
+        """The function's current edit revision (0 until the first edit)."""
+        self._require_known(name)
+        return self._revisions[name]
+
+    def handle(self, name: str) -> FunctionHandle:
+        """Mint a :class:`FunctionHandle` pinned to the current revision."""
+        return FunctionHandle(name=name, revision=self.revision(name))
+
+    def check_handle(self, handle: FunctionHandle) -> Function:
+        """Resolve a handle, rejecting unknown names and stale revisions.
+
+        Unversioned handles (``revision=None``) always resolve; versioned
+        ones must match the current revision exactly — an edit
+        notification in between means the client's derived facts may be
+        wrong, which is precisely what the ``STALE_HANDLE`` error exists
+        to surface instead of a silently-wrong answer.
+        """
+        from repro.api.errors import StaleHandleError
+
+        function = self.function(handle.name)
+        current = self._revisions[handle.name]
+        if handle.revision is not None and handle.revision != current:
+            self.stats.stale_handle_rejections += 1
+            raise StaleHandleError(
+                f"handle {handle} is stale: function {handle.name!r} is at "
+                f"revision {current}"
+            )
+        return function
+
+    def _bump_revision(self, name: str) -> None:
+        self._revisions[name] += 1
 
     # ------------------------------------------------------------------
     # The checker cache
@@ -194,7 +258,11 @@ class LivenessService:
         return checker
 
     def evict(self, name: str) -> bool:
-        """Drop one function's checker (True if it was resident)."""
+        """Drop one function's checker (True if it was resident).
+
+        Purely a cache-geometry event: the function itself is unedited,
+        so its revision — and every outstanding handle — stays valid.
+        """
         return self._checkers.pop(name, None) is not None
 
     def clear(self) -> None:
@@ -220,10 +288,11 @@ class LivenessService:
         """Answer a mixed multi-function request stream, in order.
 
         Each item is a :class:`LivenessRequest` or a plain
-        ``(function, kind, variable, block)`` tuple with ``kind`` one of
-        ``"in"`` / ``"out"``.  Consecutive requests for the same function
-        share one cache lookup; every request shares the per-variable
-        query plans the checker already holds.
+        ``(function, kind, variable, block)`` tuple with ``kind`` a
+        :class:`QueryKind` (or a legacy ``"in"``/``"out"`` string).
+        Consecutive requests for the same function share one cache
+        lookup; every request shares the per-variable query plans the
+        checker already holds.
         """
         answers: list[bool] = []
         current_name: str | None = None
@@ -243,9 +312,9 @@ class LivenessService:
                 current_name = name
             assert current_checker is not None
             self.stats.queries += 1
-            if kind == "in":
+            if kind == QueryKind.LIVE_IN:
                 answers.append(current_checker.batch.is_live_in(var, block))
-            elif kind == "out":
+            elif kind == QueryKind.LIVE_OUT:
                 answers.append(current_checker.batch.is_live_out(var, block))
             else:
                 raise ValueError(f"unknown query kind {kind!r}")
@@ -264,6 +333,7 @@ class LivenessService:
         """The function's CFG changed: its precomputation is gone."""
         self._require_known(function)
         self.stats.cfg_invalidations += 1
+        self._bump_revision(function)
         cached = self._checkers.get(function)
         if cached is not None:
             cached.notify_cfg_changed()
@@ -272,6 +342,7 @@ class LivenessService:
         """Instruction-level edits: drop the function's plans only."""
         self._require_known(function)
         self.stats.instruction_invalidations += 1
+        self._bump_revision(function)
         cached = self._checkers.get(function)
         if cached is not None:
             cached.notify_instructions_changed()
@@ -279,6 +350,7 @@ class LivenessService:
     def notify_variable_changed(self, function: str, var: Variable) -> None:
         """One variable's chain changed (incremental def–use maintenance)."""
         self._require_known(function)
+        self._bump_revision(function)
         cached = self._checkers.get(function)
         if cached is not None:
             cached.notify_variable_changed(var)
@@ -289,39 +361,55 @@ class LivenessService:
     def destruct(
         self,
         function: str,
+        engine: str = FAST,
         verify: bool = False,
         collect_decisions: bool = False,
     ):
         """Translate one registered function out of SSA form, in place.
 
-        The pass runs through the function's *cached* checker so all of its
-        interference queries share the per-variable
+        ``engine`` is resolved through the registry; with the default fast
+        engine the pass runs through the function's *cached* checker so
+        all of its interference queries share the per-variable
         :class:`~repro.core.plans.QueryPlan` cache the service already
         holds; critical-edge splitting (the pipeline's one CFG edit) is
         routed through :meth:`notify_cfg_changed`, and φ isolation
         maintains the checker's def–use chains incrementally through
         ``notify_variable_changed`` — no other resident function is
         touched.  Afterwards the function is no longer SSA, so its checker
-        is evicted; a later liveness query against it fails loudly when
-        the def–use chains refuse the multi-definition program.
+        is evicted and its revision bumped (outstanding handles go stale);
+        a later liveness query against it fails loudly when the def–use
+        chains refuse the multi-definition program.
 
         Returns the :class:`~repro.ssadestruct.pipeline.DestructReport`.
         """
         from repro.ssadestruct.pipeline import destruct as run_destruct
 
         self._require_known(function)
+        spec = get_engine(engine)  # unknown engines fail before any mutation
         fn = self._functions[function]
-        checker = self.checker(function)
-        report = run_destruct(
-            fn,
-            backend="fast",
-            checker=checker,
-            verify=verify,
-            collect_decisions=collect_decisions,
-            on_cfg_changed=lambda: self.notify_cfg_changed(function),
-        )
+        checker = self.checker(function) if spec.name == FAST else None
+        try:
+            report = run_destruct(
+                fn,
+                backend=spec,
+                checker=checker,
+                verify=verify,
+                collect_decisions=collect_decisions,
+                on_cfg_changed=lambda: self.notify_cfg_changed(function),
+            )
+        except Exception:
+            # Past engine resolution, the pipeline mutates before it can
+            # fail (edge splitting, φ isolation): invalidate pessimistically
+            # so no handle or resident checker survives a half-translated
+            # function.
+            self.evict(function)
+            self._bump_revision(function)
+            raise
         self.evict(function)
         self.stats.destructions += 1
+        # The lowering rewrote instructions wholesale: whatever the
+        # translation did, every outstanding handle must go stale.
+        self._bump_revision(function)
         return report
 
     def __repr__(self) -> str:

@@ -17,7 +17,7 @@ all three representations:
 """
 
 from repro.sets.bitset import BitSet, next_set_bit_in_mask
-from repro.sets.sparse_set import SparseSet
 from repro.sets.sorted_set import SortedArraySet
+from repro.sets.sparse_set import SparseSet
 
 __all__ = ["BitSet", "SparseSet", "SortedArraySet", "next_set_bit_in_mask"]

@@ -5,18 +5,19 @@
   predecessor blocks per Definition 1 of the paper.
 * :func:`~repro.ssa.construction.construct_ssa` — Cytron-style SSA
   construction (φ placement at iterated dominance frontiers + renaming).
-* :func:`~repro.ssa.destruction.destruct_ssa` — out-of-SSA translation in
-  the spirit of Sreedhar et al.'s method III, driven by liveness queries
-  through a pluggable oracle; this pass produces the query stream measured
-  in the paper's Table 2.
-* :class:`~repro.ssa.coalescing.CopyCoalescer` — Budimlić-style
-  interference tests and copy coalescing on top of any liveness oracle.
+* ``destruct_ssa`` — the deprecated out-of-SSA surface, now a thin
+  adapter over :func:`repro.ssadestruct.destruct` (see
+  :mod:`repro.ssadestruct.legacy`); new code should drive the staged
+  pipeline directly.
+* :class:`~repro.ssadestruct.interference.CopyCoalescer` — Budimlić-style
+  interference tests and copy coalescing on top of any liveness oracle
+  (re-exported from its new home for compatibility).
 """
 
-from repro.ssa.defuse import DefUseChains, VariableDefUse
 from repro.ssa.construction import construct_ssa
-from repro.ssa.destruction import DestructionReport, destruct_ssa
-from repro.ssa.coalescing import CopyCoalescer, InterferenceChecker
+from repro.ssa.defuse import DefUseChains, VariableDefUse
+from repro.ssadestruct.interference import CopyCoalescer, InterferenceChecker
+from repro.ssadestruct.legacy import DestructionReport, destruct_ssa
 
 __all__ = [
     "DefUseChains",

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.cfg.domfrontier import DominanceFrontiers
 from repro.cfg.dominance import DominatorTree
 from repro.ir.function import Function
-from repro.ir.instruction import Instruction, Phi
+from repro.ir.instruction import Phi
 from repro.ir.value import Undef, Variable
 
 

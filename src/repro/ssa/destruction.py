@@ -1,296 +1,33 @@
-"""SSA destruction driven by liveness queries (the paper's client pass).
+"""Deprecated shim — the out-of-SSA pass lives in :mod:`repro.ssadestruct`.
 
-The runtime experiments of the paper (Table 2) measure the liveness queries
-issued by LAO's SSA destruction, which follows the third method of Sreedhar
-et al. and decides φ-coalescing with the Budimlić interference test.  This
-module implements such a pass for our IR.
-
-For every φ ``a₀ ← φ(a₁ : p₁, …, aₙ : pₙ)`` the pass builds a *congruence
-class* around a fresh representative ``z``.  The φ result and every operand
-are candidate members; a candidate ``v`` joins the class — meaning it will
-simply be renamed to ``z`` and needs no copy — only when two conditions
-hold, both answered with liveness queries on the (unmodified) SSA program:
-
-1. ``v`` interferes with no current member of the class, using the
-   Budimlić test ("is the dominating variable live directly after the
-   definition of the dominated one?");
-2. ``v`` is not live at the *parallel-copy point* (the end) of any other
-   predecessor of the φ — those are the program points where ``z`` may be
-   written by the copies the pass inserts, so a member whose old value is
-   still needed there would be clobbered.  This condition is what handles
-   the classic *lost-copy* situation (a φ result that is live out of its
-   own block gets a copy instead of being renamed).
-
-Rejected candidates get copies: ``z ← aᵢ`` at the end of ``pᵢ`` for
-operands, ``a₀ ← z`` right after the φs for the result.  The per-block edge
-copies are emitted as a *parallel copy* (sequentialised by
-:mod:`repro.ssa.parallel_copy`, which resolves the swap problem with a
-temporary), the φs are deleted, and the coalesced members are renamed to
-their representative.
-
-Critical edges are split first so the copies can live on an edge without
-affecting other paths; the liveness oracle is built after the split so its
-precomputation matches the final CFG.  The result is a semantically
-equivalent non-SSA function — the interpreter-based property tests execute
-thousands of random programs before and after destruction to check this.
+The single-shot destruction pass that used to live here was superseded by
+the staged pipeline (:func:`repro.ssadestruct.destruct`); this module only
+re-exports the back-compat surface of
+:mod:`repro.ssadestruct.legacy` so pre-PR-4 imports keep working for one
+release.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+import warnings
 
-from repro.ir.function import Function
-from repro.ir.instruction import Instruction, Opcode, Phi
-from repro.ir.value import Value, Variable
-from repro.liveness.oracle import LivenessOracle
-from repro.ssa.coalescing import InterferenceChecker
-from repro.ssa.defuse import DefUseChains
-from repro.ssa.parallel_copy import sequentialize
+from repro.ssadestruct.legacy import (
+    DestructionReport,
+    OracleFactory,
+    destruct_ssa,
+)
+from repro.ssadestruct.pipeline import phi_related_variables
 
+warnings.warn(
+    "repro.ssa.destruction is deprecated; use repro.ssadestruct "
+    "(destruct, phi_related_variables) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-@dataclass
-class DestructionReport:
-    """Statistics of one SSA-destruction run."""
-
-    phis_processed: int = 0
-    resources_processed: int = 0
-    resources_coalesced: int = 0
-    copies_inserted: int = 0
-    critical_edges_split: int = 0
-    interference_tests: int = 0
-    parallel_copy_temps: int = 0
-    #: φ-related variables (results and arguments of φ-functions) — the set
-    #: LAO restricts its native liveness precomputation to.
-    phi_related_variables: list[Variable] = field(default_factory=list)
-
-
-OracleFactory = Callable[[Function], LivenessOracle]
-
-
-def _default_oracle_factory(function: Function) -> LivenessOracle:
-    # Imported lazily to avoid a package-level import cycle
-    # (repro.core imports repro.ssa.defuse).
-    from repro.core.live_checker import FastLivenessChecker
-
-    return FastLivenessChecker(function)
-
-
-def phi_related_variables(function: Function) -> list[Variable]:
-    """Results and variable arguments of every φ (the queried universe)."""
-    related: dict[int, Variable] = {}
-    for phi in function.phis():
-        if phi.result is not None:
-            related.setdefault(id(phi.result), phi.result)
-        for value in phi.incoming.values():
-            if isinstance(value, Variable):
-                related.setdefault(id(value), value)
-    return list(related.values())
-
-
-class _Destructor:
-    """One run of the out-of-SSA translation."""
-
-    def __init__(self, function: Function, oracle: LivenessOracle) -> None:
-        self.function = function
-        self.oracle = oracle
-        self.defuse = DefUseChains(function)
-        self.interference = InterferenceChecker(function, oracle, defuse=self.defuse)
-        self.report = DestructionReport()
-        #: variable id -> representative it was coalesced to
-        self.renaming: dict[int, Variable] = {}
-        #: pred block name -> scheduled (dest, src) edge copies
-        self.edge_copies: dict[str, list[tuple[Variable, Value]]] = {}
-        #: φ block name -> scheduled (result, representative) result copies
-        self.result_copies: dict[str, list[tuple[Variable, Variable]]] = {}
-        self._web_counter = 0
-        self._temp_counter = 0
-
-    # ------------------------------------------------------------------
-    # Analysis phase (no mutation, all liveness queries happen here)
-    # ------------------------------------------------------------------
-    def analyse(self) -> None:
-        self.report.phi_related_variables = phi_related_variables(self.function)
-        for block in self.function:
-            for phi in block.phis():
-                self._analyse_phi(block.name, phi)
-        self.report.interference_tests = self.interference.tests
-
-    def _analyse_phi(self, block_name: str, phi: Phi) -> None:
-        self.report.phis_processed += 1
-        result = phi.result
-        assert result is not None
-        representative = Variable(f"{result.base_name}.web{self._web_counter}")
-        self._web_counter += 1
-        members: list[Variable] = []
-        preds = list(phi.incoming)
-
-        # The φ result is the first candidate member.  It may already have
-        # been claimed by another φ's class (as an operand flowing around a
-        # loop), in which case it must keep its own name here and receive a
-        # result copy.
-        self.report.resources_processed += 1
-        if id(result) not in self.renaming and self._can_join(
-            result, members, preds, own_pred=None
-        ):
-            members.append(result)
-            self.renaming[id(result)] = representative
-            self.report.resources_coalesced += 1
-        else:
-            self.result_copies.setdefault(block_name, []).append(
-                (result, representative)
-            )
-            self.report.copies_inserted += 1
-
-        # Operand candidates, one per predecessor.
-        for pred in preds:
-            value = phi.incoming[pred]
-            self.report.resources_processed += 1
-            if isinstance(value, Variable) and value in self.defuse:
-                already = self.renaming.get(id(value))
-                if already is representative:
-                    # Same variable flowing in from several predecessors.
-                    self.report.resources_coalesced += 1
-                    continue
-                # An operand defined inside the φ's own block (it can only
-                # flow in around a loop) keeps its name and gets an edge
-                # copy: renaming it would move a definition of the
-                # representative into the φ block, past the point where the
-                # incoming value is still needed.
-                defined_in_phi_block = self.defuse.def_block(value) == block_name
-                if (
-                    already is None
-                    and not defined_in_phi_block
-                    and self._can_join(value, members, preds, own_pred=pred)
-                ):
-                    members.append(value)
-                    self.renaming[id(value)] = representative
-                    self.report.resources_coalesced += 1
-                    continue
-            self.edge_copies.setdefault(pred, []).append((representative, value))
-            self.report.copies_inserted += 1
-
-    def _can_join(
-        self,
-        candidate: Variable,
-        members: list[Variable],
-        preds: list[str],
-        own_pred: str | None,
-    ) -> bool:
-        """The two-part coalescing condition described in the module docs."""
-        for member in members:
-            if self.interference.interfere(candidate, member):
-                return False
-        for pred in preds:
-            if pred == own_pred:
-                continue
-            if self._live_at_copy_point(candidate, pred):
-                return False
-        return True
-
-    def _live_at_copy_point(self, var: Variable, block_name: str) -> bool:
-        """Is ``var`` still needed at the end of ``block_name``?
-
-        The parallel copy sits just before the terminator, so a variable is
-        "live at the copy point" when it is live-out of the block or read
-        by the block's own terminator.
-        """
-        if self.oracle.is_live_out(var, block_name):
-            return True
-        terminator = self.function.block(block_name).terminator()
-        if terminator is None:
-            return False
-        return any(op is var for op in terminator.operands)
-
-    # ------------------------------------------------------------------
-    # Transformation phase
-    # ------------------------------------------------------------------
-    def transform(self) -> None:
-        self._emit_result_copies()
-        self._emit_edge_copies()
-        self._remove_phis()
-        self._apply_renaming()
-
-    def _emit_result_copies(self) -> None:
-        for block_name, copies in self.result_copies.items():
-            block = self.function.block(block_name)
-            position = len(block.phis())
-            for result, representative in copies:
-                block.insert(
-                    position,
-                    Instruction(Opcode.COPY, result=result, operands=[representative]),
-                )
-                position += 1
-
-    def _emit_edge_copies(self) -> None:
-        for pred_name, copies in self.edge_copies.items():
-            # Apply the class renaming to the *sources* before
-            # sequentialising, so aliasing between a copy destination and a
-            # renamed source is visible to the cycle detection.
-            renamed = [
-                (dest, self.renaming.get(id(src), src) if isinstance(src, Variable) else src)
-                for dest, src in copies
-            ]
-            ordered = sequentialize(renamed, self._make_temp)
-            block = self.function.block(pred_name)
-            for dest, src in ordered:
-                block.insert_before_terminator(
-                    Instruction(Opcode.COPY, result=dest, operands=[src])
-                )
-
-    def _make_temp(self) -> Variable:
-        temp = Variable(f"phitmp{self._temp_counter}")
-        self._temp_counter += 1
-        self.report.parallel_copy_temps += 1
-        return temp
-
-    def _remove_phis(self) -> None:
-        for block in self.function:
-            for phi in block.phis():
-                block.remove(phi)
-
-    def _apply_renaming(self) -> None:
-        if not self.renaming:
-            return
-        # Parameters can be coalesced into a φ web (a parameter flowing into
-        # a loop header φ is the common case); keep the signature in sync.
-        self.function.parameters = [
-            self.renaming.get(id(param), param) for param in self.function.parameters
-        ]
-        for block in self.function:
-            for inst in block.instructions:
-                for index, operand in enumerate(inst.operands):
-                    if isinstance(operand, Variable):
-                        replacement = self.renaming.get(id(operand))
-                        if replacement is not None and replacement is not operand:
-                            inst.operands[index] = replacement
-                if inst.result is not None:
-                    replacement = self.renaming.get(id(inst.result))
-                    if replacement is not None and replacement is not inst.result:
-                        inst.result = replacement
-
-
-def destruct_ssa(
-    function: Function,
-    oracle_factory: OracleFactory | None = None,
-    oracle: LivenessOracle | None = None,
-) -> DestructionReport:
-    """Translate ``function`` out of SSA form in place.
-
-    ``oracle_factory`` builds the liveness oracle *after* critical-edge
-    splitting (so its precomputation matches the final CFG).  Passing a
-    prebuilt ``oracle`` is allowed when the caller knows the CFG has no
-    critical edges or wants to reuse an engine.
-    """
-    split = function.split_critical_edges()
-
-    if oracle is None:
-        factory = oracle_factory or _default_oracle_factory
-        oracle = factory(function)
-    oracle.prepare()
-
-    destructor = _Destructor(function, oracle)
-    destructor.report.critical_edges_split = len(split)
-    destructor.analyse()
-    destructor.transform()
-    return destructor.report
+__all__ = [
+    "DestructionReport",
+    "OracleFactory",
+    "destruct_ssa",
+    "phi_related_variables",
+]

@@ -17,10 +17,11 @@ checker queries:
 * :mod:`repro.ssadestruct.pipeline` — the :func:`destruct` driver tying
   the stages together per backend.
 
-The package coexists with the older single-shot pass in
-:mod:`repro.ssa.destruction` (which decides copy insertion φ-by-φ while
-analysing); this one materialises the intermediate conventional-SSA
-program, which is what makes it differentially testable stage by stage.
+* :mod:`repro.ssadestruct.interference` — the Budimlić interference
+  test and the conservative copy coalescer (moved here from
+  ``repro.ssa.coalescing``, which is now a deprecated shim);
+* :mod:`repro.ssadestruct.legacy` — the pre-PR-3 ``destruct_ssa``
+  surface, kept as a thin adapter over :func:`destruct`.
 """
 
 from repro.ssadestruct.coalesce import (
@@ -31,9 +32,20 @@ from repro.ssadestruct.coalesce import (
     QueryInterference,
     coalesce_parallel_copies,
 )
+from repro.ssadestruct.interference import (
+    CoalescingReport,
+    CopyCoalescer,
+    InterferenceChecker,
+)
 from repro.ssadestruct.isolate import IsolationReport, isolate_phis
+from repro.ssadestruct.legacy import DestructionReport, destruct_ssa
 from repro.ssadestruct.names import NameAllocator
-from repro.ssadestruct.pipeline import BACKENDS, DestructReport, destruct
+from repro.ssadestruct.pipeline import (
+    BACKENDS,
+    DestructReport,
+    destruct,
+    phi_related_variables,
+)
 from repro.ssadestruct.sequential import LoweringReport, apply_renaming_and_lower
 from repro.ssadestruct.verify import (
     ConventionalSSAError,
@@ -46,6 +58,10 @@ __all__ = [
     "BACKENDS",
     "CoalesceDecision",
     "CoalesceReport",
+    "CoalescingReport",
+    "CopyCoalescer",
+    "DestructionReport",
+    "InterferenceChecker",
     "CongruenceClasses",
     "ConventionalSSAError",
     "DestructReport",
@@ -57,7 +73,9 @@ __all__ = [
     "apply_renaming_and_lower",
     "coalesce_parallel_copies",
     "destruct",
+    "destruct_ssa",
     "isolate_phis",
+    "phi_related_variables",
     "phi_congruence_classes",
     "verify_conventional_ssa",
     "verify_destructed",

@@ -34,13 +34,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.registry import GRAPH
 from repro.ir.function import Function
 from repro.ir.instruction import ParallelCopy
 from repro.ir.value import Variable
 from repro.liveness.oracle import LivenessOracle
 from repro.liveness.ranges import interference_pairs
-from repro.ssa.coalescing import InterferenceChecker
 from repro.ssa.defuse import DefUseChains
+from repro.ssadestruct.interference import InterferenceChecker
 
 
 # ----------------------------------------------------------------------
@@ -139,7 +140,7 @@ class QueryInterference:
 class GraphInterference:
     """Eager full interference graph; pair tests become set lookups."""
 
-    name = "graph"
+    name = GRAPH
 
     def __init__(self, function: Function) -> None:
         self._edges = interference_pairs(function)

@@ -1,0 +1,84 @@
+"""Back-compat adapter: the pre-PR-3 ``destruct_ssa`` surface.
+
+The original single-shot out-of-SSA pass (``repro.ssa.destruction``)
+decided copy insertion φ-by-φ while analysing; PR 3 replaced it with the
+staged, differentially-testable pipeline in this package.  This module
+keeps the old *surface* alive on top of the single remaining
+implementation: :func:`destruct_ssa` delegates to
+:func:`repro.ssadestruct.pipeline.destruct` and projects its
+:class:`~repro.ssadestruct.pipeline.DestructReport` onto the historical
+:class:`DestructionReport` field names.
+
+The mapping: each φ with *k* predecessors contributes one result resource
+and *k* operand resources in the old accounting, and exactly ``k + 1``
+parallel-copy pairs after isolation in the new one — so ``pairs`` are
+``resources`` and a non-coalesced pair is an inserted copy.  The old
+invariant ``resources_processed == resources_coalesced + copies_inserted``
+therefore holds by construction.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ir.function import Function
+from repro.ir.value import Variable
+from repro.liveness.oracle import LivenessOracle
+from repro.ssadestruct.pipeline import destruct, phi_related_variables
+
+OracleFactory = Callable[[Function], LivenessOracle]
+
+
+@dataclass
+class DestructionReport:
+    """Statistics of one SSA-destruction run (historical field names)."""
+
+    phis_processed: int = 0
+    resources_processed: int = 0
+    resources_coalesced: int = 0
+    copies_inserted: int = 0
+    critical_edges_split: int = 0
+    interference_tests: int = 0
+    parallel_copy_temps: int = 0
+    #: φ-related variables (results and arguments of φ-functions) — the set
+    #: LAO restricts its native liveness precomputation to.
+    phi_related_variables: list[Variable] = field(default_factory=list)
+
+
+def destruct_ssa(
+    function: Function,
+    oracle_factory: OracleFactory | None = None,
+    oracle: LivenessOracle | None = None,
+) -> DestructionReport:
+    """Translate ``function`` out of SSA form in place (deprecated surface).
+
+    Use :func:`repro.ssadestruct.destruct` in new code.  ``oracle_factory``
+    (or a prebuilt ``oracle``) routes every liveness query of the
+    coalescing through the supplied engine, exactly as before; factories
+    run after φ isolation so their view covers the fresh φ resources.
+    """
+    warnings.warn(
+        "destruct_ssa is deprecated; use repro.ssadestruct.destruct",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    related = phi_related_variables(function)
+    factory: OracleFactory | None = None
+    if oracle is not None:
+        prebuilt = oracle
+        factory = lambda fn: prebuilt  # noqa: E731 - tiny adapter
+    elif oracle_factory is not None:
+        factory = oracle_factory
+    report = destruct(function, oracle_factory=factory)
+    return DestructionReport(
+        phis_processed=report.phis_isolated,
+        resources_processed=report.pairs_inserted,
+        resources_coalesced=report.pairs_coalesced,
+        copies_inserted=report.pairs_inserted - report.pairs_coalesced,
+        critical_edges_split=report.critical_edges_split,
+        interference_tests=report.interference_tests,
+        parallel_copy_temps=report.temps_inserted,
+        phi_related_variables=related,
+    )

@@ -1,11 +1,12 @@
 """The out-of-SSA driver: split → isolate → coalesce → lower.
 
 :func:`destruct` composes the stages of this package into the paper's
-flagship client workload.  The liveness backend is pluggable and is the
+flagship client workload.  The liveness backend is pluggable — resolved
+through the engine registry (:mod:`repro.api.registry`) — and is the
 experiment:
 
-* ``"fast"`` — interference is decided by Budimlić tests through a
-  :class:`~repro.core.live_checker.FastLivenessChecker`; every test is a
+* the **fast** engine — interference is decided by Budimlić tests through
+  a :class:`~repro.core.live_checker.FastLivenessChecker`; every test is a
   constant number of ``is_live_out`` queries answered by Algorithm 3, and
   the checker's CFG precomputation is built once (after the single CFG
   edit, critical-edge splitting) and survives the whole pass — isolation
@@ -13,16 +14,24 @@ experiment:
   invalidation through ``notify_variable_changed``, so the per-variable
   :class:`~repro.core.plans.QueryPlan` cache stays warm across the many
   queries each φ resource receives.
-* ``"dataflow"`` — the same query-driven coalescing, but the queries hit
-  a conventional :class:`~repro.liveness.DataflowLiveness` fixpoint
-  (recomputed after isolation, since the universe grew).  Used by the
-  differential tests to check the fast checker's answers change nothing.
-* ``"graph"`` — the conventional *structure*: build the full interference
-  graph eagerly from per-point live sets, then coalesce by edge lookup.
-  This is the baseline ``bench/table_destruct.py`` measures against.
+* the **dataflow** engine — the same query-driven coalescing, but the
+  queries hit a conventional :class:`~repro.liveness.DataflowLiveness`
+  fixpoint (recomputed after isolation, since the universe grew).  Used by
+  the differential tests to check the fast checker's answers change
+  nothing.
+* the **graph** engine — the conventional *structure*: build the full
+  interference graph eagerly from per-point live sets, then coalesce by
+  edge lookup.  This is the baseline ``bench/table_destruct.py`` measures
+  against.
 
-All three make identical coalescing decisions (asserted by the fuzz
-harness); they differ only in how much work answering them costs.
+Which path a registered engine takes is decided by its capabilities:
+``per_point_sets`` engines become a :class:`GraphInterference`,
+``supports_edits`` engines ride the incrementally-maintained checker
+path (they must expose the fast checker's surface: ``prepare``,
+``defuse``, ``precomputation``, ``notify_variable_changed``), and
+everything else answers the same query stream through its oracle built
+after isolation.  All paths make identical coalescing decisions (asserted
+by the fuzz harness); they differ only in how much answering them costs.
 """
 
 from __future__ import annotations
@@ -30,9 +39,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.api.registry import (
+    DATAFLOW,
+    FAST,
+    GRAPH,
+    EngineSpec,
+    UnknownEngineError,
+    available_engines,
+    get_engine,
+)
 from repro.ir.function import Function
-from repro.liveness.dataflow import DataflowLiveness
-from repro.liveness.oracle import CountingOracle
+from repro.ir.value import Variable
+from repro.liveness.oracle import CountingOracle, LivenessOracle
 from repro.ssa.defuse import DefUseChains
 from repro.ssadestruct.coalesce import (
     CoalesceDecision,
@@ -47,14 +65,14 @@ from repro.ssadestruct.sequential import apply_renaming_and_lower
 from repro.ssadestruct.verify import verify_destructed
 
 #: Recognised liveness/interference backends, in reporting order.
-BACKENDS = ("fast", "dataflow", "graph")
+BACKENDS = (FAST, DATAFLOW, GRAPH)
 
 
 @dataclass
 class DestructReport:
     """Everything one :func:`destruct` run did, for tests and benchmarks."""
 
-    backend: str = "fast"
+    backend: str = FAST
     critical_edges_split: int = 0
     phis_isolated: int = 0
     parallel_copies: int = 0
@@ -69,6 +87,12 @@ class DestructReport:
     temps_inserted: int = 0
     phis_removed: int = 0
     decisions: list[CoalesceDecision] = field(default_factory=list)
+    #: Representatives of every non-trivial congruence class — the
+    #: variables whose live range *grew* by absorbing coalesced members.
+    #: A register assignment computed before the translation is no longer
+    #: trustworthy for exactly these variables (the allocator uses this to
+    #: recolor them).
+    coalesced_representatives: list[Variable] = field(default_factory=list)
 
     @property
     def coalesced_fraction(self) -> float:
@@ -78,10 +102,29 @@ class DestructReport:
         return self.pairs_coalesced / self.pairs_inserted
 
 
+def phi_related_variables(function: Function) -> list[Variable]:
+    """Results and variable arguments of every φ (the queried universe).
+
+    This is the variable subset LAO restricts its native liveness
+    precomputation to, and the denominator of the paper's
+    queries-per-variable figures; it must be collected *before*
+    destruction (afterwards the φs are gone).
+    """
+    related: dict[int, Variable] = {}
+    for phi in function.phis():
+        if phi.result is not None:
+            related.setdefault(id(phi.result), phi.result)
+        for value in phi.incoming.values():
+            if isinstance(value, Variable):
+                related.setdefault(id(value), value)
+    return list(related.values())
+
+
 def destruct(
     function: Function,
-    backend: str = "fast",
+    backend: str | EngineSpec = FAST,
     checker=None,
+    oracle_factory: Callable[[Function], LivenessOracle] | None = None,
     verify: bool = False,
     collect_decisions: bool = False,
     on_cfg_changed: Callable[[], None] | None = None,
@@ -91,15 +134,22 @@ def destruct(
     Parameters
     ----------
     backend:
-        ``"fast"``, ``"dataflow"`` or ``"graph"`` (see the module docs).
+        An engine name resolved through :func:`repro.api.registry.get_engine`
+        (or a prebuilt :class:`~repro.api.registry.EngineSpec`); see the
+        module docs for how capabilities pick the interference path.
     checker:
         A prebuilt :class:`~repro.core.live_checker.FastLivenessChecker`
-        for the ``"fast"`` backend (e.g. the one a
+        for the checker path (e.g. the one a
         :class:`~repro.service.LivenessService` has cached).  It may have
         been prepared for the unsplit CFG; if any edge is split the
         checker's ``notify_cfg_changed`` runs, followed by the optional
         ``on_cfg_changed`` observer (the service counts invalidations
         through it).
+    oracle_factory:
+        Escape hatch for driving the query-based coalescing through an
+        arbitrary oracle (recorders, counters, third-party engines): the
+        factory is invoked *after* φ isolation (the stage that grows the
+        variable universe) and overrides the engine's own oracle.
     verify:
         Run :func:`~repro.ssadestruct.verify.verify_destructed` on the
         result (off by default so benchmarks time only the translation).
@@ -107,11 +157,17 @@ def destruct(
         Record a :class:`~repro.ssadestruct.coalesce.CoalesceDecision` per
         parallel-copy pair for cross-backend differential comparison.
     """
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown destruction backend {backend!r}; expected one of {BACKENDS}"
-        )
-    report = DestructReport(backend=backend)
+    if isinstance(backend, EngineSpec):
+        spec = backend
+    else:
+        try:
+            spec = get_engine(backend)
+        except UnknownEngineError as exc:
+            raise ValueError(
+                f"unknown destruction backend {backend!r}; expected one of "
+                f"{available_engines()}"
+            ) from exc
+    report = DestructReport(backend=spec.name)
 
     # The one CFG edit of the pipeline, performed before any precomputation
     # is (re)built.
@@ -127,11 +183,9 @@ def destruct(
             on_cfg_changed()
 
     counting: CountingOracle | None = None
-    if backend == "fast":
+    if oracle_factory is None and spec.capabilities.supports_edits:
         if checker is None:
-            from repro.core.live_checker import FastLivenessChecker
-
-            checker = FastLivenessChecker(function)
+            checker = spec.make_oracle(function)
         checker.prepare()
         iso = isolate_phis(
             function,
@@ -147,16 +201,33 @@ def destruct(
             # tree of the (split) CFG; no second one is built.
             domtree=checker.precomputation.domtree,
         )
-    elif backend == "dataflow":
+    elif oracle_factory is None and spec.capabilities.per_point_sets:
         iso = isolate_phis(function)
-        counting = CountingOracle(DataflowLiveness(function))
+        interference = GraphInterference(function)
+    else:
+        # The generic query path: the oracle is built after isolation so
+        # its view includes the fresh φ resources.
+        iso = isolate_phis(function)
+        if oracle_factory is not None:
+            oracle = oracle_factory(function)
+            # A caller may hand back a prebuilt engine; drop any state it
+            # accumulated against the pre-split, pre-isolation program
+            # (``invalidate`` is the conventional engines' spelling).
+            for hook in (
+                "notify_cfg_changed",
+                "notify_instructions_changed",
+                "invalidate",
+            ):
+                notify = getattr(oracle, hook, None)
+                if notify is not None:
+                    notify()
+        else:
+            oracle = spec.make_oracle(function)
+        counting = CountingOracle(oracle)
         counting.prepare()
         interference = QueryInterference(
             function, counting, defuse=DefUseChains(function)
         )
-    else:  # graph
-        iso = isolate_phis(function)
-        interference = GraphInterference(function)
 
     report.phis_isolated = iso.phis_isolated
     report.parallel_copies = iso.parallel_copies
@@ -180,8 +251,15 @@ def destruct(
     if counting is not None:
         report.liveness_queries = counting.total_queries
 
+    renaming = classes.renaming()
+    seen_reps: set[int] = set()
+    for representative in renaming.values():
+        if id(representative) not in seen_reps:
+            seen_reps.add(id(representative))
+            report.coalesced_representatives.append(representative)
+
     lowering = apply_renaming_and_lower(
-        function, classes.renaming(), NameAllocator(function)
+        function, renaming, NameAllocator(function)
     )
     report.copies_emitted = lowering.copies_emitted
     report.temps_inserted = lowering.temps_inserted

@@ -24,8 +24,8 @@ from repro.ir.instruction import ParallelCopy
 from repro.ir.value import Variable
 from repro.ir.verify import IRVerificationError, verify_function, verify_ssa
 from repro.liveness.oracle import LivenessOracle
-from repro.ssa.coalescing import InterferenceChecker
 from repro.ssadestruct.coalesce import CongruenceClasses
+from repro.ssadestruct.interference import InterferenceChecker
 
 
 class ConventionalSSAError(ValueError):

@@ -17,13 +17,13 @@ equivalents (see the substitution table in ``DESIGN.md``):
   populations matching those block-count and uses-per-variable profiles.
 """
 
+from repro.synth.program_gen import ProgramGeneratorConfig, random_program_source
 from repro.synth.random_cfg import (
     random_cfg,
     random_irreducible_cfg,
     random_reducible_cfg,
 )
 from repro.synth.random_function import random_ssa_function
-from repro.synth.program_gen import ProgramGeneratorConfig, random_program_source
 from repro.synth.spec_profiles import (
     SPEC_PROFILES,
     BenchmarkProfile,

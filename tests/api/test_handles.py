@@ -1,0 +1,304 @@
+"""Handle/revision semantics: the enforceable invalidation contract.
+
+The rules under test:
+
+* minting is free of side effects and pinned to the current revision;
+* **every** ``notify_*`` edit bumps the revision (CFG, instruction and
+  per-variable edits alike), as do the mutating passes;
+* LRU **eviction does not** — a rebuilt checker answers identically, so
+  handles stay valid across arbitrary cache pressure;
+* a request through a stale handle is answered with ``STALE_HANDLE``,
+  never with a stale fact — including under interleaved multi-function
+  edit/query streams.
+"""
+
+import random
+
+import pytest
+
+from repro.api.client import CompilerClient
+from repro.api.errors import ErrorCode, StaleHandleError
+from repro.api.handles import FunctionHandle
+from repro.api.protocol import BatchLiveness, LivenessQuery
+from repro.ir.module import Module
+from repro.service import LivenessService
+from repro.synth import random_ssa_function
+from tests.support.genfn import fuzz_function
+
+
+def make_module(count=6, seed=1, num_blocks=6):
+    rng = random.Random(seed)
+    module = Module("handles")
+    for index in range(count):
+        module.add_function(
+            random_ssa_function(
+                rng, num_blocks=num_blocks, num_variables=3, name=f"fn{index}"
+            )
+        )
+    return module
+
+
+class TestRevisionBumps:
+    def test_fresh_registration_is_revision_zero(self):
+        service = LivenessService(make_module(2))
+        assert service.revision("fn0") == 0
+        assert service.handle("fn0") == FunctionHandle("fn0", 0)
+
+    def test_every_notify_bumps(self):
+        service = LivenessService(make_module(1))
+        function = service.function("fn0")
+        assert service.revision("fn0") == 0
+        service.notify_cfg_changed("fn0")
+        assert service.revision("fn0") == 1
+        service.notify_instructions_changed("fn0")
+        assert service.revision("fn0") == 2
+        service.notify_variable_changed("fn0", function.variables()[0])
+        assert service.revision("fn0") == 3
+
+    def test_rejected_notifications_do_not_bump(self):
+        service = LivenessService(make_module(1))
+        with pytest.raises(KeyError):
+            service.notify_cfg_changed("typo")
+        assert service.revision("fn0") == 0
+
+    def test_edits_are_per_function(self):
+        service = LivenessService(make_module(3))
+        service.notify_cfg_changed("fn1")
+        assert service.revision("fn0") == 0
+        assert service.revision("fn1") == 1
+        assert service.revision("fn2") == 0
+
+    def test_destruct_invalidates_handles(self):
+        service = LivenessService(make_module(1))
+        stale = service.handle("fn0")
+        service.destruct("fn0")
+        assert service.revision("fn0") > stale.revision
+        with pytest.raises(StaleHandleError):
+            service.check_handle(stale)
+
+
+class TestEvictionKeepsHandlesValid:
+    def test_lru_eviction_does_not_bump_revision(self):
+        module = make_module(4, seed=9)
+        service = LivenessService(module, capacity=2)
+        handles = {name: service.handle(name) for name in service.functions()}
+        # Thrash the cache far past capacity.
+        for _ in range(3):
+            for name in service.functions():
+                service.checker(name)
+        assert service.stats.evictions > 0
+        for name, handle in handles.items():
+            assert service.revision(name) == handle.revision == 0
+            # check_handle resolves: the rebuilt checker serves the same
+            # function at the same revision.
+            assert service.check_handle(handle) is module.function(name)
+
+    def test_queries_through_old_handles_survive_eviction(self):
+        module = make_module(5, seed=3)
+        client = CompilerClient(module, capacity=2)
+        handles = {name: client.handle(name) for name in client.service.functions()}
+        rng = random.Random(11)
+        reference = {}
+        for name in module.functions:
+            function = module.function(name)
+            var = rng.choice(function.variables())
+            block = rng.choice(list(function.blocks))
+            reference[name] = (var.name, block)
+        answers_before = {}
+        for name, handle in handles.items():
+            var, block = reference[name]
+            response = client.dispatch(
+                LivenessQuery(function=handle, kind="in", variable=var, block=block)
+            )
+            assert response.ok
+            answers_before[name] = response.value
+        assert client.service.stats.evictions > 0
+        # Round two through the *same* handles: every answer reproduces.
+        for name, handle in handles.items():
+            var, block = reference[name]
+            response = client.dispatch(
+                LivenessQuery(function=handle, kind="in", variable=var, block=block)
+            )
+            assert response.ok
+            assert response.value == answers_before[name]
+
+
+class TestStaleRejection:
+    def test_stale_handle_gets_structured_error(self):
+        module = make_module(2)
+        client = CompilerClient(module)
+        handle = client.handle("fn0")
+        function = module.function("fn0")
+        client.service.notify_instructions_changed("fn0")
+        response = client.dispatch(
+            LivenessQuery(
+                function=handle,
+                kind="in",
+                variable=function.variables()[0].name,
+                block=next(iter(function.blocks)),
+            )
+        )
+        assert not response.ok
+        assert response.error.code == ErrorCode.STALE_HANDLE
+        assert client.service.stats.stale_handle_rejections == 1
+
+    def test_unversioned_handles_never_go_stale(self):
+        module = make_module(1)
+        client = CompilerClient(module)
+        function = module.function("fn0")
+        client.service.notify_instructions_changed("fn0")
+        response = client.dispatch(
+            LivenessQuery(
+                function=FunctionHandle("fn0"),
+                kind="in",
+                variable=function.variables()[0].name,
+                block=next(iter(function.blocks)),
+            )
+        )
+        assert response.ok
+
+    def test_stale_handle_inside_batch_poisons_whole_batch(self):
+        module = make_module(2)
+        client = CompilerClient(module)
+        fresh = client.handle("fn0")
+        stale = client.handle("fn1")
+        client.service.notify_cfg_changed("fn1")
+        fn0 = module.function("fn0")
+        fn1 = module.function("fn1")
+        response = client.dispatch(
+            BatchLiveness(
+                queries=(
+                    LivenessQuery(
+                        function=fresh,
+                        kind="in",
+                        variable=fn0.variables()[0].name,
+                        block=next(iter(fn0.blocks)),
+                    ),
+                    LivenessQuery(
+                        function=stale,
+                        kind="out",
+                        variable=fn1.variables()[0].name,
+                        block=next(iter(fn1.blocks)),
+                    ),
+                )
+            )
+        )
+        assert not response.ok
+        assert response.error.code == ErrorCode.STALE_HANDLE
+        assert response.values is None
+
+
+class TestFailedMutatingRequests:
+    def test_failed_destruct_invalidates_handles_and_checker(self):
+        """The destruction pipeline mutates before a broken engine can
+        fail; the service must invalidate pessimistically so no handle or
+        resident checker survives the half-translated function
+        (regression: eviction and the revision bump were success-only)."""
+        from repro.api.registry import (
+            EngineSpec,
+            register_engine,
+            unregister_engine,
+        )
+
+        def _explode(fn):
+            raise RuntimeError("flaky oracle construction")
+
+        register_engine(EngineSpec(name="flaky", oracle_factory=_explode))
+        try:
+            module = make_module(1)
+            client = CompilerClient(module)
+            handle = client.handle("fn0")
+            client.service.checker("fn0")  # make a checker resident
+            from repro.api.protocol import DestructRequest
+
+            response = client.dispatch(
+                DestructRequest(function=handle, engine="flaky")
+            )
+            assert not response.ok
+            assert response.error.code == ErrorCode.INTERNAL
+            # The failed translation invalidated everything it might have
+            # touched: the checker is gone and the old handle is stale.
+            assert "fn0" not in client.service.resident()
+            assert client.service.revision("fn0") > handle.revision
+            retry = client.dispatch(
+                DestructRequest(function=handle, engine="flaky")
+            )
+            assert retry.error.code == ErrorCode.STALE_HANDLE
+        finally:
+            assert unregister_engine("flaky")
+
+
+class TestInterleavedEditQuerySequences:
+    """Random multi-function edit/query streams: the handle discipline
+    holds at every step, under cache pressure, with re-minting after each
+    edit restoring service."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_interleaving(self, seed):
+        rng = random.Random(900 + seed)
+        functions = [fuzz_function(seed * 8 + i, base_seed=33) for i in range(4)]
+        client = CompilerClient(functions, capacity=2)
+        service = client.service
+        names = service.functions()
+        handles = {name: client.handle(name) for name in names}
+        revisions = {name: 0 for name in names}
+        stale_attempts = 0
+
+        for step in range(60):
+            name = rng.choice(names)
+            function = service.function(name)
+            action = rng.random()
+            if action < 0.25:
+                # Edit: bump, then re-mint.
+                if rng.random() < 0.5:
+                    service.notify_instructions_changed(name)
+                else:
+                    service.notify_variable_changed(
+                        name, rng.choice(function.variables())
+                    )
+                revisions[name] += 1
+                assert service.revision(name) == revisions[name]
+                handles[name] = client.handle(name)
+                assert handles[name].revision == revisions[name]
+            elif action < 0.35:
+                # Query through a deliberately stale handle.
+                if revisions[name] == 0:
+                    continue
+                stale_attempts += 1
+                stale = FunctionHandle(name, revisions[name] - 1)
+                response = client.dispatch(
+                    LivenessQuery(
+                        function=stale,
+                        kind="in",
+                        variable=rng.choice(function.variables()).name,
+                        block=rng.choice(list(function.blocks)),
+                    )
+                )
+                assert response.error is not None
+                assert response.error.code == ErrorCode.STALE_HANDLE
+            else:
+                # Query through the current handle: always answered, and
+                # answered correctly (cross-checked against a fresh
+                # standalone checker on the same function).
+                var = rng.choice(function.variables())
+                block = rng.choice(list(function.blocks))
+                kind = rng.choice(("in", "out"))
+                response = client.dispatch(
+                    LivenessQuery(
+                        function=handles[name],
+                        kind=kind,
+                        variable=var.name,
+                        block=block,
+                    )
+                )
+                assert response.ok, response.error
+                from repro.core import FastLivenessChecker
+
+                checker = FastLivenessChecker(function)
+                expected = (
+                    checker.is_live_in(var, block)
+                    if kind == "in"
+                    else checker.is_live_out(var, block)
+                )
+                assert response.value == expected
+        assert service.stats.stale_handle_rejections == stale_attempts

@@ -76,3 +76,29 @@ def test_json_report_schema(tmp_path):
     (row,) = payload["rows"]
     assert row["profile"] == "tiny"
     assert row["speedup_vs_rebuild"]["service"] > 0
+
+
+def test_dispatch_overhead_measurement_cross_checks_answers():
+    # Tier-1-safe: asserts the measurement machinery (answer equality and
+    # report shape), not the timing budget — that is the bench suite's job.
+    from repro.bench.table_service import measure_dispatch_overhead
+
+    module = generate_service_module(_TINY[0], seed=5)
+    requests = generate_request_stream(module, 50, seed=6)
+    overhead = measure_dispatch_overhead(module, requests, repeats=1)
+    assert overhead.submit_millis > 0 and overhead.dispatch_millis > 0
+    payload = overhead.as_dict()
+    assert set(payload) == {"submit_millis", "dispatch_millis", "overhead"}
+
+
+def test_json_report_includes_dispatch_overhead(tmp_path):
+    from repro.bench.table_service import measure_dispatch_overhead
+
+    rows = compute_table_service(profiles=_TINY, modes=("service", "rebuild"))
+    module = generate_service_module(_TINY[0])
+    requests = generate_request_stream(module, 30)
+    overhead = measure_dispatch_overhead(module, requests, repeats=1)
+    path = tmp_path / "BENCH_service.json"
+    write_report(rows, str(path), dispatch_overhead=overhead)
+    payload = json.loads(path.read_text())
+    assert payload["dispatch_overhead"]["submit_millis"] > 0

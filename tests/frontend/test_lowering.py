@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.frontend import compile_function, compile_source, parse_program, lower_program
-from repro.frontend.lowering import PRINT_ADDRESS, LoweringError, lower_function
 from repro.cfg import is_reducible
+from repro.frontend import compile_function, compile_source, lower_program, parse_program
+from repro.frontend.lowering import PRINT_ADDRESS, LoweringError, lower_function
 from repro.ir import verify_function, verify_ssa
 from repro.ir.interp import execute
 from tests.conftest import GCD_SOURCE, NESTED_SOURCE

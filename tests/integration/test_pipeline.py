@@ -80,7 +80,12 @@ class TestFullPipeline:
             report = destruct_ssa(function, oracle=checker)
             verify_function(function)
             assert report.phis_processed >= 0
-            assert checker.total_queries >= report.interference_tests
+            # Each Budimlić test issues at most one block-level liveness
+            # query; tests decided structurally (same parallel copy,
+            # dominance-unrelated definitions) issue none.
+            assert checker.total_queries <= report.interference_tests
+            if report.phis_processed:
+                assert checker.total_queries > 0
 
     def test_queries_per_variable_is_in_plausible_range(self):
         """Table 2 reports ~5 queries per variable on average for SSA

@@ -13,8 +13,6 @@ For each, ``print(parse(print(f)))`` must equal ``print(f)`` exactly, and
 parsing must preserve enough structure for the verifier and interpreter.
 """
 
-import copy
-
 import pytest
 
 from repro.ir import ParallelCopy, parse_function, print_function, verify_function, verify_ssa

@@ -89,6 +89,89 @@ def test_make_backend_rejects_unknown_names(gcd_function):
         make_backend("phlogiston", gcd_function)
 
 
+def test_make_backend_returns_named_adapters_for_builtins(gcd_function):
+    from repro.regalloc.allocator import (
+        BACKENDS,
+        DataflowBackend,
+        FastCheckerBackend,
+        SetCheckerBackend,
+    )
+
+    assert isinstance(make_backend("fast", gcd_function), FastCheckerBackend)
+    assert isinstance(make_backend("sets", gcd_function), SetCheckerBackend)
+    assert isinstance(make_backend("dataflow", gcd_function), DataflowBackend)
+    for name, cls in BACKENDS.items():
+        assert make_backend(name, gcd_function).name == name
+        assert issubclass(cls, type(make_backend(name, gcd_function)))
+
+
+def test_prebuilt_unregistered_backend_supports_destruct():
+    """A hand-rolled LivenessBackend whose name is in no registry must
+    still drive allocate(..., destruct=True) (regression: the destruct
+    path resolved adapter.name through the engine registry)."""
+    from repro.liveness.dataflow import DataflowLiveness
+    from repro.regalloc.allocator import LivenessBackend
+
+    class HandRolled(LivenessBackend):
+        name = "hand-rolled"
+
+        def __init__(self, function):
+            super().__init__(function)
+            self._oracle = DataflowLiveness(function)
+
+        def oracle(self):
+            return self._oracle
+
+        def instructions_changed(self):
+            self._oracle = DataflowLiveness(self.function)
+
+        def cfg_changed(self):
+            self._oracle = DataflowLiveness(self.function)
+
+    function = _function(9960, allow_irreducible=False)
+    allocation = allocate(function, num_registers=6, backend=HandRolled(function), destruct=True)
+    assert allocation.destruction_report is not None
+    assert allocation.destruction_report.backend == "hand-rolled"
+    assert not function.phis()
+    result = verify_allocation(function, allocation)
+    assert result.ok, result.errors
+
+
+def test_prebuilt_unregistered_fast_backend_supports_destruct():
+    """Same as above but wrapping the fast checker: the oracle exposes
+    ``precomputation``, so the pipeline's checker path must accept the
+    unregistered name too."""
+    from repro.core.live_checker import FastLivenessChecker
+    from repro.regalloc.allocator import LivenessBackend
+
+    class HandRolledFast(LivenessBackend):
+        name = "hand-rolled-fast"
+        use_batch = True
+
+        def __init__(self, function):
+            super().__init__(function)
+            self._oracle = FastLivenessChecker(function)
+
+        def oracle(self):
+            return self._oracle
+
+        def instructions_changed(self):
+            self._oracle.notify_instructions_changed()
+
+        def cfg_changed(self):
+            self._oracle.notify_cfg_changed()
+
+    function = _function(9970, allow_irreducible=False)
+    allocation = allocate(
+        function, num_registers=6, backend=HandRolledFast(function), destruct=True
+    )
+    assert allocation.destruction_report is not None
+    assert allocation.destruction_report.backend == "hand-rolled-fast"
+    assert not function.phis()
+    result = verify_allocation(function, allocation)
+    assert result.ok, result.errors
+
+
 def test_prebuilt_backend_survives_edge_splitting():
     # A backend prepared on the unsplit CFG must be refreshed when
     # allocate() splits critical edges under it.

@@ -1,7 +1,5 @@
 """Tests for the Budimlić interference test and the copy coalescer."""
 
-import pytest
-
 from repro.core import FastLivenessChecker
 from repro.frontend import compile_source
 from repro.ir import parse_function, verify_ssa

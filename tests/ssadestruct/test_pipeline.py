@@ -1,11 +1,9 @@
 """End-to-end destruct(): classics, reports, service and regalloc wiring."""
 
-import copy
-
 import pytest
 
 from repro.core.live_checker import FastLivenessChecker
-from repro.ir import Module, parse_function, print_function
+from repro.ir import Module, parse_function
 from repro.ir.interp import execute
 from repro.regalloc.allocator import allocate
 from repro.regalloc.verify import verify_allocation
