@@ -1,0 +1,74 @@
+"""Table C — the concurrent sharded serving layer as an end-to-end workload.
+
+Regenerates :mod:`repro.bench.table_concurrency` and asserts the headline
+properties: the sharded service stays within the no-regression budget for
+single-threaded callers (the GIL-honesty guard recorded in
+``BENCH_concurrency.json``) and the wire loop serves the whole stream
+correctly at every measured worker count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.table_concurrency import (
+    CONCURRENCY_PROFILES,
+    MAX_SHARDED_OVERHEAD,
+    compute_table_concurrency,
+    format_table_concurrency,
+)
+
+
+@pytest.fixture(scope="module")
+def concurrency_rows():
+    return compute_table_concurrency(scale=1, seed=2008)
+
+
+def test_table_concurrency_report(concurrency_rows, record_table):
+    record_table(
+        "table_concurrency", format_table_concurrency(concurrency_rows)
+    )
+    assert {row.profile for row in concurrency_rows} == {
+        profile.name for profile in CONCURRENCY_PROFILES
+    }
+    for row in concurrency_rows:
+        assert row.millis["serial_submit"] > 0
+        assert row.millis["sharded_submit"] > 0
+        assert row.shards > 1
+
+
+def test_workloads_are_mixed_many_function(concurrency_rows):
+    for row in concurrency_rows:
+        assert row.functions >= 50, f"profile {row.profile} is too small"
+        assert row.queries >= 1000
+
+
+def test_sharded_overhead_within_single_thread_budget(concurrency_rows):
+    """The GIL-honesty guard: thread-safety may not tax serial users.
+
+    Routing ``submit()`` through shard hashing and reader/writer locks
+    must stay within :data:`MAX_SHARDED_OVERHEAD` of the plain serial
+    service for a single-threaded caller — the configuration every
+    pre-existing user of :class:`LivenessService` is in.
+    """
+    for row in concurrency_rows:
+        assert row.sharded_overhead < MAX_SHARDED_OVERHEAD, (
+            f"profile {row.profile!r}: sharded submit costs "
+            f"{row.sharded_overhead:+.1%} over the serial service, budget "
+            f"is {MAX_SHARDED_OVERHEAD:.0%}"
+        )
+
+
+def test_wire_loop_throughput_is_recorded_per_worker_count(concurrency_rows):
+    for row in concurrency_rows:
+        assert row.wire_rps, row.profile
+        for workers, rps in row.wire_rps.items():
+            assert rps > 0, (row.profile, workers)
+        # The pool must at least not collapse when workers are added;
+        # under the GIL we claim robustness, not scaling.
+        fastest = max(row.wire_rps.values())
+        slowest = min(row.wire_rps.values())
+        assert slowest > 0.25 * fastest, (
+            f"profile {row.profile!r}: adding workers collapsed throughput "
+            f"({row.wire_rps})"
+        )

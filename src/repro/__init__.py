@@ -49,6 +49,7 @@ from repro.cfg import (
     PostDominatorTree,
     is_reducible,
 )
+from repro.concurrent import ShardedClient, ShardedService, WireServer, serve_loop
 from repro.core import (
     BitsetChecker,
     FastLivenessChecker,
@@ -173,6 +174,11 @@ __all__ = [
     "LivenessService",
     "LivenessRequest",
     "ServiceStats",
+    # concurrent (sharded thread-safe serving)
+    "ShardedClient",
+    "ShardedService",
+    "WireServer",
+    "serve_loop",
     # frontend
     "compile_source",
     "compile_function",

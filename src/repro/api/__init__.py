@@ -34,10 +34,15 @@ from repro.api.protocol import (
     DestructResponse,
     DestructStats,
     ErrorResponse,
+    EvictRequest,
+    EvictResponse,
     LivenessQuery,
     LivenessResponse,
     LiveSetRequest,
     LiveSetResponse,
+    NotifyKind,
+    NotifyRequest,
+    NotifyResponse,
     QueryKind,
     Request,
     Response,
@@ -95,10 +100,15 @@ __all__ = [
     "DestructResponse",
     "DestructStats",
     "ErrorResponse",
+    "EvictRequest",
+    "EvictResponse",
     "LivenessQuery",
     "LivenessResponse",
     "LiveSetRequest",
     "LiveSetResponse",
+    "NotifyKind",
+    "NotifyRequest",
+    "NotifyResponse",
     "QueryKind",
     "Request",
     "Response",

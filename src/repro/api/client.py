@@ -42,10 +42,15 @@ from repro.api.protocol import (
     DestructResponse,
     DestructStats,
     ErrorResponse,
+    EvictRequest,
+    EvictResponse,
     LivenessQuery,
     LivenessResponse,
     LiveSetRequest,
     LiveSetResponse,
+    NotifyKind,
+    NotifyRequest,
+    NotifyResponse,
     QueryKind,
     Request,
     Response,
@@ -59,19 +64,87 @@ from repro.ir.value import Variable
 from repro.service.service import DEFAULT_CAPACITY, LivenessService
 
 
+def guarded_dispatch(request, handler, failure):
+    """Run ``handler(request)``, converting every escape into a response.
+
+    The one place the protocol's never-raise boundary is implemented;
+    both :class:`CompilerClient` and the concurrent layer's
+    :class:`~repro.concurrent.client.ShardedClient` route through it so
+    a failure produces the *same* structured error regardless of which
+    front door served the request.
+    """
+    try:
+        return handler(request)
+    except ProtocolError as exc:
+        return failure(request, exc.error)
+    except KeyError as exc:
+        # The service's loud unknown-function failures surface here;
+        # any other KeyError is an internal bug and must say so.
+        if "unknown function" in str(exc):
+            return failure(request, ApiError(ErrorCode.UNKNOWN_FUNCTION, str(exc)))
+        return failure(request, ApiError(ErrorCode.INTERNAL, f"KeyError: {exc}"))
+    except Exception as exc:  # noqa: BLE001 - the boundary must hold
+        return failure(
+            request, ApiError(ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}")
+        )
+
+
+def failure_response(request, error: ApiError) -> Response:
+    """The matching error-carrying response for a failed ``request``.
+
+    Shared by every client front door so failure construction cannot
+    drift between the serial and the sharded boundary.
+    """
+    response_cls = RESPONSE_FOR.get(type(request), ErrorResponse)
+    return response_cls(error=error)
+
+
+def dispatch_json_via(dispatch, payload) -> dict:
+    """Wire driver shared by every client: JSON envelope in and out.
+
+    A payload that cannot even be decoded has no request type to pick a
+    response from, so it comes back as an :class:`ErrorResponse` envelope
+    — never an exception across the wire boundary.
+    """
+    try:
+        request = decode_request(payload)
+    except ProtocolError as exc:
+        return encode_response(ErrorResponse(error=exc.error))
+    return encode_response(dispatch(request))
+
+
 class CompilerClient:
-    """Typed request/response façade over the compiler-server stack."""
+    """Typed request/response façade over the compiler-server stack.
+
+    Thread-safety contract: one ``CompilerClient`` over a plain
+    :class:`LivenessService` is **single-threaded** — concurrent callers
+    must go through :class:`repro.concurrent.client.ShardedClient`, which
+    runs per-shard ``CompilerClient`` instances under the shard locks
+    (the ``service`` parameter below is that layer's injection point).
+    """
 
     def __init__(
         self,
         module: Module | Iterable[Function] | None = None,
         capacity: int = DEFAULT_CAPACITY,
         strategy: str = "exact",
+        service: LivenessService | None = None,
     ) -> None:
-        self._service = LivenessService(
-            module, capacity=capacity, strategy=strategy
-        )
+        if service is not None:
+            # An injected service is managed (and locked) by the caller;
+            # the module, if any, is registered through it.
+            self._service = service
+            if module is not None:
+                for function in module:
+                    service.register(function)
+        else:
+            self._service = LivenessService(
+                module, capacity=capacity, strategy=strategy
+            )
         #: function name → (revision the map was built at, name → Variable).
+        #: Safe for concurrent readers: entries are immutable tuples
+        #: published with one atomic dict store, and edits cannot run
+        #: concurrently with readers (the sharded layer write-locks them).
         self._variable_maps: dict[str, tuple[int, dict[str, Variable]]] = {}
 
     @property
@@ -107,38 +180,14 @@ class CompilerClient:
     # ------------------------------------------------------------------
     def dispatch(self, request: Request) -> Response:
         """Answer one protocol request; never raises across the boundary."""
-        try:
-            return self._dispatch(request)
-        except ProtocolError as exc:
-            return self._failure(request, exc.error)
-        except KeyError as exc:
-            # The service's loud unknown-function failures surface here;
-            # any other KeyError is an internal bug and must say so.
-            if "unknown function" in str(exc):
-                return self._failure(
-                    request, ApiError(ErrorCode.UNKNOWN_FUNCTION, str(exc))
-                )
-            return self._failure(
-                request,
-                ApiError(ErrorCode.INTERNAL, f"KeyError: {exc}"),
-            )
-        except Exception as exc:  # noqa: BLE001 - the boundary must hold
-            return self._failure(
-                request,
-                ApiError(ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"),
-            )
+        return guarded_dispatch(request, self._dispatch, self._failure)
 
     def dispatch_json(self, payload) -> dict:
         """Wire driver: JSON envelope in, JSON envelope out."""
-        try:
-            request = decode_request(payload)
-        except ProtocolError as exc:
-            return encode_response(ErrorResponse(error=exc.error))
-        return encode_response(self.dispatch(request))
+        return dispatch_json_via(self.dispatch, payload)
 
     def _failure(self, request, error: ApiError) -> Response:
-        response_cls = RESPONSE_FOR.get(type(request), ErrorResponse)
-        return response_cls(error=error)
+        return failure_response(request, error)
 
     def _dispatch(self, request: Request) -> Response:
         if isinstance(request, LivenessQuery):
@@ -151,6 +200,10 @@ class CompilerClient:
             return self._destruct(request)
         if isinstance(request, AllocateRequest):
             return self._allocate(request)
+        if isinstance(request, NotifyRequest):
+            return self._notify_edit(request)
+        if isinstance(request, EvictRequest):
+            return self._evict(request)
         if isinstance(request, CompileSourceRequest):
             return self._compile_source(request)
         raise ProtocolError(
@@ -338,6 +391,24 @@ class CompilerClient:
             function=self._service.handle(name),
             allocation=AllocationSummary.from_allocation(allocation),
         )
+
+    def _notify_edit(self, request: NotifyRequest) -> NotifyResponse:
+        self._resolve_function(request.function)
+        name = request.function.name
+        if request.kind is NotifyKind.CFG:
+            self._service.notify_cfg_changed(name)
+        else:
+            self._service.notify_instructions_changed(name)
+        return NotifyResponse(function=self._service.handle(name))
+
+    def _evict(self, request: EvictRequest) -> EvictResponse:
+        self._resolve_function(request.function)
+        name = request.function.name
+        self._service.evict(name)
+        # Cache geometry only: the revision — and therefore the handle —
+        # is deliberately unchanged, and whether a checker was resident
+        # is not reported (see EvictResponse).
+        return EvictResponse(function=self._service.handle(name))
 
     def _compile_source(
         self, request: CompileSourceRequest

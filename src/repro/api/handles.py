@@ -13,6 +13,14 @@ with a ``STALE_HANDLE`` error instead of a silently-wrong answer.
 Cache geometry is deliberately invisible here: evicting and rebuilding a
 checker reproduces the same answers, so LRU eviction does **not** bump
 the revision — handles stay valid across eviction.
+
+Thread-safety contract: a :class:`FunctionHandle` is a frozen value
+object — share it freely across threads.  Under the concurrent serving
+layer (:mod:`repro.concurrent`) revisions are bumped only while the
+owning shard's write lock is held and validated under the read lock, so
+the handle is the synchronization currency: a request either observes
+the pre-edit function at the pre-edit revision or fails with
+``STALE_HANDLE`` — never a half-applied edit.
 """
 
 from __future__ import annotations

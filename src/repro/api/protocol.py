@@ -210,6 +210,74 @@ class AllocateRequest:
         )
 
 
+@unique
+class NotifyKind(str, Enum):
+    """Which invalidation a :class:`NotifyRequest` routes (paper contract:
+    CFG edits drop the precomputation, instruction edits only the plans)."""
+
+    CFG = "cfg"
+    INSTRUCTIONS = "instructions"
+
+    @classmethod
+    def coerce(cls, value: "NotifyKind | str") -> "NotifyKind":
+        """Normalise a kind; fail loudly on anything unknown."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown notify kind {value!r}; expected "
+                f"{[k.value for k in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class NotifyRequest:
+    """Route one edit notification (the paper's invalidation contract)
+    through the wire: bumps the function's revision, so every outstanding
+    handle goes stale — the response carries a fresh one."""
+
+    function: FunctionHandle
+    kind: NotifyKind = NotifyKind.INSTRUCTIONS
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "function", _coerce_handle(self.function))
+        object.__setattr__(self, "kind", NotifyKind.coerce(self.kind))
+
+    def to_json(self) -> dict:
+        return {"function": self.function.to_json(), "kind": self.kind.value}
+
+    @classmethod
+    def from_json(cls, body: dict) -> "NotifyRequest":
+        return cls(
+            function=FunctionHandle.from_json(body["function"]),
+            kind=NotifyKind.coerce(body.get("kind", NotifyKind.INSTRUCTIONS)),
+        )
+
+
+@dataclass(frozen=True)
+class EvictRequest:
+    """Drop one function's resident checker (cache geometry only).
+
+    Eviction does **not** bump the revision — a rebuilt checker answers
+    identically, so outstanding handles stay valid; the response's handle
+    is at the same revision the request found.
+    """
+
+    function: FunctionHandle
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "function", _coerce_handle(self.function))
+
+    def to_json(self) -> dict:
+        return {"function": self.function.to_json()}
+
+    @classmethod
+    def from_json(cls, body: dict) -> "EvictRequest":
+        return cls(function=FunctionHandle.from_json(body["function"]))
+
+
 @dataclass(frozen=True)
 class CompileSourceRequest:
     """Compile mini-language source text and register every function."""
@@ -500,6 +568,69 @@ class AllocateResponse:
 
 
 @dataclass(frozen=True)
+class NotifyResponse:
+    """Outcome of a :class:`NotifyRequest`."""
+
+    #: Handle at the function's *new* (bumped) revision.
+    function: FunctionHandle | None = None
+    error: ApiError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> dict:
+        return {
+            "function": None if self.function is None else self.function.to_json(),
+            "error": _error_to_json(self.error),
+        }
+
+    @classmethod
+    def from_json(cls, body: dict) -> "NotifyResponse":
+        function = body["function"]
+        return cls(
+            function=None if function is None else FunctionHandle.from_json(function),
+            error=_error_from_json(body),
+        )
+
+
+@dataclass(frozen=True)
+class EvictResponse:
+    """Outcome of an :class:`EvictRequest`.
+
+    Deliberately does *not* say whether a checker was actually resident:
+    cache geometry is unobservable through the protocol.  Residency at
+    any instant depends on how concurrent readers' LRU touches happened
+    to interleave, so reporting it would make responses diverge from
+    their serial replay — the one thing the concurrent serving layer
+    guarantees never happens.  (The same reasoning is why eviction does
+    not bump revisions: a rebuilt checker answers identically.)
+    """
+
+    #: Handle at the function's *unchanged* revision (eviction never bumps).
+    function: FunctionHandle | None = None
+    error: ApiError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> dict:
+        return {
+            "function": None if self.function is None else self.function.to_json(),
+            "error": _error_to_json(self.error),
+        }
+
+    @classmethod
+    def from_json(cls, body: dict) -> "EvictResponse":
+        function = body["function"]
+        return cls(
+            function=None if function is None else FunctionHandle.from_json(function),
+            error=_error_from_json(body),
+        )
+
+
+@dataclass(frozen=True)
 class CompileSourceResponse:
     """Handles for every function a :class:`CompileSourceRequest` produced."""
 
@@ -565,6 +696,8 @@ Request = Union[
     LiveSetRequest,
     DestructRequest,
     AllocateRequest,
+    NotifyRequest,
+    EvictRequest,
     CompileSourceRequest,
 ]
 
@@ -575,6 +708,8 @@ Response = Union[
     LiveSetResponse,
     DestructResponse,
     AllocateResponse,
+    NotifyResponse,
+    EvictResponse,
     CompileSourceResponse,
 ]
 
@@ -585,6 +720,8 @@ REQUEST_TYPES: dict[str, type] = {
     "live_set": LiveSetRequest,
     "destruct": DestructRequest,
     "allocate": AllocateRequest,
+    "notify": NotifyRequest,
+    "evict": EvictRequest,
     "compile_source": CompileSourceRequest,
 }
 
@@ -595,6 +732,8 @@ RESPONSE_TYPES: dict[str, type] = {
     "live_set": LiveSetResponse,
     "destruct": DestructResponse,
     "allocate": AllocateResponse,
+    "notify": NotifyResponse,
+    "evict": EvictResponse,
     "compile_source": CompileSourceResponse,
     "error": ErrorResponse,
 }

@@ -1,0 +1,263 @@
+"""Table C — concurrent sharded serving vs. the serial service.
+
+Three questions, one mixed multi-function request stream:
+
+* **lock overhead** — what does routing ``submit()`` through
+  :class:`~repro.concurrent.ShardedService` (shard hashing + RW locks)
+  cost a *single-threaded* caller, versus the plain serial
+  :class:`~repro.service.LivenessService`?  This is the no-regression
+  guard: existing single-threaded users must not pay more than
+  :data:`MAX_SHARDED_OVERHEAD` for the thread-safety they do not use.
+* **wire throughput** — how many JSON envelopes per second does the
+  worker-pool :func:`~repro.concurrent.serve_loop` sustain over a
+  :class:`~repro.concurrent.ShardedClient`, across worker counts?
+  (CPython's GIL means query throughput does not *scale* with workers —
+  the pool buys concurrency, overlap with I/O-bound callers and
+  bounded-queue backpressure, not parallel bit-twiddling; the table
+  records that honestly rather than claiming a speed-up.)
+* **contention** — the same wire load driven at a 1-shard service
+  (every request fights for one lock) vs. the sharded default, from
+  multiple submitter threads.
+
+Run directly with ``python -m repro.bench.table_concurrency [scale]``;
+``--smoke`` selects the tiny CI profile **and enforces the overhead
+guard**, ``--json PATH`` overrides where the machine-readable report
+(default ``BENCH_concurrency.json``) is written.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.api.protocol import LivenessQuery, encode_request
+from repro.bench.reporting import format_table, parse_bench_argv, write_json_report
+from repro.bench.table_service import (
+    ServiceProfile,
+    generate_request_stream,
+    generate_service_module,
+)
+from repro.concurrent import ShardedClient, ShardedService, serve_loop
+from repro.service import LivenessService
+
+#: Default output path of the machine-readable report.
+DEFAULT_JSON_PATH = "BENCH_concurrency.json"
+
+#: Bench guard: single-threaded ``ShardedService.submit`` may cost at
+#: most this fraction over the serial ``LivenessService.submit``.
+MAX_SHARDED_OVERHEAD = 0.15
+
+#: Worker counts the wire loop is measured at.
+WORKER_COUNTS = (1, 2, 4, 8)
+
+#: Default shard count for the measured sharded configurations.
+BENCH_SHARDS = 8
+
+CONCURRENCY_PROFILES: tuple[ServiceProfile, ...] = (
+    ServiceProfile("mixed", functions=60, target_blocks=12, queries=2000),
+    ServiceProfile("wide", functions=120, target_blocks=8, queries=3000),
+)
+
+SMOKE_PROFILES: tuple[ServiceProfile, ...] = (
+    ServiceProfile("smoke", functions=50, target_blocks=6, queries=400),
+)
+
+
+@dataclass
+class TableConcurrencyRow:
+    """Measured serving cost of one profile across configurations."""
+
+    profile: str
+    functions: int
+    queries: int
+    shards: int
+    #: Best-of-N total wall-clock, milliseconds, per mode.
+    millis: dict[str, float] = field(default_factory=dict)
+    #: Wire requests/second through serve_loop, per worker count.
+    wire_rps: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def sharded_overhead(self) -> float:
+        """Fractional single-thread cost of the sharded submit path."""
+        serial = self.millis.get("serial_submit", 0.0)
+        if not serial:
+            return 0.0
+        return self.millis["sharded_submit"] / serial - 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "profile": self.profile,
+            "functions": self.functions,
+            "queries": self.queries,
+            "shards": self.shards,
+            "millis": dict(self.millis),
+            "sharded_overhead": self.sharded_overhead,
+            "wire_rps": {str(k): v for k, v in self.wire_rps.items()},
+        }
+
+
+def _best_of(repeats: int, run, inner: int = 1) -> float:
+    """Best-of-``repeats`` wall clock of ``inner`` back-to-back runs, ms.
+
+    ``inner > 1`` amplifies sub-millisecond workloads above scheduler
+    jitter — the overhead guard compares two numbers a few percent
+    apart, which is meaningless when each is a single ~1 ms sample.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            run()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0 / inner
+
+
+def measure_profile(
+    profile: ServiceProfile,
+    scale: int = 1,
+    seed: int = 0,
+    repeats: int = 3,
+    worker_counts: tuple[int, ...] = WORKER_COUNTS,
+) -> TableConcurrencyRow:
+    """Time one profile's stream through every serving configuration."""
+    module = generate_service_module(profile, scale=scale, seed=seed)
+    requests = generate_request_stream(module, profile.queries * scale, seed=seed)
+    row = TableConcurrencyRow(
+        profile=profile.name,
+        functions=len(module),
+        queries=len(requests),
+        shards=BENCH_SHARDS,
+    )
+
+    serial = LivenessService(module, capacity=len(module))
+    sharded = ShardedService(
+        module, shards=BENCH_SHARDS, capacity=len(module) + BENCH_SHARDS
+    )
+    reference = serial.submit(requests)  # warm-up + correctness anchor
+    if sharded.submit(requests) != reference:
+        raise AssertionError("sharded submit disagrees with the serial service")
+    # The overhead guard compares these two, so both are measured with
+    # amplified inner loops (several stream passes per sample).
+    submit_repeats = max(repeats, 5)
+    row.millis["serial_submit"] = _best_of(
+        submit_repeats, lambda: serial.submit(requests), inner=5
+    )
+    row.millis["sharded_submit"] = _best_of(
+        submit_repeats, lambda: sharded.submit(requests), inner=5
+    )
+
+    # Wire level: the same stream as JSON envelopes through the pool.
+    client = ShardedClient(
+        module, shards=BENCH_SHARDS, capacity=len(module) + BENCH_SHARDS
+    )
+    payloads = [
+        encode_request(
+            LivenessQuery(
+                function=request.function,
+                kind=request.kind,
+                variable=request.variable.name,
+                block=request.block,
+            )
+        )
+        for request in requests
+    ]
+    serve_loop(client.dispatch_json, payloads, workers=2)  # warm-up
+    for workers in worker_counts:
+        millis = _best_of(
+            repeats, lambda w=workers: serve_loop(client.dispatch_json, payloads, workers=w)
+        )
+        row.millis[f"wire_{workers}w"] = millis
+        row.wire_rps[workers] = len(payloads) / (millis / 1000.0)
+    return row
+
+
+def compute_table_concurrency(
+    scale: int = 1,
+    seed: int = 0,
+    profiles: tuple[ServiceProfile, ...] = CONCURRENCY_PROFILES,
+    worker_counts: tuple[int, ...] = WORKER_COUNTS,
+) -> list[TableConcurrencyRow]:
+    return [
+        measure_profile(profile, scale=scale, seed=seed, worker_counts=worker_counts)
+        for profile in profiles
+    ]
+
+
+def format_table_concurrency(rows: list[TableConcurrencyRow]) -> str:
+    headers = ["Profile", "#Fn", "#Q", "Shards", "serial ms", "sharded ms", "ovh%"]
+    worker_counts = sorted(rows[0].wire_rps) if rows else []
+    headers.extend(f"wire {count}w req/s" for count in worker_counts)
+    table_rows = []
+    for row in rows:
+        cells: list[object] = [
+            row.profile,
+            row.functions,
+            row.queries,
+            row.shards,
+            row.millis["serial_submit"],
+            row.millis["sharded_submit"],
+            100.0 * row.sharded_overhead,
+        ]
+        cells.extend(row.wire_rps[count] for count in worker_counts)
+        table_rows.append(cells)
+    return format_table(
+        headers,
+        table_rows,
+        title=(
+            "Table C — sharded serving: single-thread overhead vs. the serial "
+            "service, and wire throughput per worker count"
+        ),
+    )
+
+
+def write_report(
+    rows: list[TableConcurrencyRow], path: str = DEFAULT_JSON_PATH
+) -> str:
+    payload = {
+        "baseline": "serial_submit",
+        "max_sharded_overhead": MAX_SHARDED_OVERHEAD,
+        "rows": [row.as_dict() for row in rows],
+    }
+    return write_json_report(path, "table_concurrency", payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    scale, smoke, json_path = parse_bench_argv(
+        argv if argv is not None else sys.argv[1:], DEFAULT_JSON_PATH
+    )
+    profiles = SMOKE_PROFILES if smoke else CONCURRENCY_PROFILES
+    worker_counts = (1, 2, 4) if smoke else WORKER_COUNTS
+    rows = compute_table_concurrency(
+        scale=scale, profiles=profiles, worker_counts=worker_counts
+    )
+    print(format_table_concurrency(rows))
+    headline = rows[0]
+    print(
+        f"\n{headline.profile} profile: sharded submit() costs "
+        f"{headline.sharded_overhead:+.1%} over the serial service at "
+        f"1 thread (budget {MAX_SHARDED_OVERHEAD:.0%}); wire loop at "
+        + ", ".join(
+            f"{count}w={rps:,.0f} req/s"
+            for count, rps in sorted(headline.wire_rps.items())
+        )
+    )
+    written = write_report(rows, json_path)
+    print(f"json report: {written}")
+    if smoke:
+        # The GIL-honesty guard: thread-safety must stay ~free for the
+        # single-threaded caller.
+        failed = [row for row in rows if row.sharded_overhead >= MAX_SHARDED_OVERHEAD]
+        if failed:
+            for row in failed:
+                print(
+                    f"FAIL: profile {row.profile!r} pays "
+                    f"{row.sharded_overhead:.1%} for sharding at 1 thread, "
+                    f"budget is {MAX_SHARDED_OVERHEAD:.0%}"
+                )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""repro.concurrent — sharded, thread-safe serving on top of the protocol.
+
+PR 4 built the versioned request/response protocol and revisioned
+function handles; this package makes them safe to drive from many
+threads at once:
+
+* :mod:`repro.concurrent.locks` — the writer-preferring
+  :class:`RWLock` every shard is guarded by;
+* :mod:`repro.concurrent.sharded` — :class:`ShardedService`, which
+  partitions a module's functions across N shards (stable hash of the
+  function name), each shard owning its own LRU checker cache behind its
+  own reader/writer lock;
+* :mod:`repro.concurrent.client` — :class:`ShardedClient`, the
+  thread-safe ``dispatch``/``dispatch_json`` façade with the
+  linearization ``observer`` hook the differential concurrency harness
+  records through;
+* :mod:`repro.concurrent.server` — :func:`serve_loop` and
+  :class:`WireServer`, the wire-level work queue + worker pool.
+
+``bench/table_concurrency.py`` measures this layer; the differential
+harness in ``tests/support/concurrency.py`` proves that every concurrent
+run is bit-identical to its serial replay.
+"""
+
+from repro.concurrent.client import ShardedClient
+from repro.concurrent.locks import RWLock
+from repro.concurrent.server import WireServer, serve_loop
+from repro.concurrent.sharded import DEFAULT_SHARDS, ShardedService, shard_of
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "RWLock",
+    "ShardedClient",
+    "ShardedService",
+    "WireServer",
+    "serve_loop",
+    "shard_of",
+]

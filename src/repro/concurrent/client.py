@@ -1,0 +1,238 @@
+"""The thread-safe protocol front door: ``dispatch`` over a sharded service.
+
+:class:`ShardedClient` speaks exactly the protocol of
+:class:`~repro.api.client.CompilerClient` — same request/response types,
+same structured errors, same never-raise boundary — but may be called
+from any number of threads at once.  Internally it runs one serial
+``CompilerClient`` per shard (each wrapping that shard's
+:class:`~repro.service.LivenessService`) and brackets every request with
+the owning shard's lock:
+
+===========================  =======================================
+request type                 locking
+===========================  =======================================
+``LivenessQuery``            read lock of the owning shard
+``LiveSetRequest``           read lock of the owning shard
+``BatchLiveness``            read locks of *every* involved shard,
+                             acquired in shard-index order and held for
+                             the whole batch (one linearization point)
+``DestructRequest``          write lock of the owning shard
+``AllocateRequest``          write lock of the owning shard
+``CompileSourceRequest``     registry lock + write locks of the shards
+                             receiving the new functions
+===========================  =======================================
+
+Every dispatch is thereby **linearizable**: it takes effect atomically at
+a single point in time (while its locks are held).  The optional
+``observer`` callback is invoked exactly once per dispatch with
+``(request, response)`` — for lock-protected requests *while the locks
+are still held*, which is what lets the differential concurrency harness
+record a total order whose serial replay must produce bit-identical
+responses.  Responses that depend on no mutable state (malformed
+requests, compile errors, duplicate-name rejections — duplicates are
+monotone: once taken, a name is never freed) are observed after the
+guard instead; they commute with every other operation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable
+
+from repro.api.client import (
+    CompilerClient,
+    dispatch_json_via,
+    failure_response,
+    guarded_dispatch,
+)
+from repro.api.errors import ErrorCode, ProtocolError
+from repro.api.handles import FunctionHandle
+from repro.api.protocol import (
+    AllocateRequest,
+    BatchLiveness,
+    BatchLivenessResponse,
+    CompileSourceRequest,
+    CompileSourceResponse,
+    DestructRequest,
+    EvictRequest,
+    LivenessQuery,
+    LiveSetRequest,
+    NotifyRequest,
+    Request,
+    Response,
+)
+from repro.concurrent.sharded import DEFAULT_SHARDS, ShardedService
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.service.service import DEFAULT_CAPACITY
+
+#: Signature of the linearization hook (see module docstring).
+Observer = Callable[[Request, Response], None]
+
+
+class ShardedClient:
+    """Concurrent drop-in for :class:`~repro.api.client.CompilerClient`."""
+
+    def __init__(
+        self,
+        module: Module | Iterable[Function] | None = None,
+        shards: int = DEFAULT_SHARDS,
+        capacity: int = DEFAULT_CAPACITY,
+        strategy: str = "exact",
+        observer: Observer | None = None,
+    ) -> None:
+        self._sharded = ShardedService(
+            shards=shards, capacity=capacity, strategy=strategy
+        )
+        self._clients = tuple(
+            CompilerClient(service=service)
+            for service in self._sharded.shard_services()
+        )
+        self._observer = observer
+        self._observed = threading.local()
+        if module is not None:
+            self._sharded.register_all(list(module))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> ShardedService:
+        """The underlying sharded service (stats, topology, locks)."""
+        return self._sharded
+
+    def handle(self, name: str) -> FunctionHandle:
+        """A fresh handle for ``name`` at its current revision."""
+        return self._sharded.handle(name)
+
+    def compile(
+        self, source: str, module_name: str = "module"
+    ) -> tuple[FunctionHandle, ...]:
+        """Compile and register ``source``; raise on failure."""
+        response = self.dispatch(
+            CompileSourceRequest(source=source, module_name=module_name)
+        )
+        if response.error is not None:
+            raise ProtocolError(response.error.code, response.error.detail)
+        assert response.functions is not None
+        return response.functions
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Request) -> Response:
+        """Answer one protocol request; thread-safe, never raises."""
+        self._observed.seen = False
+        response = guarded_dispatch(request, self._dispatch, self._failure)
+        # Requests that never reached a locked section (stateless errors)
+        # are observed here; everything else was observed under its locks.
+        if not getattr(self._observed, "seen", True):
+            self._notify(request, response)
+        return response
+
+    def dispatch_json(self, payload) -> dict:
+        """Wire driver: JSON envelope in, JSON envelope out, thread-safe."""
+        return dispatch_json_via(self.dispatch, payload)
+
+    _failure = staticmethod(failure_response)
+
+    def _notify(self, request: Request, response: Response) -> None:
+        self._observed.seen = True
+        if self._observer is not None:
+            self._observer(request, response)
+
+    def _dispatch(self, request: Request) -> Response:
+        if isinstance(request, (LivenessQuery, LiveSetRequest)):
+            name = request.function.name
+            with self._sharded.read_locked([name]):
+                response = self._client_for(name).dispatch(request)
+                self._notify(request, response)
+                return response
+        if isinstance(request, BatchLiveness):
+            return self._batch(request)
+        if isinstance(
+            request, (DestructRequest, AllocateRequest, NotifyRequest, EvictRequest)
+        ):
+            name = request.function.name
+            with self._sharded.write_locked([name]):
+                response = self._client_for(name).dispatch(request)
+                self._notify(request, response)
+                return response
+        if isinstance(request, CompileSourceRequest):
+            return self._compile_source(request)
+        raise ProtocolError(
+            ErrorCode.INVALID_REQUEST,
+            f"unsupported request type {type(request).__name__}",
+        )
+
+    def _client_for(self, name: str) -> CompilerClient:
+        return self._clients[self._sharded.shard_of(name)]
+
+    # ------------------------------------------------------------------
+    # Cross-shard requests
+    # ------------------------------------------------------------------
+    def _batch(self, request: BatchLiveness) -> BatchLivenessResponse:
+        queries = request.queries
+        if not queries:
+            # Nothing to lock; observed post-guard like other stateless
+            # responses.
+            return BatchLivenessResponse(values=())
+        # Hold every involved shard's read lock for the whole stream, then
+        # answer it as maximal consecutive same-shard runs: relative order
+        # is preserved (so the first failing query still decides the
+        # batch's error, exactly as in the serial client) and each run
+        # rides its shard client's per-function amortization.
+        names = [query.function.name for query in queries]
+        with self._sharded.read_locked(names):
+            values: list[bool] = []
+            start = 0
+            while start < len(queries):
+                shard = self._sharded.shard_of(queries[start].function.name)
+                stop = start + 1
+                while (
+                    stop < len(queries)
+                    and self._sharded.shard_of(queries[stop].function.name)
+                    == shard
+                ):
+                    stop += 1
+                sub = self._clients[shard].dispatch(
+                    BatchLiveness(queries=queries[start:stop])
+                )
+                if sub.error is not None:
+                    response = BatchLivenessResponse(error=sub.error)
+                    self._notify(request, response)
+                    return response
+                assert sub.values is not None
+                values.extend(sub.values)
+                start = stop
+            response = BatchLivenessResponse(values=tuple(values))
+            self._notify(request, response)
+            return response
+
+    def _compile_source(
+        self, request: CompileSourceRequest
+    ) -> CompileSourceResponse:
+        from repro.frontend.compile import compile_source
+
+        try:
+            module = compile_source(request.source, name=request.module_name)
+        except ValueError as exc:
+            raise ProtocolError(ErrorCode.COMPILE_ERROR, str(exc)) from None
+        holder: list[CompileSourceResponse] = []
+
+        def observe_registered(handles: list[FunctionHandle]) -> None:
+            response = CompileSourceResponse(functions=tuple(handles))
+            holder.append(response)
+            self._notify(request, response)
+
+        try:
+            self._sharded.register_all(
+                list(module), on_registered=observe_registered
+            )
+        except ValueError as exc:
+            # Duplicate names (against the service or within the batch).
+            raise ProtocolError(ErrorCode.DUPLICATE_FUNCTION, str(exc)) from None
+        return holder[0]
+
+    def __repr__(self) -> str:
+        return f"ShardedClient({self._sharded!r})"

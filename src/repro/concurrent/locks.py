@@ -1,0 +1,121 @@
+"""A writer-preferring reader/writer lock for the sharded serving layer.
+
+The standard library has no RW lock; this one is built on a single
+:class:`threading.Condition` and implements the policy the shard design
+needs:
+
+* any number of **readers** may hold the lock together — liveness queries
+  against a shard are answered concurrently;
+* a **writer** (edit notification, out-of-SSA translation, allocation,
+  registration) is exclusive against readers and other writers;
+* writers are **preferred**: once a writer is waiting, new readers queue
+  behind it, so a steady query stream cannot starve edits.  Waiting
+  readers are only admitted again when no writer is active or queued.
+
+The lock is deliberately *not* reentrant — the concurrent layer never
+nests acquisitions of the same shard (see the lock-order contract in
+DESIGN.md), and non-reentrancy turns an ordering bug into a reproducible
+deadlock the test watchdog reports instead of a silent self-upgrade.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """Many concurrent readers XOR one exclusive writer, writers first."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Take the lock shared; ``False`` on timeout (no lock held)."""
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._writer_active and not self._writers_waiting,
+                timeout=timeout,
+            )
+            if ok:
+                self._readers += 1
+            return ok
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without a matching acquire_read")
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Take the lock exclusive; ``False`` on timeout (no lock held)."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer_active and not self._readers,
+                    timeout=timeout,
+                )
+                if ok:
+                    self._writer_active = True
+                return ok
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without a matching acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Context managers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read(self):
+        """``with lock.read():`` — shared critical section."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """``with lock.write():`` — exclusive critical section."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    # ------------------------------------------------------------------
+    # Introspection (tests and diagnostics only; inherently racy reads)
+    # ------------------------------------------------------------------
+    @property
+    def readers(self) -> int:
+        """Number of readers currently inside (snapshot)."""
+        return self._readers
+
+    @property
+    def writer_active(self) -> bool:
+        """Whether a writer currently holds the lock (snapshot)."""
+        return self._writer_active
+
+    def __repr__(self) -> str:
+        return (
+            f"RWLock(readers={self._readers}, writer={self._writer_active}, "
+            f"waiting_writers={self._writers_waiting})"
+        )

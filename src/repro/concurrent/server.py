@@ -1,0 +1,180 @@
+"""The wire-level server loop: a work queue feeding a worker pool.
+
+This is the piece that turns ``dispatch_json`` into a *server*: many
+clients enqueue JSON envelopes, a configurable pool of worker threads
+drains the queue through a shared dispatcher (normally a
+:class:`~repro.concurrent.client.ShardedClient`, whose per-shard locks
+make the shared access safe), and every caller gets its response back —
+in request order when driven through :func:`serve_loop`.
+
+The boundary contract of the protocol extends to the pool: a worker that
+hits an unexpected exception (a buggy dispatcher, say) answers with a
+structured ``INTERNAL`` error envelope instead of dying silently and
+leaving its caller waiting forever.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Sequence
+
+from repro.api.errors import ApiError, ErrorCode
+from repro.api.protocol import ErrorResponse, encode_response
+from repro.utils import AtomicCounter
+
+#: A ``dispatch_json``-shaped callable: JSON envelope in, envelope out.
+JsonDispatcher = Callable[[dict], dict]
+
+#: Queue sentinel telling a worker to exit.
+_STOP = object()
+
+
+class _Pending:
+    """One enqueued request: an event plus its eventual response."""
+
+    __slots__ = ("_event", "_response")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._response: dict | None = None
+
+    def resolve(self, response: dict) -> None:
+        self._response = response
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> dict:
+        """Block until the response arrives; raises ``TimeoutError``."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request was not answered in time")
+        assert self._response is not None
+        return self._response
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+
+class WireServer:
+    """``dispatch_json`` behind a work queue and a worker pool.
+
+    Use as a context manager (or call :meth:`start`/:meth:`stop`):
+
+    >>> with WireServer(client.dispatch_json, workers=4) as server:
+    ...     pending = server.submit(envelope)
+    ...     response = pending.result()
+
+    ``workers=1`` degenerates to a serial server with queueing — the
+    configuration the no-regression benchmark guard measures.
+    """
+
+    def __init__(
+        self,
+        dispatcher: JsonDispatcher,
+        workers: int = 4,
+        max_queue: int = 0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self._dispatcher = dispatcher
+        self._workers = workers
+        self._queue: queue.Queue = queue.Queue(max_queue)
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        #: Serializes start/stop/submit lifecycle decisions, so a submit
+        #: racing a stop can never enqueue behind the stop sentinels
+        #: (where no worker would ever answer it).
+        self._lifecycle = threading.Lock()
+        #: Requests answered so far (including internal-error answers).
+        self.served = AtomicCounter()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "WireServer":
+        """Spin up the worker pool (idempotent)."""
+        with self._lifecycle:
+            if self._started:
+                return self
+            self._started = True
+            for index in range(self._workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"wire-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+            return self
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Drain the pool: workers finish queued work, then exit."""
+        with self._lifecycle:
+            if not self._started:
+                return
+            for _ in self._threads:
+                self._queue.put(_STOP)
+            threads = list(self._threads)
+            self._threads.clear()
+            self._started = False
+        for thread in threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "WireServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(self, payload) -> _Pending:
+        """Enqueue one JSON envelope; returns its pending response."""
+        pending = _Pending()
+        with self._lifecycle:
+            if not self._started:
+                raise RuntimeError("server is not running (call start())")
+            self._queue.put((payload, pending))
+        return pending
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            payload, pending = item
+            try:
+                response = self._dispatcher(payload)
+            except Exception as exc:  # noqa: BLE001 - keep callers unblocked
+                # dispatch_json's contract is to never raise; if a broken
+                # dispatcher does anyway, answer with a structured error
+                # rather than leaving the caller waiting on a dead worker.
+                response = encode_response(
+                    ErrorResponse(
+                        error=ApiError(
+                            ErrorCode.INTERNAL,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                )
+            self.served += 1
+            pending.resolve(response)
+
+
+def serve_loop(
+    dispatcher: JsonDispatcher,
+    payloads: Sequence[dict],
+    workers: int = 4,
+    timeout: float | None = 60.0,
+) -> list[dict]:
+    """Answer ``payloads`` through a worker pool, in request order.
+
+    The batch entry point over :class:`WireServer`: every envelope is
+    enqueued up front, ``workers`` threads drain the queue concurrently,
+    and the responses come back aligned with their requests.  ``timeout``
+    bounds the wait per response so a deadlock in the dispatcher becomes
+    a loud ``TimeoutError`` instead of a hung server.
+    """
+    with WireServer(dispatcher, workers=workers) as server:
+        pendings = [server.submit(payload) for payload in payloads]
+        return [pending.result(timeout) for pending in pendings]

@@ -403,7 +403,14 @@ def _extend_after_destruction(allocation: Allocation) -> None:
             group = set(live_after)
             if inst.result is not None:
                 group.add(inst.result)
-            uncolored = [var for var in group if var not in register_of]
+            # Sets of Variables iterate in id() order, which varies run to
+            # run; the greedy sweep below is order-sensitive, so sort by
+            # name to keep allocations reproducible (the concurrency
+            # harness replays runs and demands bit-identical responses).
+            uncolored = sorted(
+                (var for var in group if var not in register_of),
+                key=lambda var: var.name,
+            )
             if not uncolored:
                 continue
             colored = {

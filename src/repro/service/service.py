@@ -40,7 +40,7 @@ Design points:
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.api.handles import FunctionHandle
@@ -50,6 +50,7 @@ from repro.core.live_checker import FastLivenessChecker
 from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.value import Variable
+from repro.utils import AtomicCounter
 
 #: Default maximum number of resident checkers.
 DEFAULT_CAPACITY = 64
@@ -78,52 +79,78 @@ class LivenessRequest:
         object.__setattr__(self, "kind", QueryKind.coerce(self.kind))
 
 
+#: The counter fields of :class:`ServiceStats`, in reporting order.
+STAT_FIELDS = (
+    "hits",
+    "misses",
+    "evictions",
+    "cfg_invalidations",
+    "instruction_invalidations",
+    "queries",
+    "destructions",
+    "stale_handle_rejections",
+)
+
+
 @dataclass
 class ServiceStats:
-    """Cache and traffic counters of one :class:`LivenessService`."""
+    """Cache and traffic counters of one :class:`LivenessService`.
+
+    Every field is an :class:`~repro.utils.AtomicCounter`, so the familiar
+    ``stats.queries += 1`` call sites are lock-free-to-write *and* safe
+    under the concurrent serving layer (:mod:`repro.concurrent`) — plain
+    ``int`` fields lose updates when reader threads race on the
+    read-modify-write.  Counters compare and format like ints, but the
+    attributes are **live** objects: capture a point-in-time value with
+    ``int(stats.misses)`` (or :meth:`as_dict`), not by binding the
+    attribute.
+    """
 
     #: Checker found resident in the cache.
-    hits: int = 0
+    hits: AtomicCounter = field(default_factory=AtomicCounter)
     #: Checker had to be (re)built.
-    misses: int = 0
+    misses: AtomicCounter = field(default_factory=AtomicCounter)
     #: Checkers dropped because the cache was over capacity.
-    evictions: int = 0
+    evictions: AtomicCounter = field(default_factory=AtomicCounter)
     #: Per-function CFG invalidations routed through the service.
-    cfg_invalidations: int = 0
+    cfg_invalidations: AtomicCounter = field(default_factory=AtomicCounter)
     #: Per-function instruction-level invalidations routed through.
-    instruction_invalidations: int = 0
+    instruction_invalidations: AtomicCounter = field(default_factory=AtomicCounter)
     #: Individual liveness questions answered.
-    queries: int = 0
+    queries: AtomicCounter = field(default_factory=AtomicCounter)
     #: Out-of-SSA translations performed through :meth:`LivenessService.destruct`.
-    destructions: int = 0
+    destructions: AtomicCounter = field(default_factory=AtomicCounter)
     #: Requests rejected because they carried a stale function handle.
-    stale_handle_rejections: int = 0
+    stale_handle_rejections: AtomicCounter = field(default_factory=AtomicCounter)
 
     @property
     def lookups(self) -> int:
         """Total checker lookups (hits + misses)."""
-        return self.hits + self.misses
+        return int(self.hits) + int(self.misses)
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when idle)."""
         if not self.lookups:
             return 0.0
-        return self.hits / self.lookups
+        return int(self.hits) / self.lookups
 
     def as_dict(self) -> dict[str, float]:
-        """Plain-dict view for JSON reports."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "cfg_invalidations": self.cfg_invalidations,
-            "instruction_invalidations": self.instruction_invalidations,
-            "queries": self.queries,
-            "destructions": self.destructions,
-            "stale_handle_rejections": self.stale_handle_rejections,
-            "hit_rate": self.hit_rate,
+        """Plain-dict view (ints, not counters) for JSON reports."""
+        payload: dict[str, float] = {
+            name: int(getattr(self, name)) for name in STAT_FIELDS
         }
+        payload["hit_rate"] = self.hit_rate
+        return payload
+
+    @classmethod
+    def aggregate(cls, parts: Iterable["ServiceStats"]) -> "ServiceStats":
+        """A snapshot summing several stats objects (per-shard roll-up)."""
+        total = cls()
+        for part in parts:
+            for name in STAT_FIELDS:
+                getattr(total, name).add(int(getattr(part, name)))
+        return total
 
 
 class LivenessService:

@@ -1,0 +1,138 @@
+"""Small shared utilities with no dependency on the rest of the package.
+
+Currently home to :class:`AtomicCounter`, the thread-safe counter behind
+:class:`~repro.service.ServiceStats` and the concurrent serving layer's
+traffic accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class AtomicCounter:
+    """An int-like counter whose ``+=`` is atomic under threads.
+
+    CPython's GIL makes single bytecodes atomic, but ``x += 1`` on an
+    ``int`` attribute is a LOAD/ADD/STORE sequence — two threads can read
+    the same value and one increment is lost.  ``AtomicCounter`` keeps the
+    augmented-assignment *syntax* (``stats.hits += 1``) while making the
+    update atomic: ``__iadd__`` performs a locked add and returns ``self``,
+    so the subsequent attribute store rebinds the same object and no
+    update can be lost.
+
+    The counter compares, adds and formats like the ``int`` it replaces
+    (``counter == 3``, ``counter + 1``, ``counter > 0``, ``f"{counter}"``)
+    so existing call sites and tests keep working unchanged; ``int(...)``
+    (or :attr:`value`) produces a plain snapshot for JSON reports.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, value: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._value = int(value)
+
+    @property
+    def value(self) -> int:
+        """A plain-``int`` snapshot of the current count."""
+        return self._value
+
+    def add(self, delta: int = 1) -> int:
+        """Atomically add ``delta``; returns the new value."""
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    def reset(self, value: int = 0) -> None:
+        """Atomically reset the count."""
+        with self._lock:
+            self._value = int(value)
+
+    # -- augmented assignment: ``counter += n`` is a locked add ---------
+    def __iadd__(self, delta: int) -> "AtomicCounter":
+        self.add(delta)
+        return self
+
+    def __isub__(self, delta: int) -> "AtomicCounter":
+        self.add(-delta)
+        return self
+
+    # -- int-like views -------------------------------------------------
+    def __int__(self) -> int:
+        return self._value
+
+    __index__ = __int__
+
+    def __float__(self) -> float:
+        return float(self._value)
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    # -- arithmetic produces plain ints (snapshots) ---------------------
+    def __add__(self, other):
+        return self._value + int(other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._value - int(other)
+
+    def __rsub__(self, other):
+        return int(other) - self._value
+
+    # -- comparisons against ints (and other counters) ------------------
+    def _coerce(self, other):
+        if isinstance(other, AtomicCounter):
+            return other._value
+        if isinstance(other, (int, float)):
+            return other
+        return NotImplemented
+
+    def __eq__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self._value == other
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __lt__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self._value < other
+
+    def __le__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self._value <= other
+
+    def __gt__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self._value > other
+
+    def __ge__(self, other):
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self._value >= other
+
+    __hash__ = None  # mutable; identity comparisons should use ``is``
+
+    def __repr__(self) -> str:
+        return f"AtomicCounter({self._value})"
+
+    def __str__(self) -> str:
+        return str(self._value)
+
+    def __format__(self, spec: str) -> str:
+        return format(self._value, spec)

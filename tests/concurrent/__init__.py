@@ -1,0 +1,1 @@
+"""Tests for the concurrent serving layer (repro.concurrent)."""

@@ -1,0 +1,45 @@
+"""The concurrency fuzz suite: ≥200 randomized traces, differentially replayed.
+
+Every trace: N worker threads fire randomized mixed traffic — point and
+batch queries, live-set enumerations, edit notifications, out-of-SSA
+destructions, register allocations, explicit evictions, stale and bogus
+handles — at a :class:`ShardedClient` over generated functions
+(``tests/support/genfn.py``), under tight per-shard cache capacity so LRU
+evictions churn throughout.  The linearized trace is then replayed
+serially against a fresh identical server and every response — error
+responses, ``STALE_HANDLE`` included — must be bit-identical.
+
+Traces are split between the free-running mode (real preemption, races)
+and the seeded deterministic scheduler (reproducible interleavings); all
+parameters derive from the trace index, so a failing trace replays
+exactly by rerunning its one parametrized case.
+"""
+
+import pytest
+
+from tests.support.concurrency import differential_run
+
+#: Total traces in CI (satellite requirement: ≥ 200).
+NUM_TRACES = 200
+
+
+def trace_params(index: int) -> dict:
+    """Derive one trace's configuration from its index, deterministically."""
+    return {
+        "corpus_size": 4 + (index % 5),          # 4..8 functions
+        "workers": 3 + (index % 3),              # 3..5 threads
+        "requests_per_worker": 8 + (index % 7),  # 8..14 requests each
+        "seed": 0xF00D + index,
+        "shards": 1 + (index % 4),               # includes the 1-shard case
+        "capacity": 1 + (index % 3),             # tight: constant eviction
+        "base_seed": index % 7,                  # rotate the corpus pool
+        "edit_rate": (0.1, 0.2, 0.35)[index % 3],
+        "mode": "scheduled" if index % 2 else "free",
+    }
+
+
+@pytest.mark.parametrize("index", range(NUM_TRACES))
+def test_fuzz_trace_replays_bit_identically(index):
+    params = trace_params(index)
+    checked = differential_run(timeout=120.0, **params)
+    assert checked == params["workers"] * params["requests_per_worker"]

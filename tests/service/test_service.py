@@ -84,7 +84,9 @@ class TestCheckerCache:
         assert service.resident() == ["fn0", "fn2"]
         assert service.stats.evictions == 1
         # Touching the evicted function rebuilds (a miss, not a hit).
-        misses = service.stats.misses
+        # (int() takes a snapshot; the counter attribute itself is a live
+        # AtomicCounter.)
+        misses = int(service.stats.misses)
         service.checker("fn1")
         assert service.stats.misses == misses + 1
 

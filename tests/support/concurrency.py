@@ -1,0 +1,446 @@
+"""The differential concurrency harness.
+
+The contract the sharded serving layer (:mod:`repro.concurrent`) makes is
+**linearizability**: every dispatched request takes effect atomically at
+one point in time (while its shard locks are held), so the responses of
+any concurrent run must be *bit-identical* to dispatching the recorded
+requests one by one, in linearization order, against a fresh identical
+server.  This module turns that contract into an executable test:
+
+1. a :class:`TraceRecorder` plugs into ``ShardedClient(observer=...)``
+   and records ``(request, response)`` pairs in linearization order (the
+   observer fires while the locks are held, under its own nested lock);
+2. traffic is driven either **free-running** (:func:`run_free` — real
+   threads, shrunk GIL switch interval, real races) or through the
+   **seeded deterministic scheduler** (:func:`run_scheduled` — one
+   seeded-random worker is granted one request at a time, so a given
+   seed always produces the same interleaving);
+3. :func:`replay_trace` dispatches the recorded requests serially against
+   a fresh client over a regenerated (bit-identical) corpus and diffs
+   every response as canonical JSON.
+
+A race that corrupts shared state shows up as a response diverging from
+its serial replay — and because the trace *is* the reproducer, the
+failure is a deterministic artifact, not a flake.  Both runners enforce
+timeouts, so a deadlock is a loud failure too.
+
+Functions come from :mod:`tests.support.genfn`; regeneration is the
+"clone": the generators are deterministic, so run and replay see
+bit-identical IR.  (Printing/parsing is used to stamp fresh ``Function``
+objects cheaply — the mutating requests edit IR in place.)
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.api.handles import FunctionHandle
+from repro.api.protocol import (
+    AllocateRequest,
+    BatchLiveness,
+    DestructRequest,
+    EvictRequest,
+    LivenessQuery,
+    LiveSetRequest,
+    NotifyRequest,
+    Request,
+    Response,
+    encode_response,
+)
+from repro.ir.function import Function
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+from tests.support.genfn import fuzz_function
+
+# ----------------------------------------------------------------------
+# Canonical response comparison
+# ----------------------------------------------------------------------
+
+
+def canonical_response(response: Response) -> str:
+    """The bit-identity the harness asserts: the wire envelope, key-sorted."""
+    return json.dumps(encode_response(response), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Corpus (deterministic generation doubles as cloning)
+# ----------------------------------------------------------------------
+
+#: index/base_seed → printed IR text of the generated function (the
+#: expensive part — CFG generation, SSA construction — runs once; every
+#: run/replay pair re-parses fresh, mutable Function objects from it).
+_SOURCE_CACHE: dict[tuple[int, int], str] = {}
+
+
+def corpus_functions(count: int, base_seed: int = 0) -> list[Function]:
+    """``count`` fresh generated functions (same args ⇒ bit-identical IR)."""
+    functions = []
+    for index in range(count):
+        key = (index, base_seed)
+        text = _SOURCE_CACHE.get(key)
+        if text is None:
+            text = print_function(fuzz_function(index, base_seed=base_seed))
+            _SOURCE_CACHE[key] = text
+        functions.append(parse_function(text))
+    return functions
+
+
+# ----------------------------------------------------------------------
+# Trace recording (the linearization witness)
+# ----------------------------------------------------------------------
+
+
+class TraceRecorder:
+    """Observer collecting ``(request, response)`` in linearization order.
+
+    The sharded client invokes it while the request's shard locks are
+    held, so the append order *is* a valid linearization of the run; the
+    recorder's own lock only orders the appends of requests that touch
+    disjoint shards (which commute anyway).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.entries: list[tuple[Request, Response]] = []
+
+    def __call__(self, request: Request, response: Response) -> None:
+        with self._lock:
+            self.entries.append((request, response))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One response that diverged from its serial replay."""
+
+    index: int
+    request: Request
+    expected: str
+    actual: str
+
+    def __str__(self) -> str:
+        return (
+            f"trace[{self.index}] {type(self.request).__name__} diverged:\n"
+            f"  concurrent: {self.expected}\n"
+            f"  replayed:   {self.actual}"
+        )
+
+
+def replay_trace(
+    entries: Sequence[tuple[Request, Response]],
+    dispatch: Callable[[Request], Response],
+) -> list[Mismatch]:
+    """Dispatch the recorded requests serially; return every divergence."""
+    mismatches = []
+    for index, (request, expected) in enumerate(entries):
+        actual = dispatch(request)
+        expected_c = canonical_response(expected)
+        actual_c = canonical_response(actual)
+        if expected_c != actual_c:
+            mismatches.append(Mismatch(index, request, expected_c, actual_c))
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
+
+
+def run_free(
+    dispatch: Callable[[Request], Response],
+    worker_traces: Sequence[Sequence[Request]],
+    timeout: float = 120.0,
+    switch_interval: float = 5e-6,
+) -> None:
+    """Fire the per-worker traces from free-running threads.
+
+    The GIL switch interval is shrunk so thread preemption happens every
+    few bytecodes — races that would hide behind the default 5 ms
+    quantum get amplified.  A worker that does not finish within
+    ``timeout`` fails the run as a deadlock (threads are daemons, so a
+    hung run cannot wedge the test process).
+    """
+    errors: list[BaseException] = []
+
+    def work(trace: Sequence[Request]) -> None:
+        try:
+            for request in trace:
+                dispatch(request)
+        except BaseException as exc:  # noqa: BLE001 - reported to the main thread
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=work, args=(trace,), daemon=True)
+        for trace in worker_traces
+    ]
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(switch_interval)
+    try:
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + timeout
+        for thread in threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        hung = sum(thread.is_alive() for thread in threads)
+        if hung:
+            raise TimeoutError(
+                f"{hung}/{len(threads)} workers still running after "
+                f"{timeout}s — deadlock in the serving layer?"
+            )
+    finally:
+        sys.setswitchinterval(previous)
+    if errors:
+        raise errors[0]
+
+
+def run_scheduled(
+    dispatch: Callable[[Request], Response],
+    worker_traces: Sequence[Sequence[Request]],
+    seed: int = 0,
+    timeout: float = 60.0,
+) -> None:
+    """Drive the traces under a seeded deterministic thread scheduler.
+
+    Real worker threads, but only one runs at a time: the scheduler
+    repeatedly picks a seeded-random unfinished worker and grants it
+    exactly one request.  The interleaving — and therefore the recorded
+    trace — is a pure function of ``seed``, so a failing schedule replays
+    forever, shrinkably, with no flakes.
+    """
+    gates = [threading.Semaphore(0) for _ in worker_traces]
+    step_done = threading.Semaphore(0)
+    errors: list[BaseException] = []
+
+    def work(index: int, trace: Sequence[Request]) -> None:
+        for request in trace:
+            if not gates[index].acquire(timeout=timeout):
+                return  # scheduler died; just unwind
+            try:
+                dispatch(request)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                step_done.release()
+
+    threads = [
+        threading.Thread(target=work, args=(index, trace), daemon=True)
+        for index, trace in enumerate(worker_traces)
+    ]
+    for thread in threads:
+        thread.start()
+    rng = random.Random(seed)
+    remaining = [len(trace) for trace in worker_traces]
+    while any(remaining):
+        alive = [index for index, left in enumerate(remaining) if left]
+        index = rng.choice(alive)
+        gates[index].release()
+        if not step_done.acquire(timeout=timeout):
+            raise TimeoutError(
+                f"worker {index} did not finish its step within {timeout}s "
+                "— deadlock in the serving layer?"
+            )
+        remaining[index] -= 1
+        if errors:
+            raise errors[0]
+    for thread in threads:
+        thread.join(timeout)
+
+
+# ----------------------------------------------------------------------
+# Randomized mixed traffic
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FnInfo:
+    """What the request generator needs to know about one function."""
+
+    name: str
+    variables: tuple[str, ...]
+    blocks: tuple[str, ...]
+
+
+def fn_info(function: Function) -> FnInfo:
+    return FnInfo(
+        name=function.name,
+        variables=tuple(var.name for var in function.variables()),
+        blocks=tuple(block.name for block in function),
+    )
+
+
+def _handle(rng: random.Random, name: str) -> FunctionHandle:
+    # 30% of handles pin a *guessed* revision: most guesses go stale as
+    # edits land, so STALE_HANDLE responses are a first-class part of
+    # every trace (their determinism is exactly what replay must prove).
+    if rng.random() < 0.3:
+        return FunctionHandle(name, revision=rng.randrange(5))
+    return FunctionHandle(name)
+
+
+def random_request(
+    rng: random.Random,
+    infos: Sequence[FnInfo],
+    edit_rate: float = 0.2,
+    bogus_rate: float = 0.08,
+) -> Request:
+    """One random protocol request over ``infos`` (queries and edits).
+
+    ``edit_rate`` is the total probability of a mutating request
+    (notify/evict/destruct/allocate); ``bogus_rate`` injects unknown
+    variable/block/function names so error responses are part of the
+    differential surface too.
+    """
+    info = rng.choice(infos)
+    name = info.name
+    if rng.random() < bogus_rate:
+        name = rng.choice((name + "_nope", "ghost", name.upper()))
+
+    def variable() -> str:
+        if rng.random() < bogus_rate or not info.variables:
+            return "no_such_var"
+        return rng.choice(info.variables)
+
+    def block() -> str:
+        if rng.random() < bogus_rate or not info.blocks:
+            return "no_such_block"
+        return rng.choice(info.blocks)
+
+    roll = rng.random()
+    if roll >= edit_rate:
+        # Query traffic.
+        query_roll = rng.random()
+        if query_roll < 0.6:
+            return LivenessQuery(
+                function=_handle(rng, name),
+                kind=rng.choice(("in", "out")),
+                variable=variable(),
+                block=block(),
+            )
+        if query_roll < 0.85:
+            queries = []
+            for _ in range(rng.randrange(1, 7)):
+                sub = rng.choice(infos)
+                queries.append(
+                    LivenessQuery(
+                        function=_handle(rng, sub.name),
+                        kind=rng.choice(("in", "out")),
+                        variable=(
+                            rng.choice(sub.variables)
+                            if sub.variables and rng.random() >= bogus_rate
+                            else "no_such_var"
+                        ),
+                        block=(
+                            rng.choice(sub.blocks)
+                            if sub.blocks and rng.random() >= bogus_rate
+                            else "no_such_block"
+                        ),
+                    )
+                )
+            return BatchLiveness(queries=tuple(queries))
+        return LiveSetRequest(
+            function=_handle(rng, name),
+            block=block(),
+            kind=rng.choice(("in", "out")),
+        )
+    # Mutating traffic.
+    edit_roll = rng.random()
+    if edit_roll < 0.35:
+        return NotifyRequest(
+            function=_handle(rng, name),
+            kind=rng.choice(("cfg", "instructions")),
+        )
+    if edit_roll < 0.6:
+        return EvictRequest(function=_handle(rng, name))
+    if edit_roll < 0.8:
+        return DestructRequest(function=_handle(rng, name))
+    return AllocateRequest(
+        function=_handle(rng, name),
+        num_registers=rng.choice((None, 2, 4, 8)),
+        destruct=rng.random() < 0.25,
+    )
+
+
+def random_traces(
+    rng: random.Random,
+    infos: Sequence[FnInfo],
+    workers: int,
+    requests_per_worker: int,
+    edit_rate: float = 0.2,
+) -> list[list[Request]]:
+    """Per-worker randomized request traces over the corpus."""
+    return [
+        [
+            random_request(rng, infos, edit_rate=edit_rate)
+            for _ in range(requests_per_worker)
+        ]
+        for _ in range(workers)
+    ]
+
+
+# ----------------------------------------------------------------------
+# One-call differential run
+# ----------------------------------------------------------------------
+
+
+def differential_run(
+    corpus_size: int,
+    workers: int,
+    requests_per_worker: int,
+    seed: int,
+    shards: int = 4,
+    capacity: int = 8,
+    base_seed: int = 0,
+    edit_rate: float = 0.2,
+    mode: str = "free",
+    timeout: float = 120.0,
+) -> int:
+    """Run concurrent traffic, replay it serially, assert bit-identity.
+
+    Returns the number of linearized requests checked.  Raises
+    ``AssertionError`` carrying every divergence otherwise.
+    """
+    from repro.concurrent import ShardedClient
+
+    functions = corpus_functions(corpus_size, base_seed=base_seed)
+    infos = [fn_info(function) for function in functions]
+    recorder = TraceRecorder()
+    client = ShardedClient(
+        functions, shards=shards, capacity=capacity, observer=recorder
+    )
+    rng = random.Random(seed)
+    traces = random_traces(
+        rng, infos, workers, requests_per_worker, edit_rate=edit_rate
+    )
+    if mode == "free":
+        run_free(client.dispatch, traces, timeout=timeout)
+    elif mode == "scheduled":
+        run_scheduled(client.dispatch, traces, seed=seed, timeout=timeout)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    total = workers * requests_per_worker
+    assert len(recorder.entries) == total, (
+        f"observer saw {len(recorder.entries)} of {total} requests"
+    )
+    # The serial replay: a fresh, identical server over a regenerated
+    # (bit-identical) corpus, fed the linearized trace one by one.
+    fresh = ShardedClient(
+        corpus_functions(corpus_size, base_seed=base_seed),
+        shards=shards,
+        capacity=capacity,
+    )
+    mismatches = replay_trace(recorder.entries, fresh.dispatch)
+    if mismatches:
+        preview = "\n".join(str(m) for m in mismatches[:5])
+        raise AssertionError(
+            f"{len(mismatches)} of {total} responses diverged from the "
+            f"serial replay (seed={seed}):\n{preview}"
+        )
+    return total
