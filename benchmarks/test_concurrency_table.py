@@ -72,3 +72,27 @@ def test_wire_loop_throughput_is_recorded_per_worker_count(concurrency_rows):
             f"profile {row.profile!r}: adding workers collapsed throughput "
             f"({row.wire_rps})"
         )
+
+
+def test_wire_latency_percentiles_are_recorded_per_worker_count(
+    concurrency_rows,
+):
+    """Every pool size reports service-time percentiles from its histogram.
+
+    The p50/p99 columns come from the pool's ``wire.request_seconds``
+    latency histogram (one fresh ``Observability`` per worker count), so
+    they must exist for every measured pool size, be strictly positive
+    (every request costs *some* time) and be ordered — a p50 above the
+    p99 would mean the percentile math, not the serving, is broken.
+    """
+    for row in concurrency_rows:
+        assert set(row.wire_p50_ms) == set(row.wire_rps), row.profile
+        assert set(row.wire_p99_ms) == set(row.wire_rps), row.profile
+        for workers in row.wire_rps:
+            p50 = row.wire_p50_ms[workers]
+            p99 = row.wire_p99_ms[workers]
+            assert p50 > 0.0, (row.profile, workers, p50)
+            assert p50 <= p99, (row.profile, workers, p50, p99)
+            # Sanity-bound the scale: a per-request p99 beyond ten
+            # seconds means the histogram recorded garbage, not serving.
+            assert p99 < 10_000.0, (row.profile, workers, p99)

@@ -35,6 +35,8 @@ from repro.api import (
     ErrorCode,
     FunctionHandle,
     QueryKind,
+    StatsRequest,
+    StatsResponse,
     available_engines,
     get_engine,
     register_engine,
@@ -80,6 +82,7 @@ from repro.liveness import (
     LivenessOracle,
     PathExplorationLiveness,
 )
+from repro.obs import MetricsRegistry, Observability, Tracer, to_prometheus
 from repro.regalloc import (
     Allocation,
     allocate,
@@ -114,6 +117,8 @@ __all__ = [
     "ErrorCode",
     "FunctionHandle",
     "QueryKind",
+    "StatsRequest",
+    "StatsResponse",
     "available_engines",
     "get_engine",
     "register_engine",
@@ -170,6 +175,11 @@ __all__ = [
     "compute_pressure",
     "max_live",
     "verify_allocation",
+    # obs (metrics, tracing, wire-drivable introspection)
+    "MetricsRegistry",
+    "Observability",
+    "Tracer",
+    "to_prometheus",
     # service (multi-function front door)
     "LivenessService",
     "LivenessRequest",

@@ -46,10 +46,14 @@ from repro.api.protocol import (
     QueryKind,
     Request,
     Response,
+    StatsRequest,
+    StatsResponse,
+    attach_trace,
     decode_request,
     decode_response,
     encode_request,
     encode_response,
+    trace_context,
 )
 from repro.api.registry import (
     DATAFLOW,
@@ -112,10 +116,14 @@ __all__ = [
     "QueryKind",
     "Request",
     "Response",
+    "StatsRequest",
+    "StatsResponse",
+    "attach_trace",
     "decode_request",
     "decode_response",
     "encode_request",
     "encode_response",
+    "trace_context",
     # client
     "CompilerClient",
 ]

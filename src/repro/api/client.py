@@ -55,12 +55,17 @@ from repro.api.protocol import (
     Request,
     Response,
     RESPONSE_FOR,
+    StatsRequest,
+    StatsResponse,
+    attach_trace,
     decode_request,
     encode_response,
+    trace_context,
 )
 from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.value import Variable
+from repro.obs import Observability
 from repro.service.service import DEFAULT_CAPACITY, LivenessService
 
 
@@ -99,18 +104,39 @@ def failure_response(request, error: ApiError) -> Response:
     return response_cls(error=error)
 
 
-def dispatch_json_via(dispatch, payload) -> dict:
+def dispatch_json_via(dispatch, payload, obs: "Observability | None" = None) -> dict:
     """Wire driver shared by every client: JSON envelope in and out.
 
     A payload that cannot even be decoded has no request type to pick a
     response from, so it comes back as an :class:`ErrorResponse` envelope
     — never an exception across the wire boundary.
+
+    When ``obs`` is given and the request envelope carries a trace
+    context, the whole dispatch runs under a root span with the caller's
+    ``trace_id`` (yielding a structured timing tree in ``obs.tracer``),
+    and the response envelope echoes ``{"trace_id": ...}`` back.  The
+    echo is a pure function of the request payload — no clock value ever
+    enters a response — and old payloads, which simply lack the trace
+    key, flow through the untraced path unchanged.
     """
+    trace_id = parent_span = None
+    if obs is not None:
+        trace_id, parent_span = trace_context(payload)
     try:
         request = decode_request(payload)
     except ProtocolError as exc:
-        return encode_response(ErrorResponse(error=exc.error))
-    return encode_response(dispatch(request))
+        envelope = encode_response(ErrorResponse(error=exc.error))
+    else:
+        if trace_id is None:
+            return encode_response(dispatch(request))
+        attributes = {"request": type(request).__name__}
+        if parent_span is not None:
+            attributes["parent_span"] = parent_span
+        with obs.request_trace("request", trace_id=trace_id, **attributes):
+            envelope = encode_response(dispatch(request))
+    if trace_id is not None:
+        attach_trace(envelope, trace_id)
+    return envelope
 
 
 class CompilerClient:
@@ -129,6 +155,8 @@ class CompilerClient:
         capacity: int = DEFAULT_CAPACITY,
         strategy: str = "exact",
         service: LivenessService | None = None,
+        obs: Observability | None = None,
+        record_dispatch: bool = True,
     ) -> None:
         if service is not None:
             # An injected service is managed (and locked) by the caller;
@@ -139,8 +167,18 @@ class CompilerClient:
                     service.register(function)
         else:
             self._service = LivenessService(
-                module, capacity=capacity, strategy=strategy
+                module, capacity=capacity, strategy=strategy, obs=obs
             )
+        # Share one Observability with the service so a StatsRequest sees
+        # the whole stack; an injected service brings its own unless the
+        # caller overrides.
+        self.obs = obs if obs is not None else self._service.obs
+        # The sharded layer times dispatch at its own front door and
+        # passes record_dispatch=False to its per-shard clients, so each
+        # request lands in exactly one dispatch.seconds histogram.
+        self._dispatch_seconds = (
+            self.obs.histogram("dispatch.seconds") if record_dispatch else None
+        )
         #: function name → (revision the map was built at, name → Variable).
         #: Safe for concurrent readers: entries are immutable tuples
         #: published with one atomic dict store, and edits cannot run
@@ -180,11 +218,18 @@ class CompilerClient:
     # ------------------------------------------------------------------
     def dispatch(self, request: Request) -> Response:
         """Answer one protocol request; never raises across the boundary."""
-        return guarded_dispatch(request, self._dispatch, self._failure)
+        if self._dispatch_seconds is None:
+            return guarded_dispatch(request, self._dispatch, self._failure)
+        clock = self.obs.clock
+        start = clock()
+        with self.obs.span("dispatch", request=type(request).__name__):
+            response = guarded_dispatch(request, self._dispatch, self._failure)
+        self._dispatch_seconds.observe(clock() - start)
+        return response
 
     def dispatch_json(self, payload) -> dict:
         """Wire driver: JSON envelope in, JSON envelope out."""
-        return dispatch_json_via(self.dispatch, payload)
+        return dispatch_json_via(self.dispatch, payload, obs=self.obs)
 
     def _failure(self, request, error: ApiError) -> Response:
         return failure_response(request, error)
@@ -206,6 +251,8 @@ class CompilerClient:
             return self._evict(request)
         if isinstance(request, CompileSourceRequest):
             return self._compile_source(request)
+        if isinstance(request, StatsRequest):
+            return self._stats(request)
         raise ProtocolError(
             ErrorCode.INVALID_REQUEST,
             f"unsupported request type {type(request).__name__}",
@@ -258,12 +305,14 @@ class CompilerClient:
         name = request.function.name
         var = self._resolve_variable(name, request.variable)
         block = self._require_block(function, request.block)
-        checker = self._service.checker(name)
+        with self.obs.span("checker_lookup", function=name):
+            checker = self._service.checker(name)
         self._service.stats.queries += 1
-        if request.kind == QueryKind.LIVE_IN:
-            value = checker.batch.is_live_in(var, block)
-        else:
-            value = checker.batch.is_live_out(var, block)
+        with self.obs.span("kernel_query", kind=request.kind.value):
+            if request.kind == QueryKind.LIVE_IN:
+                value = checker.batch.is_live_in(var, block)
+            else:
+                value = checker.batch.is_live_out(var, block)
         return LivenessResponse(value=value)
 
     def _batch_liveness(self, request: BatchLiveness) -> BatchLivenessResponse:
@@ -432,3 +481,15 @@ class CompilerClient:
             self._service.register(function)
             handles.append(self._service.handle(function.name))
         return CompileSourceResponse(functions=tuple(handles))
+
+    def _stats(self, request: StatsRequest) -> StatsResponse:
+        # Snapshot first, reset second: with reset=True the response
+        # reports exactly the interval the reset closes.
+        response = StatsResponse(
+            snapshot=self.obs.snapshot(),
+            stats=self._service.stats.as_dict(),
+        )
+        if request.reset:
+            self._service.stats.reset()
+            self.obs.metrics.reset()
+        return response

@@ -296,6 +296,28 @@ class CompileSourceRequest:
         )
 
 
+@dataclass(frozen=True)
+class StatsRequest:
+    """Fetch the serving stack's metrics snapshot over the wire.
+
+    ``reset=True`` additionally zeroes the instruments after the
+    snapshot is taken — the read-and-reset is the interval-scraping
+    idiom, built on :meth:`repro.utils.AtomicCounter.reset`'s
+    snapshot-consistent get-and-set.  Introspection only: a stats
+    request never touches functions, caches, or revisions, so it is
+    response-invariant for every *other* request by construction.
+    """
+
+    reset: bool = False
+
+    def to_json(self) -> dict:
+        return {"reset": self.reset}
+
+    @classmethod
+    def from_json(cls, body: dict) -> "StatsRequest":
+        return cls(reset=bool(body.get("reset", False)))
+
+
 # ----------------------------------------------------------------------
 # Response payload records
 # ----------------------------------------------------------------------
@@ -667,6 +689,40 @@ class CompileSourceResponse:
 
 
 @dataclass(frozen=True)
+class StatsResponse:
+    """A canonical JSON metrics snapshot (see ``MetricsRegistry.snapshot``).
+
+    ``snapshot`` is plain JSON data — key-sorted maps of counters,
+    gauges and histograms — so it survives any number of wire hops
+    losslessly; ``stats`` carries the service-level counter dict
+    (per-shard hits/misses/evictions) for servers that expose one.
+    """
+
+    snapshot: dict | None = None
+    stats: dict | None = None
+    error: ApiError | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> dict:
+        return {
+            "snapshot": self.snapshot,
+            "stats": self.stats,
+            "error": _error_to_json(self.error),
+        }
+
+    @classmethod
+    def from_json(cls, body: dict) -> "StatsResponse":
+        return cls(
+            snapshot=body["snapshot"],
+            stats=body.get("stats"),
+            error=_error_from_json(body),
+        )
+
+
+@dataclass(frozen=True)
 class ErrorResponse:
     """Fallback response for requests that could not even be decoded.
 
@@ -699,6 +755,7 @@ Request = Union[
     NotifyRequest,
     EvictRequest,
     CompileSourceRequest,
+    StatsRequest,
 ]
 
 #: The response union.
@@ -711,6 +768,7 @@ Response = Union[
     NotifyResponse,
     EvictResponse,
     CompileSourceResponse,
+    StatsResponse,
 ]
 
 #: Wire tag ↔ request class.
@@ -723,6 +781,7 @@ REQUEST_TYPES: dict[str, type] = {
     "notify": NotifyRequest,
     "evict": EvictRequest,
     "compile_source": CompileSourceRequest,
+    "stats": StatsRequest,
 }
 
 #: Wire tag ↔ response class.
@@ -735,6 +794,7 @@ RESPONSE_TYPES: dict[str, type] = {
     "notify": NotifyResponse,
     "evict": EvictResponse,
     "compile_source": CompileSourceResponse,
+    "stats": StatsResponse,
     "error": ErrorResponse,
 }
 
@@ -811,3 +871,53 @@ def encode_response(response: Response) -> dict:
 def decode_response(payload) -> Response:
     """Inverse of :func:`encode_response`; accepts a dict or a JSON string."""
     return _decode(payload, RESPONSE_TYPES)
+
+
+# ----------------------------------------------------------------------
+# Trace context — optional envelope sidecar, version-safe by design
+# ----------------------------------------------------------------------
+#: Envelope key carrying the optional trace context.  Decoding reads the
+#: envelope's ``api``/``type``/``body`` and ignores everything else, so
+#: old servers drop the key silently and old payloads (which simply lack
+#: it) keep decoding — no protocol version bump needed.
+TRACE_KEY = "trace"
+
+
+def attach_trace(envelope: dict, trace_id: str, parent_span: str | None = None) -> dict:
+    """Stamp a request envelope with a trace context; returns the envelope.
+
+    A traced caller sets ``trace_id`` (and optionally the id of the span
+    the request is issued under) so the server's timing tree can be tied
+    back to the client's.
+    """
+    context: dict = {"trace_id": str(trace_id)}
+    if parent_span is not None:
+        context["parent_span"] = str(parent_span)
+    envelope[TRACE_KEY] = context
+    return envelope
+
+
+def trace_context(payload) -> tuple[str | None, str | None]:
+    """Leniently extract ``(trace_id, parent_span)`` from a wire payload.
+
+    Observability must never fail a request: any payload — garbage text,
+    a non-object, a mistyped trace field — yields ``(None, None)``
+    rather than an exception, leaving the normal decode path to produce
+    its structured error.
+    """
+    if isinstance(payload, (str, bytes)):
+        try:
+            payload = json.loads(payload)
+        except (ValueError, TypeError):
+            return (None, None)
+    if not isinstance(payload, dict):
+        return (None, None)
+    context = payload.get(TRACE_KEY)
+    if not isinstance(context, dict):
+        return (None, None)
+    trace_id = context.get("trace_id")
+    parent_span = context.get("parent_span")
+    return (
+        trace_id if isinstance(trace_id, str) and trace_id else None,
+        parent_span if isinstance(parent_span, str) and parent_span else None,
+    )

@@ -39,6 +39,7 @@ from repro.bench.table_service import (
     generate_service_module,
 )
 from repro.concurrent import ShardedClient, ShardedService, serve_loop
+from repro.obs import Observability
 from repro.service import LivenessService
 
 #: Default output path of the machine-readable report.
@@ -76,6 +77,10 @@ class TableConcurrencyRow:
     millis: dict[str, float] = field(default_factory=dict)
     #: Wire requests/second through serve_loop, per worker count.
     wire_rps: dict[int, float] = field(default_factory=dict)
+    #: Per-request service-time percentiles (ms), per worker count,
+    #: derived from the pool's ``wire.request_seconds`` histogram.
+    wire_p50_ms: dict[int, float] = field(default_factory=dict)
+    wire_p99_ms: dict[int, float] = field(default_factory=dict)
 
     @property
     def sharded_overhead(self) -> float:
@@ -94,6 +99,8 @@ class TableConcurrencyRow:
             "millis": dict(self.millis),
             "sharded_overhead": self.sharded_overhead,
             "wire_rps": {str(k): v for k, v in self.wire_rps.items()},
+            "wire_p50_ms": {str(k): v for k, v in self.wire_p50_ms.items()},
+            "wire_p99_ms": {str(k): v for k, v in self.wire_p99_ms.items()},
         }
 
 
@@ -164,11 +171,21 @@ def measure_profile(
     ]
     serve_loop(client.dispatch_json, payloads, workers=2)  # warm-up
     for workers in worker_counts:
+        # A fresh Observability per pool size keeps the latency
+        # distribution per configuration; all measurement repeats feed
+        # one histogram, so the percentiles rest on every sample.
+        wire_obs = Observability()
         millis = _best_of(
-            repeats, lambda w=workers: serve_loop(client.dispatch_json, payloads, workers=w)
+            repeats,
+            lambda w=workers: serve_loop(
+                client.dispatch_json, payloads, workers=w, obs=wire_obs
+            ),
         )
         row.millis[f"wire_{workers}w"] = millis
         row.wire_rps[workers] = len(payloads) / (millis / 1000.0)
+        latency = wire_obs.metrics.histogram("wire.request_seconds")
+        row.wire_p50_ms[workers] = latency.percentile(50) * 1000.0
+        row.wire_p99_ms[workers] = latency.percentile(99) * 1000.0
     return row
 
 
@@ -188,6 +205,7 @@ def format_table_concurrency(rows: list[TableConcurrencyRow]) -> str:
     headers = ["Profile", "#Fn", "#Q", "Shards", "serial ms", "sharded ms", "ovh%"]
     worker_counts = sorted(rows[0].wire_rps) if rows else []
     headers.extend(f"wire {count}w req/s" for count in worker_counts)
+    headers.extend(f"{count}w p50/p99 ms" for count in worker_counts)
     table_rows = []
     for row in rows:
         cells: list[object] = [
@@ -200,6 +218,10 @@ def format_table_concurrency(rows: list[TableConcurrencyRow]) -> str:
             100.0 * row.sharded_overhead,
         ]
         cells.extend(row.wire_rps[count] for count in worker_counts)
+        cells.extend(
+            f"{row.wire_p50_ms[count]:.3f}/{row.wire_p99_ms[count]:.3f}"
+            for count in worker_counts
+        )
         table_rows.append(cells)
     return format_table(
         headers,
@@ -256,6 +278,18 @@ def main(argv: list[str] | None = None) -> int:
                     f"budget is {MAX_SHARDED_OVERHEAD:.0%}"
                 )
             return 1
+        # The observability guard: every pool size must report sane
+        # latency percentiles (present, nonzero, p50 ≤ p99).
+        for row in rows:
+            for count in worker_counts:
+                p50 = row.wire_p50_ms.get(count, 0.0)
+                p99 = row.wire_p99_ms.get(count, 0.0)
+                if not (0.0 < p50 <= p99):
+                    print(
+                        f"FAIL: profile {row.profile!r} at {count}w has "
+                        f"implausible latency percentiles p50={p50} p99={p99}"
+                    )
+                    return 1
     return 0
 
 

@@ -23,12 +23,13 @@ run is bit-identical to its serial replay.
 """
 
 from repro.concurrent.client import ShardedClient
-from repro.concurrent.locks import RWLock
+from repro.concurrent.locks import LockMetrics, RWLock
 from repro.concurrent.server import WireServer, serve_loop
 from repro.concurrent.sharded import DEFAULT_SHARDS, ShardedService, shard_of
 
 __all__ = [
     "DEFAULT_SHARDS",
+    "LockMetrics",
     "RWLock",
     "ShardedClient",
     "ShardedService",

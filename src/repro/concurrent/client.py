@@ -60,10 +60,13 @@ from repro.api.protocol import (
     NotifyRequest,
     Request,
     Response,
+    StatsRequest,
+    StatsResponse,
 )
 from repro.concurrent.sharded import DEFAULT_SHARDS, ShardedService
 from repro.ir.function import Function
 from repro.ir.module import Module
+from repro.obs import Observability
 from repro.service.service import DEFAULT_CAPACITY
 
 #: Signature of the linearization hook (see module docstring).
@@ -80,14 +83,23 @@ class ShardedClient:
         capacity: int = DEFAULT_CAPACITY,
         strategy: str = "exact",
         observer: Observer | None = None,
+        obs: Observability | None = None,
     ) -> None:
+        # Observability is on by default (tracing included): the PR-5
+        # differential harness runs against this default, which is what
+        # proves recording never changes a response.
+        self.obs = obs if obs is not None else Observability()
         self._sharded = ShardedService(
-            shards=shards, capacity=capacity, strategy=strategy
+            shards=shards, capacity=capacity, strategy=strategy, obs=self.obs
         )
+        # Per-shard clients share the stack's Observability but do not
+        # time dispatch themselves — this front door does, so each
+        # request lands in dispatch.seconds exactly once.
         self._clients = tuple(
-            CompilerClient(service=service)
+            CompilerClient(service=service, obs=self.obs, record_dispatch=False)
             for service in self._sharded.shard_services()
         )
+        self._dispatch_seconds = self.obs.histogram("dispatch.seconds")
         self._observer = observer
         self._observed = threading.local()
         if module is not None:
@@ -122,17 +134,21 @@ class ShardedClient:
     # ------------------------------------------------------------------
     def dispatch(self, request: Request) -> Response:
         """Answer one protocol request; thread-safe, never raises."""
+        clock = self.obs.clock
+        start = clock()
         self._observed.seen = False
-        response = guarded_dispatch(request, self._dispatch, self._failure)
+        with self.obs.span("dispatch", request=type(request).__name__):
+            response = guarded_dispatch(request, self._dispatch, self._failure)
         # Requests that never reached a locked section (stateless errors)
         # are observed here; everything else was observed under its locks.
         if not getattr(self._observed, "seen", True):
             self._notify(request, response)
+        self._dispatch_seconds.observe(clock() - start)
         return response
 
     def dispatch_json(self, payload) -> dict:
         """Wire driver: JSON envelope in, JSON envelope out, thread-safe."""
-        return dispatch_json_via(self.dispatch, payload)
+        return dispatch_json_via(self.dispatch, payload, obs=self.obs)
 
     _failure = staticmethod(failure_response)
 
@@ -160,6 +176,8 @@ class ShardedClient:
                 return response
         if isinstance(request, CompileSourceRequest):
             return self._compile_source(request)
+        if isinstance(request, StatsRequest):
+            return self._stats(request)
         raise ProtocolError(
             ErrorCode.INVALID_REQUEST,
             f"unsupported request type {type(request).__name__}",
@@ -233,6 +251,24 @@ class ShardedClient:
             # Duplicate names (against the service or within the batch).
             raise ProtocolError(ErrorCode.DUPLICATE_FUNCTION, str(exc)) from None
         return holder[0]
+
+    def _stats(self, request: StatsRequest) -> StatsResponse:
+        """Whole-stack introspection: every shard's metrics in one snapshot.
+
+        Lock-free by design — each counter read is individually atomic,
+        and a stats request must never queue behind (or stall) serving
+        traffic.  Observed post-guard: it reads no function state, so it
+        commutes with every replayed operation.
+        """
+        response = StatsResponse(
+            snapshot=self.obs.snapshot(),
+            stats=self._sharded.stats.as_dict(),
+        )
+        if request.reset:
+            for stats in self._sharded.shard_stats():
+                stats.reset()
+            self.obs.metrics.reset()
+        return response
 
     def __repr__(self) -> str:
         return f"ShardedClient({self._sharded!r})"

@@ -16,6 +16,12 @@ The lock is deliberately *not* reentrant — the concurrent layer never
 nests acquisitions of the same shard (see the lock-order contract in
 DESIGN.md), and non-reentrancy turns an ordering bug into a reproducible
 deadlock the test watchdog reports instead of a silent self-upgrade.
+
+Contention is observable: construct the lock with a :class:`LockMetrics`
+(four :class:`repro.obs.Histogram`\\ s) and the ``read()``/``write()``
+context managers record **wait** time (queueing for the lock — writer
+preference shows up here) separately from **hold** time (inside the
+critical section).  Without metrics the managers pay one ``None`` check.
 """
 
 from __future__ import annotations
@@ -23,15 +29,32 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 
+from repro.obs import Observability
+
+
+class LockMetrics:
+    """Wait/hold histograms for one :class:`RWLock`, labelled per shard."""
+
+    __slots__ = ("clock", "read_wait", "read_hold", "write_wait", "write_hold")
+
+    def __init__(self, obs: Observability, **labels) -> None:
+        self.clock = obs.clock
+        metrics = obs.metrics
+        self.read_wait = metrics.histogram("lock.read.wait_seconds", **labels)
+        self.read_hold = metrics.histogram("lock.read.hold_seconds", **labels)
+        self.write_wait = metrics.histogram("lock.write.wait_seconds", **labels)
+        self.write_hold = metrics.histogram("lock.write.hold_seconds", **labels)
+
 
 class RWLock:
     """Many concurrent readers XOR one exclusive writer, writers first."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: LockMetrics | None = None) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
     # Reader side
@@ -86,19 +109,45 @@ class RWLock:
     @contextmanager
     def read(self):
         """``with lock.read():`` — shared critical section."""
+        metrics = self._metrics
+        if metrics is None:
+            self.acquire_read()
+            try:
+                yield self
+            finally:
+                self.release_read()
+            return
+        clock = metrics.clock
+        queued = clock()
         self.acquire_read()
+        acquired = clock()
+        metrics.read_wait.observe(acquired - queued)
         try:
             yield self
         finally:
+            metrics.read_hold.observe(clock() - acquired)
             self.release_read()
 
     @contextmanager
     def write(self):
         """``with lock.write():`` — exclusive critical section."""
+        metrics = self._metrics
+        if metrics is None:
+            self.acquire_write()
+            try:
+                yield self
+            finally:
+                self.release_write()
+            return
+        clock = metrics.clock
+        queued = clock()
         self.acquire_write()
+        acquired = clock()
+        metrics.write_wait.observe(acquired - queued)
         try:
             yield self
         finally:
+            metrics.write_hold.observe(clock() - acquired)
             self.release_write()
 
     # ------------------------------------------------------------------

@@ -11,6 +11,13 @@ The boundary contract of the protocol extends to the pool: a worker that
 hits an unexpected exception (a buggy dispatcher, say) answers with a
 structured ``INTERNAL`` error envelope instead of dying silently and
 leaving its caller waiting forever.
+
+The pool is where wire-level time is measured: a queue-depth gauge (with
+high-water mark), queue-wait and service-time histograms — the p50/p99
+columns in ``BENCH_concurrency.json`` come straight from
+``wire.request_seconds`` — and an optional **slow-request threshold**
+that routes an over-threshold request's trace tree through the
+:mod:`repro.obs` slow-request hook (never ``print``).
 """
 
 from __future__ import annotations
@@ -20,7 +27,8 @@ import threading
 from typing import Callable, Sequence
 
 from repro.api.errors import ApiError, ErrorCode
-from repro.api.protocol import ErrorResponse, encode_response
+from repro.api.protocol import ErrorResponse, encode_response, trace_context
+from repro.obs import Observability
 from repro.utils import AtomicCounter
 
 #: A ``dispatch_json``-shaped callable: JSON envelope in, envelope out.
@@ -72,9 +80,15 @@ class WireServer:
         dispatcher: JsonDispatcher,
         workers: int = 4,
         max_queue: int = 0,
+        obs: Observability | None = None,
+        slow_threshold: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
+        if slow_threshold is not None and slow_threshold <= 0:
+            raise ValueError(
+                f"slow_threshold must be positive, got {slow_threshold}"
+            )
         self._dispatcher = dispatcher
         self._workers = workers
         self._queue: queue.Queue = queue.Queue(max_queue)
@@ -86,6 +100,15 @@ class WireServer:
         self._lifecycle = threading.Lock()
         #: Requests answered so far (including internal-error answers).
         self.served = AtomicCounter()
+        #: Requests slower than ``slow_threshold`` (0 when no threshold).
+        self.slow = AtomicCounter()
+        self.obs = obs if obs is not None else Observability()
+        self._slow_threshold = slow_threshold
+        #: Envelopes enqueued but not yet dequeued; the gauge's
+        #: high-water mark is the burst depth the pool actually absorbed.
+        self._queue_depth = self.obs.gauge("wire.queue_depth")
+        self._queue_seconds = self.obs.histogram("wire.queue_seconds")
+        self._request_seconds = self.obs.histogram("wire.request_seconds")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -134,15 +157,20 @@ class WireServer:
         with self._lifecycle:
             if not self._started:
                 raise RuntimeError("server is not running (call start())")
-            self._queue.put((payload, pending))
+            self._queue.put((payload, pending, self.obs.clock()))
+            self._queue_depth.inc()
         return pending
 
     def _worker_loop(self) -> None:
+        clock = self.obs.clock
         while True:
             item = self._queue.get()
             if item is _STOP:
                 return
-            payload, pending = item
+            payload, pending, enqueued = item
+            self._queue_depth.dec()
+            start = clock()
+            self._queue_seconds.observe(start - enqueued)
             try:
                 response = self._dispatcher(payload)
             except Exception as exc:  # noqa: BLE001 - keep callers unblocked
@@ -157,8 +185,37 @@ class WireServer:
                         )
                     )
                 )
+            elapsed = clock() - start
+            self._request_seconds.observe(elapsed)
+            threshold = self._slow_threshold
+            if threshold is not None and elapsed > threshold:
+                self.slow += 1
+                self._report_slow(payload, elapsed, threshold)
             self.served += 1
             pending.resolve(response)
+
+    def _report_slow(self, payload, elapsed: float, threshold: float) -> None:
+        """Route one over-threshold request through the obs hook.
+
+        When the request carried a trace context the dispatcher's tracer
+        retained its timing tree; attach it so the report says *where*
+        the time went, not just that it was spent.  Reporting is
+        best-effort and must never disturb serving.
+        """
+        trace_id, _parent = trace_context(payload)
+        trace_root = None
+        if trace_id is not None:
+            trace_root = self.obs.tracer.find_trace(trace_id)
+        request_type = (
+            payload.get("type") if isinstance(payload, dict) else None
+        )
+        self.obs.emit_slow_request(
+            elapsed,
+            threshold,
+            trace_root=trace_root,
+            request_type=request_type,
+            trace_id=trace_id,
+        )
 
 
 def serve_loop(
@@ -166,6 +223,8 @@ def serve_loop(
     payloads: Sequence[dict],
     workers: int = 4,
     timeout: float | None = 60.0,
+    obs: Observability | None = None,
+    slow_threshold: float | None = None,
 ) -> list[dict]:
     """Answer ``payloads`` through a worker pool, in request order.
 
@@ -174,7 +233,14 @@ def serve_loop(
     and the responses come back aligned with their requests.  ``timeout``
     bounds the wait per response so a deadlock in the dispatcher becomes
     a loud ``TimeoutError`` instead of a hung server.
+
+    Pass the dispatcher's own ``obs`` to get one coherent picture (and to
+    let ``slow_threshold`` reports find the request's trace tree); the
+    queue-depth high-water mark then records how deep this batch stacked.
     """
-    with WireServer(dispatcher, workers=workers) as server:
+    server = WireServer(
+        dispatcher, workers=workers, obs=obs, slow_threshold=slow_threshold
+    )
+    with server:
         pendings = [server.submit(payload) for payload in payloads]
         return [pending.result(timeout) for pending in pendings]

@@ -56,6 +56,7 @@ from repro.api.handles import FunctionHandle
 from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.value import Variable
+from repro.obs import Observability
 from repro.service.service import (
     DEFAULT_CAPACITY,
     LivenessRequest,
@@ -121,18 +122,32 @@ class _ShardService(LivenessService):
         with self._cache_mutex:
             super().clear()
 
+    def resident(self) -> list[str]:
+        # The base class iterates the OrderedDict directly; under shared
+        # readers another thread's miss can insert mid-iteration.  The
+        # mutex makes the listing a consistent point-in-time snapshot.
+        with self._cache_mutex:
+            return super().resident()
+
 
 class _Shard:
     """One shard: its lock plus its service."""
 
     __slots__ = ("index", "lock", "service")
 
-    def __init__(self, index: int, capacity: int, strategy: str) -> None:
-        from repro.concurrent.locks import RWLock
+    def __init__(
+        self, index: int, capacity: int, strategy: str, obs: Observability
+    ) -> None:
+        from repro.concurrent.locks import LockMetrics, RWLock
 
         self.index = index
-        self.lock = RWLock()
-        self.service = _ShardService(capacity=capacity, strategy=strategy)
+        self.lock = RWLock(metrics=LockMetrics(obs, shard=index))
+        self.service = _ShardService(
+            capacity=capacity,
+            strategy=strategy,
+            obs=obs,
+            obs_labels={"shard": index},
+        )
 
 
 class ShardedService:
@@ -154,6 +169,10 @@ class ShardedService:
         (each shard gets at least 1).
     strategy:
         ``TargetSets`` strategy handed to every checker.
+    obs:
+        One :class:`repro.obs.Observability` shared by every shard's
+        service and lock (metrics labelled ``shard=i``); a private
+        instance is created when omitted.
     """
 
     def __init__(
@@ -162,14 +181,17 @@ class ShardedService:
         shards: int = DEFAULT_SHARDS,
         capacity: int = DEFAULT_CAPACITY,
         strategy: str = "exact",
+        obs: Observability | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be at least 1, got {shards}")
         if capacity < 1:
             raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self.obs = obs if obs is not None else Observability()
         per_shard = max(1, -(-capacity // shards))  # ceil division
         self._shards = tuple(
-            _Shard(index, per_shard, strategy) for index in range(shards)
+            _Shard(index, per_shard, strategy, self.obs)
+            for index in range(shards)
         )
         #: Guards the global registration-order list (and multi-function
         #: registration as a whole).  Acquired *before* any shard lock.
@@ -227,9 +249,10 @@ class ShardedService:
         indices = sorted({self.shard_of(name) for name in names})
         acquired = []
         try:
-            for index in indices:
-                self._shards[index].lock.acquire_read()
-                acquired.append(index)
+            with self.obs.span("shard_lock", mode="read"):
+                for index in indices:
+                    self._shards[index].lock.acquire_read()
+                    acquired.append(index)
             yield
         finally:
             for index in reversed(acquired):
@@ -241,9 +264,10 @@ class ShardedService:
         indices = sorted({self.shard_of(name) for name in names})
         acquired = []
         try:
-            for index in indices:
-                self._shards[index].lock.acquire_write()
-                acquired.append(index)
+            with self.obs.span("shard_lock", mode="write"):
+                for index in indices:
+                    self._shards[index].lock.acquire_write()
+                    acquired.append(index)
             yield
         finally:
             for index in reversed(acquired):
@@ -406,9 +430,10 @@ class ShardedService:
         live_in = QueryKind.LIVE_IN
         live_out = QueryKind.LIVE_OUT
         try:
-            for index in sorted(involved):
-                shards[index].lock.acquire_read()
-                acquired.append(index)
+            with self.obs.span("shard_lock", mode="read"):
+                for index in sorted(involved):
+                    shards[index].lock.acquire_read()
+                    acquired.append(index)
             current_name: str | None = None
             batch = None
             stats = None

@@ -1,0 +1,33 @@
+"""repro.obs — observability for the liveness-serving stack.
+
+Request-scoped tracing, a metrics registry with latency histograms, and
+wire-drivable introspection, threaded through all five layers (query
+core, :class:`~repro.service.LivenessService`, the API clients, the
+protocol, and the sharded/wire serving layer) without ever influencing
+a response.  See DESIGN.md's "Observability" chapter for the span
+points, label dimensions and the response-invariance argument.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+    to_prometheus,
+)
+from repro.obs.runtime import Observability
+from repro.obs.tracing import Span, Tracer, current_span
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "current_span",
+    "metric_key",
+    "to_prometheus",
+]

@@ -1,0 +1,363 @@
+"""The metrics half of :mod:`repro.obs`: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a named, labelled family of instruments:
+
+* **counters** — :class:`~repro.utils.AtomicCounter`, monotone event
+  counts (engine precomputations, slow requests);
+* **gauges** — :class:`Gauge`, a settable level with a high-water mark
+  (wire queue depth);
+* **histograms** — :class:`Histogram`, fixed-bucket latency
+  distributions from which p50/p90/p99 are derived without storing
+  samples.
+
+Every instrument is addressed by ``(name, labels)`` — e.g.
+``registry.histogram("lock.read.wait_seconds", shard="3")`` — and the
+canonical key ``name{shard=3}`` (labels key-sorted) is what snapshots
+and the Prometheus exposition render.  Lookups are get-or-create: the
+first caller builds the instrument under the registry lock, later
+callers hit a lock-free dict probe, and hot paths may keep the returned
+handle to skip even that.
+
+Everything here is **exact under threads** (each update is one locked
+read-modify-write, so a hammer test can assert totals to the unit) and
+**response-invariant by construction**: instruments record, they never
+feed answers back into the serving path.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+from repro.utils import AtomicCounter
+
+#: Default histogram bucket upper bounds, in seconds: ~exponential from
+#: 10µs to 10s, the range wire requests and lock waits actually span.
+#: Values above the last bound land in an implicit overflow bucket.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def metric_key(name: str, labels: Mapping[str, object]) -> str:
+    """Canonical instrument key: ``name{k=v,...}`` with keys sorted."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Gauge:
+    """A settable level that remembers its high-water mark."""
+
+    __slots__ = ("_lock", "_value", "_high_water")
+
+    def __init__(self, value: float = 0.0) -> None:
+        self._lock = threading.Lock()
+        self._value = value
+        self._high_water = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def high_water(self) -> float:
+        """The largest value ever set (or reached via :meth:`inc`)."""
+        return self._high_water
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+            if value > self._high_water:
+                self._high_water = value
+
+    def inc(self, delta: float = 1.0) -> None:
+        with self._lock:
+            self._value += delta
+            if self._value > self._high_water:
+                self._high_water = self._value
+
+    def dec(self, delta: float = 1.0) -> None:
+        self.inc(-delta)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+            self._high_water = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge(value={self._value}, high_water={self._high_water})"
+
+
+class Histogram:
+    """A fixed-bucket distribution; exact counts, derivable percentiles.
+
+    ``boundaries`` are ascending bucket *upper* bounds; an observation
+    lands in the first bucket whose bound is ≥ the value, or in the
+    implicit overflow bucket past the last bound.  One short lock per
+    ``observe`` keeps bucket counts, the total count and the sum
+    mutually consistent — a hammer from N threads must find
+    ``sum(bucket_counts) == count == observations made``, exactly.
+    """
+
+    __slots__ = ("_lock", "_boundaries", "_counts", "_sum", "_count")
+
+    def __init__(self, boundaries: Iterable[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"boundaries must be strictly ascending: {bounds!r}")
+        self._lock = threading.Lock()
+        self._boundaries = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def boundaries(self) -> tuple[float, ...]:
+        return self._boundaries
+
+    def observe(self, value: float) -> None:
+        """Record one observation (typically a duration in seconds)."""
+        index = bisect_left(self._boundaries, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> list[int]:
+        """Consistent per-bucket counts (last entry is the overflow)."""
+        with self._lock:
+            return list(self._counts)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0–100), interpolated within its bucket.
+
+        Uses one consistent locked snapshot, walks the cumulative bucket
+        counts to the bucket containing rank ``q% × count``, and
+        interpolates linearly between the bucket's bounds (the first
+        bucket's lower bound is 0; the overflow bucket reports the last
+        finite boundary — there is nothing to interpolate toward).
+        Cumulative counts make the result monotone in ``q``, so
+        ``percentile(50) <= percentile(99)`` always holds.  Returns 0.0
+        when empty.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = (q / 100.0) * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self._boundaries):
+                    return self._boundaries[-1]
+                lower = self._boundaries[index - 1] if index else 0.0
+                upper = self._boundaries[index]
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self._boundaries[-1]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self._boundaries) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot: bounds, counts (incl. overflow), count, sum."""
+        with self._lock:
+            return {
+                "boundaries": list(self._boundaries),
+                "counts": list(self._counts),
+                "count": self._count,
+                "sum": self._sum,
+            }
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self._count}, sum={self._sum:.6f})"
+
+
+class MetricsRegistry:
+    """Named, labelled counters, gauges and histograms in one place."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: key → (kind, name, sorted label items, instrument)
+        self._instruments: dict[str, tuple[str, str, tuple, object]] = {}
+
+    def _get_or_create(self, kind: str, name: str, labels: dict, factory):
+        key = metric_key(name, labels)
+        entry = self._instruments.get(key)  # lock-free fast path
+        if entry is None:
+            with self._lock:
+                entry = self._instruments.get(key)
+                if entry is None:
+                    entry = (kind, name, tuple(sorted(labels.items())), factory())
+                    self._instruments[key] = entry
+        if entry[0] != kind:
+            raise ValueError(
+                f"metric {key!r} is a {entry[0]}, requested as a {kind}"
+            )
+        return entry[3]
+
+    def counter(self, name: str, **labels) -> AtomicCounter:
+        """The counter registered under ``(name, labels)``."""
+        return self._get_or_create("counter", name, labels, AtomicCounter)
+
+    def register_counter(
+        self, name: str, counter: AtomicCounter, **labels
+    ) -> AtomicCounter:
+        """Expose an *existing* counter under ``(name, labels)``.
+
+        This is the zero-overhead instrumentation path: a component that
+        already maintains an :class:`AtomicCounter` (``ServiceStats``)
+        registers the very same object, so snapshots see its live value
+        without the hot path paying a second locked add per event.
+        Re-registering a key rebinds it (the newest owner wins).
+        """
+        key = metric_key(name, labels)
+        with self._lock:
+            self._instruments[key] = (
+                "counter",
+                name,
+                tuple(sorted(labels.items())),
+                counter,
+            )
+        return counter
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge registered under ``(name, labels)``."""
+        return self._get_or_create("gauge", name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        """The histogram registered under ``(name, labels)``."""
+        return self._get_or_create(
+            "histogram", name, labels, lambda: Histogram(buckets)
+        )
+
+    def snapshot(self) -> dict:
+        """Canonical JSON-safe snapshot: key-sorted maps per instrument kind.
+
+        The snapshot is a *copy* — mutating it cannot reach back into
+        the live instruments, and (being plain dicts/lists/numbers) it
+        survives a protocol round trip losslessly.
+        """
+        with self._lock:
+            entries = list(self._instruments.items())
+        counters: dict[str, int] = {}
+        gauges: dict[str, dict] = {}
+        histograms: dict[str, dict] = {}
+        for key, (kind, _name, _labels, instrument) in entries:
+            if kind == "counter":
+                counters[key] = int(instrument)
+            elif kind == "gauge":
+                gauges[key] = {
+                    "value": instrument.value,
+                    "high_water": instrument.high_water,
+                }
+            else:
+                histograms[key] = instrument.as_dict()
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations and handles stay valid)."""
+        with self._lock:
+            entries = list(self._instruments.values())
+        for _kind, _name, _labels, instrument in entries:
+            instrument.reset()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(instruments={len(self._instruments)})"
+
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _PROM_NAME.sub("_", name)
+
+
+def _prom_labels(labels: tuple, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of every instrument in ``registry``.
+
+    Counters render as ``repro_<name>_total``, gauges as two series
+    (value and ``_high_water``), histograms in the standard cumulative
+    ``_bucket{le=...}`` / ``_sum`` / ``_count`` form.
+    """
+    with registry._lock:
+        entries = sorted(registry._instruments.items())
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def typeline(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for _key, (kind, name, labels, instrument) in entries:
+        if kind == "counter":
+            prom = _prom_name(name) + "_total"
+            typeline(prom, "counter")
+            lines.append(f"{prom}{_prom_labels(labels)} {int(instrument)}")
+        elif kind == "gauge":
+            prom = _prom_name(name)
+            typeline(prom, "gauge")
+            lines.append(f"{prom}{_prom_labels(labels)} {instrument.value}")
+            hw = prom + "_high_water"
+            typeline(hw, "gauge")
+            lines.append(f"{hw}{_prom_labels(labels)} {instrument.high_water}")
+        else:
+            prom = _prom_name(name)
+            typeline(prom, "histogram")
+            snap = instrument.as_dict()
+            cumulative = 0
+            for bound, count in zip(snap["boundaries"], snap["counts"]):
+                cumulative += count
+                le = 'le="{}"'.format(bound)
+                lines.append(f"{prom}_bucket{_prom_labels(labels, le)} {cumulative}")
+            le_inf = 'le="+Inf"'
+            lines.append(
+                f"{prom}_bucket{_prom_labels(labels, le_inf)} {snap['count']}"
+            )
+            lines.append(f"{prom}_sum{_prom_labels(labels)} {snap['sum']}")
+            lines.append(f"{prom}_count{_prom_labels(labels)} {snap['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

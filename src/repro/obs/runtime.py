@@ -1,0 +1,115 @@
+"""The :class:`Observability` facade each layer of the stack plugs into.
+
+One object bundles the three seams the tentpole needs:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` for counters, gauges
+  and latency histograms;
+* a :class:`~repro.obs.tracing.Tracer` for request-scoped span trees;
+* the **monotonic clock injection seam** (``clock``) both of them share,
+  so tests can freeze time and the differential harness can prove that
+  enabling observability changes no response byte.
+
+Plus the slow-request side: :meth:`Observability.emit_slow_request`
+routes an over-threshold request's trace tree to registered hooks (or
+the ``repro.obs`` logger when none are registered) — never ``print``.
+
+Layers accept ``obs=None`` and default to a private instance, so unit
+tests see clean metrics and independent services never share counters;
+wiring one shared instance through client + server is exactly how an
+application gets a whole-stack snapshot.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry, to_prometheus
+from repro.obs.tracing import Span, Tracer
+
+logger = logging.getLogger("repro.obs")
+
+
+class Observability:
+    """Metrics registry + tracer + clock, as one pluggable unit."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        tracing: bool = True,
+        trace_capacity: int = 64,
+    ) -> None:
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock, capacity=trace_capacity, enabled=tracing)
+        self._slow_hooks: list[Callable[[dict], None]] = []
+
+    # -- convenience passthroughs ---------------------------------------
+    def counter(self, name: str, **labels):
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels):
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels):
+        return self.metrics.histogram(name, **labels)
+
+    def span(self, name: str, **attributes):
+        return self.tracer.span(name, **attributes)
+
+    def request_trace(self, name: str, trace_id: str | None = None, **attributes):
+        return self.tracer.request_trace(name, trace_id=trace_id, **attributes)
+
+    def snapshot(self) -> dict:
+        """Canonical JSON metrics snapshot (see MetricsRegistry.snapshot)."""
+        return self.metrics.snapshot()
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition of the current metrics."""
+        return to_prometheus(self.metrics)
+
+    # -- slow-request reporting -----------------------------------------
+    def on_slow_request(self, hook: Callable[[dict], None]) -> None:
+        """Register a hook receiving each slow request's report dict.
+
+        The report carries ``duration_seconds``, the configured
+        ``threshold_seconds``, and (when the request was traced) the
+        full ``trace`` timing tree.
+        """
+        self._slow_hooks.append(hook)
+
+    def emit_slow_request(
+        self,
+        duration: float,
+        threshold: float,
+        trace_root: Span | None = None,
+        **context,
+    ) -> None:
+        """Report one over-threshold request to hooks, or the logger.
+
+        Hook failures are swallowed (logged at debug): the serving path
+        must never die because a reporting callback did.
+        """
+        report = {
+            "duration_seconds": duration,
+            "threshold_seconds": threshold,
+            **context,
+        }
+        if trace_root is not None:
+            report["trace"] = trace_root.tree()
+        self.counter("obs.slow_requests").add(1)
+        if self._slow_hooks:
+            for hook in self._slow_hooks:
+                try:
+                    hook(report)
+                except Exception:  # noqa: BLE001 — reporting must not raise
+                    logger.debug("slow-request hook failed", exc_info=True)
+        else:
+            logger.warning("slow request: %s", report)
+
+    def __repr__(self) -> str:
+        return (
+            f"Observability(metrics={len(self.metrics)}, "
+            f"tracing={self.tracer.enabled})"
+        )

@@ -1,0 +1,179 @@
+"""Request-scoped tracing: one request in, one structured timing tree out.
+
+A :class:`Tracer` hands out :class:`Span` trees.  The client opens a
+root span per request (:meth:`Tracer.request_trace`); every layer it
+passes through — dispatch, shard-lock acquisition, checker-cache lookup,
+the kernel query itself — brackets its work in :meth:`Tracer.span`.
+Nesting is tracked with a :mod:`contextvars` context variable, so the
+tree assembles itself without any layer knowing about the others, and
+concurrent requests on different threads (the :class:`WireServer`
+worker pool) never see each other's spans.
+
+Two properties matter more than the feature itself:
+
+* **response invariance** — spans only *read* the injected monotonic
+  clock and *write* to the tracer's record buffer; nothing here can
+  alter a response.  The PR-5 differential harness runs with tracing
+  enabled to prove it.
+* **negligible cost when idle** — with no active trace, ``span()``
+  checks one context variable and yields a shared no-op; no clock
+  reads, no allocation beyond the generator frame.
+
+Trace ids are deterministic (a per-tracer ``itertools.count``) unless a
+caller supplies one explicitly — e.g. propagated off the wire envelope.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator
+
+#: The innermost open span for the *current* logical context (thread /
+#: task).  Module-level so independent Tracer instances cannot nest
+#: into each other's trees by accident: a span opened while a different
+#: tracer's trace is active simply no-ops.
+_ACTIVE_SPAN: ContextVar["Span | None"] = ContextVar("repro_obs_span", default=None)
+
+#: How many finished traces a tracer retains (oldest evicted first).
+DEFAULT_TRACE_CAPACITY = 64
+
+
+class Span:
+    """One timed region: name, attributes, duration, child spans."""
+
+    __slots__ = ("name", "trace_id", "attributes", "start", "end", "children")
+
+    def __init__(self, name: str, trace_id: str, start: float, **attributes) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.attributes = attributes
+        self.start = start
+        self.end: float | None = None
+        self.children: list[Span] = []
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def as_dict(self) -> dict:
+        """JSON-safe rendering of the span subtree rooted here."""
+        node = {
+            "name": self.name,
+            "duration_seconds": self.duration,
+        }
+        if self.attributes:
+            node["attributes"] = dict(self.attributes)
+        if self.children:
+            node["children"] = [child.as_dict() for child in self.children]
+        return node
+
+    def tree(self) -> dict:
+        """The whole timing tree with its trace id, wire/log ready."""
+        return {"trace_id": self.trace_id, "root": self.as_dict()}
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1e3:.3f}ms" if self.end is not None else "open"
+        return f"Span({self.name!r}, trace_id={self.trace_id!r}, {state})"
+
+
+class Tracer:
+    """Builds span trees for requests and retains the finished ones.
+
+    ``clock`` is the monotonic-clock seam: tests inject a fake clock to
+    make durations deterministic, and the differential harness relies on
+    the fact that *nothing else* in the tracer touches ambient state.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        capacity: int = DEFAULT_TRACE_CAPACITY,
+        enabled: bool = True,
+    ) -> None:
+        self._clock = clock
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._auto_ids = itertools.count(1)
+
+    # -- root spans ------------------------------------------------------
+    @contextmanager
+    def request_trace(self, name: str, trace_id: str | None = None, **attributes):
+        """Open a root span for one request; record the tree on exit.
+
+        ``trace_id`` is honoured when the caller propagates one (say,
+        off a wire envelope); otherwise a deterministic local id is
+        minted.  When the tracer is disabled *and* no explicit id was
+        supplied, this is a no-op yielding ``None`` — but an explicit id
+        always produces a trace, so wire callers asking to be traced
+        get their tree even against a quiet default tracer.
+        """
+        if not self.enabled and trace_id is None:
+            yield None
+            return
+        if trace_id is None:
+            trace_id = f"local-{next(self._auto_ids)}"
+        root = Span(name, trace_id, self._clock(), **attributes)
+        token = _ACTIVE_SPAN.set(root)
+        try:
+            yield root
+        finally:
+            root.end = self._clock()
+            _ACTIVE_SPAN.reset(token)
+            with self._lock:
+                self._finished.append(root)
+
+    # -- child spans -----------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """Bracket a timed region under the current trace, if any.
+
+        Without an active trace this yields ``None`` after a single
+        context-variable read — the instrumented hot paths stay hot.
+        """
+        parent = _ACTIVE_SPAN.get()
+        if parent is None:
+            yield None
+            return
+        child = Span(name, parent.trace_id, self._clock(), **attributes)
+        parent.children.append(child)
+        token = _ACTIVE_SPAN.set(child)
+        try:
+            yield child
+        finally:
+            child.end = self._clock()
+            _ACTIVE_SPAN.reset(token)
+
+    # -- retained traces -------------------------------------------------
+    def finished_traces(self) -> list[Span]:
+        """Finished root spans, oldest first (bounded by capacity)."""
+        with self._lock:
+            return list(self._finished)
+
+    def find_trace(self, trace_id: str) -> Span | None:
+        """The most recent finished trace with this id, if retained."""
+        with self._lock:
+            for root in reversed(self._finished):
+                if root.trace_id == trace_id:
+                    return root
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+
+def current_span() -> Span | None:
+    """The innermost open span in this context, or ``None``."""
+    return _ACTIVE_SPAN.get()

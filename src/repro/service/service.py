@@ -34,7 +34,12 @@ Design points:
   matter how the stream interleaves.
 * **Observability.**  :class:`ServiceStats` counts cache hits, misses,
   evictions, invalidations and answered queries — the numbers
-  ``bench/table_service.py`` reports.
+  ``bench/table_service.py`` reports.  The same counters are registered
+  (not copied) into a :class:`repro.obs.Observability` metrics registry
+  — labelled per shard by the concurrent layer — so wire-level
+  ``StatsRequest`` snapshots see them at zero hot-path cost; checker
+  construction and out-of-SSA translation are bracketed in trace spans.
+  All of it is recording-only and never alters an answer.
 """
 
 from __future__ import annotations
@@ -50,6 +55,7 @@ from repro.core.live_checker import FastLivenessChecker
 from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.value import Variable
+from repro.obs import Observability
 from repro.utils import AtomicCounter
 
 #: Default maximum number of resident checkers.
@@ -152,6 +158,15 @@ class ServiceStats:
                 getattr(total, name).add(int(getattr(part, name)))
         return total
 
+    def reset(self) -> dict[str, int]:
+        """Zero every counter; returns the counts they replaced.
+
+        Each counter's get-and-set is atomic (one critical section per
+        field), so an interval scrape — ``StatsRequest(reset=True)`` —
+        attributes every concurrent increment to exactly one interval.
+        """
+        return {name: getattr(self, name).reset() for name in STAT_FIELDS}
+
 
 class LivenessService:
     """Liveness queries for a whole :class:`~repro.ir.module.Module`.
@@ -166,6 +181,14 @@ class LivenessService:
         entries are evicted beyond that.
     strategy:
         ``TargetSets`` construction strategy handed to every checker.
+    obs:
+        :class:`repro.obs.Observability` to record into; a private
+        instance is created when omitted, so independent services never
+        share instruments.  Pass one shared instance (the concurrent
+        layer does) to get a whole-stack snapshot.
+    obs_labels:
+        Label dimensions stamped on every cache metric — the sharded
+        layer passes ``{"shard": i}`` so snapshots separate per shard.
     """
 
     def __init__(
@@ -173,6 +196,8 @@ class LivenessService:
         module: Module | Iterable[Function] | None = None,
         capacity: int = DEFAULT_CAPACITY,
         strategy: str = "exact",
+        obs: Observability | None = None,
+        obs_labels: dict | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be at least 1, got {capacity}")
@@ -182,6 +207,27 @@ class LivenessService:
         self._capacity = capacity
         self._strategy = strategy
         self.stats = ServiceStats()
+        self.obs = obs if obs is not None else Observability()
+        labels = dict(obs_labels or {})
+        # The cache/traffic counters the stats object already maintains
+        # are *registered* as metrics rather than mirrored — snapshots
+        # read the very same AtomicCounter objects, so the query hot path
+        # pays nothing extra for observability (the single-thread
+        # no-regression bench guard holds it to that).
+        metrics = self.obs.metrics
+        metrics.register_counter("service.cache.hits", self.stats.hits, **labels)
+        metrics.register_counter(
+            "service.cache.misses", self.stats.misses, **labels
+        )
+        metrics.register_counter(
+            "service.cache.evictions", self.stats.evictions, **labels
+        )
+        metrics.register_counter(
+            "engine.queries", self.stats.queries, engine=FAST, **labels
+        )
+        self._obs_precomputations = metrics.counter(
+            "engine.precomputations", engine=FAST, **labels
+        )
         if module is not None:
             for function in module:
                 self.register(function)
@@ -276,8 +322,10 @@ class LivenessService:
         except KeyError:
             raise KeyError(f"unknown function {name!r}") from None
         self.stats.misses += 1
-        checker = FastLivenessChecker(function, strategy=self._strategy)
-        checker.prepare()
+        with self.obs.span("checker_build", function=name):
+            checker = FastLivenessChecker(function, strategy=self._strategy)
+            checker.prepare()
+        self._obs_precomputations.add(1)
         self._checkers[name] = checker
         while len(self._checkers) > self._capacity:
             self._checkers.popitem(last=False)
@@ -415,15 +463,17 @@ class LivenessService:
         spec = get_engine(engine)  # unknown engines fail before any mutation
         fn = self._functions[function]
         checker = self.checker(function) if spec.name == FAST else None
+        self.obs.counter("engine.destructs", engine=spec.name).add(1)
         try:
-            report = run_destruct(
-                fn,
-                backend=spec,
-                checker=checker,
-                verify=verify,
-                collect_decisions=collect_decisions,
-                on_cfg_changed=lambda: self.notify_cfg_changed(function),
-            )
+            with self.obs.span("destruct", function=function, engine=spec.name):
+                report = run_destruct(
+                    fn,
+                    backend=spec,
+                    checker=checker,
+                    verify=verify,
+                    collect_decisions=collect_decisions,
+                    on_cfg_changed=lambda: self.notify_cfg_changed(function),
+                )
         except Exception:
             # Past engine resolution, the pipeline mutates before it can
             # fail (edge splitting, φ isolation): invalidate pessimistically

@@ -1,8 +1,19 @@
 """Small shared utilities with no dependency on the rest of the package.
 
-Currently home to :class:`AtomicCounter`, the thread-safe counter behind
-:class:`~repro.service.ServiceStats` and the concurrent serving layer's
-traffic accounting.
+Currently home to :class:`AtomicCounter` and :class:`AtomicSum`, the
+thread-safe accumulators behind :class:`~repro.service.ServiceStats`,
+the concurrent serving layer's traffic accounting, and the metrics of
+:mod:`repro.obs`.
+
+A note on snapshot reads: ``int(counter)`` / ``counter.value`` read the
+underlying attribute *without* the lock.  That is deliberate and safe —
+a CPython attribute load of an ``int`` (or ``float``) is a single
+reference fetch under the GIL, so the read observes some value that was
+actually stored; there is no torn/partial read to protect against.  The
+lock exists for read-*modify*-write sequences (``add``, ``reset``),
+which genuinely lose updates without it.  :meth:`AtomicCounter.snapshot`
+takes the lock anyway, for callers that want a read ordered *after* any
+in-flight ``add``/``reset`` on another thread.
 """
 
 from __future__ import annotations
@@ -44,10 +55,23 @@ class AtomicCounter:
             self._value += delta
             return self._value
 
-    def reset(self, value: int = 0) -> None:
-        """Atomically reset the count."""
+    def reset(self, value: int = 0) -> int:
+        """Atomically reset the count; returns the value it replaced.
+
+        The get-and-set is one critical section, so ``old = c.reset()``
+        is snapshot-consistent: every concurrent ``add`` lands entirely
+        in the returned total or entirely in the fresh count — none is
+        split across the two or lost.
+        """
         with self._lock:
+            previous = self._value
             self._value = int(value)
+            return previous
+
+    def snapshot(self) -> int:
+        """A locked point-in-time read (ordered after in-flight adds)."""
+        with self._lock:
+            return self._value
 
     # -- augmented assignment: ``counter += n`` is a locked add ---------
     def __iadd__(self, delta: int) -> "AtomicCounter":
@@ -136,3 +160,57 @@ class AtomicCounter:
 
     def __format__(self, spec: str) -> str:
         return format(self._value, spec)
+
+
+class AtomicSum:
+    """A float accumulator whose ``add`` is atomic under threads.
+
+    The timing sibling of :class:`AtomicCounter`: histogram totals and
+    wall-clock sums accumulate fractional seconds, where ``x += dt`` on
+    a plain float attribute has the same lost-update race as the integer
+    counter.  Kept separate from :class:`AtomicCounter` on purpose — the
+    counter's int-like identity (``__index__``, exact comparisons) is a
+    contract its users rely on, and floats satisfy none of it.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, value: float = 0.0) -> None:
+        self._lock = threading.Lock()
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """A plain-``float`` snapshot of the current total."""
+        return self._value
+
+    def add(self, delta: float) -> float:
+        """Atomically add ``delta``; returns the new total."""
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    def reset(self, value: float = 0.0) -> float:
+        """Atomically reset the total; returns the total it replaced."""
+        with self._lock:
+            previous = self._value
+            self._value = float(value)
+            return previous
+
+    def snapshot(self) -> float:
+        """A locked point-in-time read (ordered after in-flight adds)."""
+        with self._lock:
+            return self._value
+
+    def __iadd__(self, delta: float) -> "AtomicSum":
+        self.add(delta)
+        return self
+
+    def __float__(self) -> float:
+        return self._value
+
+    def __bool__(self) -> bool:
+        return self._value != 0.0
+
+    def __repr__(self) -> str:
+        return f"AtomicSum({self._value!r})"

@@ -1,0 +1,342 @@
+"""Whole-stack observability: wire introspection, trace propagation,
+response invariance.
+
+These tests drive the real layers — ``CompilerClient``,
+``ShardedClient``, ``WireServer`` — and check the tentpole's contracts:
+
+* ``StatsRequest`` over ``dispatch_json`` returns per-shard cache
+  hit/miss/eviction counts and a latency histogram from which p50/p99
+  are derivable (the same derivation the concurrency bench performs);
+* a ``trace_id`` attached to a request envelope survives
+  encode → decode → dispatch on both clients, is echoed on the response
+  envelope, and is **absent by default**;
+* enabling observability (tracing included) changes no response byte.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.client import CompilerClient
+from repro.api.protocol import (
+    LivenessQuery,
+    StatsRequest,
+    attach_trace,
+    decode_response,
+    encode_request,
+    trace_context,
+)
+from repro.concurrent import ShardedClient, serve_loop
+from repro.obs import Observability
+from tests.concurrent.test_server import make_payloads
+from tests.concurrent.test_sharded import make_module, sample_requests
+
+
+def percentile_from_snapshot(histogram_snapshot: dict, q: float) -> float:
+    """Derive the q-th percentile from a wire histogram snapshot alone.
+
+    This is the client-side half of the introspection contract: the
+    snapshot's ``boundaries``/``counts`` are sufficient to reproduce
+    ``Histogram.percentile`` without access to the live instrument.
+    """
+    boundaries = histogram_snapshot["boundaries"]
+    counts = histogram_snapshot["counts"]
+    total = histogram_snapshot["count"]
+    if total == 0:
+        return 0.0
+    rank = (q / 100.0) * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= rank and bucket_count:
+            if index >= len(boundaries):
+                return boundaries[-1]
+            lower = boundaries[index - 1] if index else 0.0
+            upper = boundaries[index]
+            fraction = (rank - previous) / bucket_count
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+    return boundaries[-1]
+
+
+def query_payloads(module, count=40, seed=5):
+    return make_payloads(module, count, seed=seed)
+
+
+class TestStatsOverTheWire:
+    def test_sharded_stats_request_reports_per_shard_cache_counters(self):
+        module = make_module(8, seed=11)
+        # Tiny per-shard capacity forces evictions under mixed traffic.
+        client = ShardedClient(module, shards=4, capacity=4)
+        for request in sample_requests(module, 200, seed=13):
+            client.dispatch(
+                LivenessQuery(
+                    function=request.function,
+                    kind=request.kind,
+                    variable=request.variable.name,
+                    block=request.block,
+                )
+            )
+        envelope = client.dispatch_json(encode_request(StatsRequest()))
+        response = decode_response(envelope)
+        assert response.ok
+        counters = response.snapshot["counters"]
+        per_shard = {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("service.cache.hits{")
+        }
+        assert len(per_shard) == 4  # one series per shard
+        # The registered counters ARE the live ServiceStats objects, so
+        # the wire numbers must agree with the in-process roll-up.
+        stats = client.service.stats
+        assert sum(per_shard.values()) == int(stats.hits)
+        misses = [
+            counters[f"service.cache.misses{{shard={i}}}"] for i in range(4)
+        ]
+        evictions = [
+            counters[f"service.cache.evictions{{shard={i}}}"] for i in range(4)
+        ]
+        assert sum(misses) == int(stats.misses)
+        assert sum(evictions) == int(stats.evictions)
+        assert sum(evictions) > 0  # the tiny cache really did churn
+        # The service-level roll-up rides along for convenience.
+        assert response.stats["hits"] == int(stats.hits)
+
+    def test_dispatch_latency_histogram_yields_percentiles(self):
+        module = make_module(4, seed=3)
+        client = ShardedClient(module, shards=2)
+        queries = query_payloads(module, count=60)
+        for payload in queries:
+            client.dispatch_json(payload)
+        envelope = client.dispatch_json(encode_request(StatsRequest()))
+        response = decode_response(envelope)
+        histogram = response.snapshot["histograms"]["dispatch.seconds"]
+        # Every query (not the stats request itself, whose dispatch is
+        # still in flight while the snapshot is taken) was timed once.
+        assert histogram["count"] == len(queries)
+        assert sum(histogram["counts"]) == histogram["count"]
+        p50 = percentile_from_snapshot(histogram, 50)
+        p99 = percentile_from_snapshot(histogram, 99)
+        assert 0.0 < p50 <= p99
+        assert histogram["sum"] > 0.0
+
+    def test_stats_reset_zeroes_the_interval(self):
+        module = make_module(4, seed=9)
+        client = ShardedClient(module, shards=2)
+        for payload in query_payloads(module, count=30):
+            client.dispatch_json(payload)
+        first = decode_response(
+            client.dispatch_json(encode_request(StatsRequest(reset=True)))
+        )
+        assert sum(
+            value
+            for name, value in first.snapshot["counters"].items()
+            if name.startswith("service.cache.")
+        ) > 0
+        second = decode_response(
+            client.dispatch_json(encode_request(StatsRequest()))
+        )
+        for name, value in second.snapshot["counters"].items():
+            if name.startswith("service.cache."):
+                assert value == 0, name
+        assert second.stats["queries"] == 0
+
+    def test_serial_client_answers_stats_too(self):
+        module = make_module(3, seed=21)
+        client = CompilerClient(module)
+        for request in sample_requests(module, 50, seed=2):
+            client.dispatch(
+                LivenessQuery(
+                    function=request.function,
+                    kind=request.kind,
+                    variable=request.variable.name,
+                    block=request.block,
+                )
+            )
+        response = client.dispatch(StatsRequest())
+        assert response.ok
+        counters = response.snapshot["counters"]
+        assert counters["service.cache.hits"] == int(client.service.stats.hits)
+        assert counters["engine.queries{engine=fast}"] == int(
+            client.service.stats.queries
+        )
+        assert response.snapshot["histograms"]["dispatch.seconds"]["count"] > 0
+
+
+class TestTracePropagation:
+    def test_trace_id_round_trips_and_is_recorded(self):
+        module = make_module(4, seed=7)
+        client = ShardedClient(module, shards=2)
+        payload = attach_trace(query_payloads(module, count=1)[0], "wire-42")
+        envelope = client.dispatch_json(payload)
+        # The response envelope echoes exactly the trace id — no timing
+        # data (that would break response invariance).
+        assert envelope["trace"] == {"trace_id": "wire-42"}
+        root = client.obs.tracer.find_trace("wire-42")
+        assert root is not None
+        span_names = {span.name for span in root.walk()}
+        assert {"request", "dispatch", "shard_lock", "checker_lookup"} <= span_names
+        assert "kernel_query" in span_names
+
+    def test_untraced_requests_get_no_trace_echo(self):
+        module = make_module(3, seed=7)
+        client = ShardedClient(module, shards=2)
+        envelope = client.dispatch_json(query_payloads(module, count=1)[0])
+        assert "trace" not in envelope
+
+    def test_parent_span_rides_along(self):
+        payload = attach_trace({"api": 1}, "t1", parent_span="span-9")
+        assert trace_context(payload) == ("t1", "span-9")
+        assert trace_context(json.dumps(payload)) == ("t1", "span-9")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        trace_id=st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Lu", "Ll", "Nd"), min_codepoint=32
+            ),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    def test_any_trace_id_survives_both_clients(self, trace_id):
+        module = trace_module()
+        for client in (
+            CompilerClient(module),
+            ShardedClient(module, shards=2),
+        ):
+            payload = attach_trace(
+                dict(trace_payload(module)), trace_id
+            )
+            # Survives a full JSON round trip (string wire form) too.
+            envelope = client.dispatch_json(json.loads(json.dumps(payload)))
+            assert envelope["trace"] == {"trace_id": trace_id}
+            assert client.obs.tracer.find_trace(trace_id) is not None
+
+    def test_traced_and_untraced_responses_are_identical_otherwise(self):
+        module = make_module(4, seed=15)
+        plain = ShardedClient(module, shards=2)
+        traced = ShardedClient(make_module(4, seed=15), shards=2)
+        for index, payload in enumerate(query_payloads(module, count=30)):
+            untraced_envelope = plain.dispatch_json(dict(payload))
+            traced_envelope = traced.dispatch_json(
+                attach_trace(dict(payload), f"t-{index}")
+            )
+            trace = traced_envelope.pop("trace")
+            assert trace == {"trace_id": f"t-{index}"}
+            assert traced_envelope == untraced_envelope
+
+
+_TRACE_MODULE = None
+
+
+def trace_module():
+    """One shared module for the hypothesis examples (built once)."""
+    global _TRACE_MODULE
+    if _TRACE_MODULE is None:
+        _TRACE_MODULE = make_module(3, seed=31)
+    return _TRACE_MODULE
+
+
+def trace_payload(module):
+    return query_payloads(module, count=1, seed=4)[0]
+
+
+class TestResponseInvariance:
+    def test_observability_off_and_on_answer_identically(self):
+        module_a = make_module(5, seed=19)
+        module_b = make_module(5, seed=19)
+        quiet = ShardedClient(
+            module_a, shards=2, obs=Observability(tracing=False)
+        )
+        loud = ShardedClient(module_b, shards=2)  # default: everything on
+        payloads = query_payloads(module_a, count=80)
+        for payload in payloads:
+            assert loud.dispatch_json(payload) == quiet.dispatch_json(payload)
+        # The loud stack really was recording the whole time.
+        snapshot = loud.obs.snapshot()
+        assert snapshot["histograms"]["dispatch.seconds"]["count"] == len(
+            payloads
+        )
+
+    def test_stats_request_commutes_with_serving(self):
+        module = make_module(4, seed=23)
+        reference = ShardedClient(make_module(4, seed=23), shards=2)
+        client = ShardedClient(module, shards=2)
+        payloads = query_payloads(module, count=40)
+        expected = [reference.dispatch_json(dict(p)) for p in payloads]
+        answered = []
+        for index, payload in enumerate(payloads):
+            if index % 10 == 5:  # interleave introspection with traffic
+                stats = decode_response(
+                    client.dispatch_json(encode_request(StatsRequest()))
+                )
+                assert stats.ok
+            answered.append(client.dispatch_json(dict(payload)))
+        assert answered == expected
+
+
+class TestWireServerObservability:
+    def test_slow_threshold_routes_reports_through_the_hook(self):
+        module = make_module(3, seed=29)
+        obs = Observability()
+        client = ShardedClient(module, shards=2, obs=obs)
+        reports = []
+        obs.on_slow_request(reports.append)
+        payloads = [
+            attach_trace(payload, f"wire-{index}")
+            for index, payload in enumerate(query_payloads(module, count=12))
+        ]
+        # An impossible threshold: every request is "slow", so the hook
+        # must fire for each, with the trace tree attached.
+        responses = serve_loop(
+            client.dispatch_json,
+            payloads,
+            workers=2,
+            obs=obs,
+            slow_threshold=1e-12,
+        )
+        assert len(responses) == len(payloads)
+        assert len(reports) == len(payloads)
+        for report in reports:
+            assert report["duration_seconds"] > report["threshold_seconds"]
+            assert report["request_type"] == "liveness_query"
+            assert report["trace"]["root"]["name"] == "request"
+        assert int(obs.counter("obs.slow_requests")) == len(payloads)
+
+    def test_queue_metrics_accumulate(self):
+        module = make_module(3, seed=2)
+        obs = Observability()
+        client = ShardedClient(module, shards=2, obs=obs)
+        payloads = query_payloads(module, count=50)
+        serve_loop(client.dispatch_json, payloads, workers=2, obs=obs)
+        snapshot = obs.snapshot()
+        gauge = snapshot["gauges"]["wire.queue_depth"]
+        assert gauge["value"] == 0.0  # fully drained
+        # serve_loop enqueues the whole batch up front, so the high-water
+        # mark reflects a real burst.
+        assert gauge["high_water"] > 1.0
+        assert snapshot["histograms"]["wire.request_seconds"]["count"] == len(
+            payloads
+        )
+        assert snapshot["histograms"]["wire.queue_seconds"]["count"] == len(
+            payloads
+        )
+
+    def test_no_threshold_means_no_slow_accounting(self):
+        module = make_module(2, seed=6)
+        obs = Observability()
+        client = ShardedClient(module, shards=2, obs=obs)
+        serve_loop(
+            client.dispatch_json, query_payloads(module, count=10), obs=obs
+        )
+        assert "obs.slow_requests" not in obs.snapshot()["counters"]
+
+    def test_invalid_slow_threshold_is_rejected(self):
+        from repro.concurrent import WireServer
+
+        with pytest.raises(ValueError, match="slow_threshold"):
+            WireServer(lambda payload: payload, slow_threshold=0.0)

@@ -1,0 +1,301 @@
+"""Unit tests for the metrics half of repro.obs.
+
+The load-bearing claims: instruments are **exact under threads** (a
+hammer must account for every single observation), percentiles are
+derivable from bucket counts alone (monotone in q, interpolated within
+a bucket), and the registry's snapshot/reset/exposition are pure
+recording — copies out, never references into the live instruments.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+    to_prometheus,
+)
+from repro.utils import AtomicCounter, AtomicSum
+from tests.concurrent.test_locks import join_all, spawn
+
+
+class TestMetricKey:
+    def test_no_labels_is_the_bare_name(self):
+        assert metric_key("service.cache.hits", {}) == "service.cache.hits"
+
+    def test_labels_are_key_sorted(self):
+        key = metric_key("lock.wait", {"shard": 3, "mode": "read"})
+        assert key == "lock.wait{mode=read,shard=3}"
+
+    def test_label_order_does_not_matter(self):
+        a = metric_key("n", {"x": 1, "y": 2})
+        b = metric_key("n", {"y": 2, "x": 1})
+        assert a == b
+
+
+class TestAtomics:
+    def test_counter_reset_returns_previous_value(self):
+        counter = AtomicCounter()
+        counter.add(7)
+        assert counter.reset() == 7
+        assert int(counter) == 0
+        counter.add(2)
+        assert counter.reset(10) == 2
+        assert int(counter) == 10
+
+    def test_counter_reset_is_snapshot_consistent_under_hammer(self):
+        # Every add lands entirely in one interval: the sum of all
+        # resets plus the final residue must equal the adds made.
+        counter = AtomicCounter()
+        threads, adds_per_thread = 8, 5000
+        harvested = []
+        harvest_lock = threading.Lock()
+
+        def adder():
+            for _ in range(adds_per_thread):
+                counter.add(1)
+
+        def reaper():
+            for _ in range(200):
+                value = counter.reset()
+                with harvest_lock:
+                    harvested.append(value)
+
+        workers = spawn(adder, threads) + spawn(reaper, 1)
+        join_all(workers)
+        total = sum(harvested) + counter.reset()
+        assert total == threads * adds_per_thread
+
+    def test_atomic_sum_accumulates_and_resets(self):
+        total = AtomicSum()
+        assert total.add(0.5) == 0.5
+        total += 1.25
+        assert total.snapshot() == pytest.approx(1.75)
+        assert total.reset() == pytest.approx(1.75)
+        assert float(total) == 0.0
+
+    def test_atomic_sum_is_exact_under_threads(self):
+        total = AtomicSum()
+        threads, adds_per_thread = 8, 4000
+
+        def adder():
+            for _ in range(adds_per_thread):
+                total.add(0.125)  # exactly representable: no FP slop
+
+        join_all(spawn(adder, threads))
+        assert total.snapshot() == threads * adds_per_thread * 0.125
+
+
+class TestGauge:
+    def test_set_inc_dec_and_high_water(self):
+        gauge = Gauge()
+        gauge.inc()
+        gauge.inc()
+        assert gauge.value == 2.0
+        assert gauge.high_water == 2.0
+        gauge.dec()
+        assert gauge.value == 1.0
+        assert gauge.high_water == 2.0  # the mark survives the drop
+        gauge.set(0.5)
+        assert gauge.high_water == 2.0
+        gauge.set(9.0)
+        assert gauge.high_water == 9.0
+
+    def test_reset_clears_value_and_mark(self):
+        gauge = Gauge()
+        gauge.set(4.0)
+        gauge.reset()
+        assert gauge.value == 0.0
+        assert gauge.high_water == 0.0
+
+
+class TestHistogram:
+    def test_observations_land_in_their_buckets(self):
+        histogram = Histogram(boundaries=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        # bisect_left on upper bounds: exact boundary values belong to
+        # their own bucket, anything past the last bound overflows.
+        assert histogram.bucket_counts() == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(106.0)
+
+    def test_rejects_empty_or_unsorted_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram(boundaries=())
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(2.0, 1.0))
+
+    def test_percentile_is_interpolated_within_the_bucket(self):
+        histogram = Histogram(boundaries=(1.0, 2.0))
+        for _ in range(100):
+            histogram.observe(1.5)  # all mass in the (1.0, 2.0] bucket
+        # Rank q lands q% of the way through the bucket's 100 samples.
+        assert histogram.percentile(50) == pytest.approx(1.5)
+        assert histogram.percentile(0) == pytest.approx(1.0)
+        assert histogram.percentile(100) == pytest.approx(2.0)
+
+    def test_percentile_edge_cases(self):
+        histogram = Histogram(boundaries=(1.0, 2.0))
+        assert histogram.percentile(50) == 0.0  # empty
+        histogram.observe(100.0)  # overflow bucket
+        assert histogram.percentile(99) == 2.0  # reported as last bound
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+
+    def test_percentile_is_monotone_in_q(self):
+        histogram = Histogram()
+        for index in range(500):
+            histogram.observe((index % 97) * 1e-4)
+        values = [histogram.percentile(q) for q in range(0, 101, 5)]
+        assert values == sorted(values)
+        assert histogram.percentile(50) <= histogram.percentile(99)
+
+    def test_multithreaded_hammer_is_exact(self):
+        """N threads, M observations each: nothing lost, nothing torn.
+
+        The histogram's one-lock-per-observe design promises that bucket
+        counts, the total count and the sum stay mutually consistent —
+        so after the hammer every single observation must be accounted
+        for, to the unit, in all three.
+        """
+        histogram = Histogram()  # default latency buckets
+        threads, observations = 8, 5000
+        values = [1e-5 * (1 + index % 1000) for index in range(observations)]
+
+        def hammer():
+            observe = histogram.observe
+            for value in values:
+                observe(value)
+
+        join_all(spawn(hammer, threads))
+        expected = threads * observations
+        assert histogram.count == expected
+        assert sum(histogram.bucket_counts()) == expected
+        assert histogram.sum == pytest.approx(threads * sum(values), rel=1e-9)
+        snap = histogram.as_dict()
+        assert snap["count"] == expected
+        assert sum(snap["counts"]) == expected
+
+    def test_reset_zeroes_everything(self):
+        histogram = Histogram(boundaries=(1.0,))
+        histogram.observe(0.5)
+        histogram.observe(2.0)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+        assert histogram.bucket_counts() == [0, 0]
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", shard=0)
+        b = registry.counter("hits", shard=0)
+        c = registry.counter("hits", shard=1)
+        assert a is b
+        assert a is not c
+        assert len(registry) == 2
+
+    def test_kind_mismatch_fails_loudly(self):
+        registry = MetricsRegistry()
+        registry.counter("latency")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.histogram("latency")
+        with pytest.raises(ValueError, match="requested as a gauge"):
+            registry.gauge("latency")
+
+    def test_register_counter_binds_the_live_object(self):
+        registry = MetricsRegistry()
+        external = AtomicCounter()
+        bound = registry.register_counter("service.cache.hits", external, shard=2)
+        assert bound is external
+        external += 5  # the owner increments through its own handle
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["service.cache.hits{shard=2}"] == 5
+        # reset() through the registry reaches the same object.
+        registry.reset()
+        assert int(external) == 0
+
+    def test_snapshot_is_a_key_sorted_copy(self):
+        registry = MetricsRegistry()
+        registry.counter("b").add(2)
+        registry.counter("a").add(1)
+        registry.gauge("depth").set(3.0)
+        registry.histogram("lat").observe(0.01)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["gauges"]["depth"] == {"value": 3.0, "high_water": 3.0}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+        # Mutating the copy must not reach the live instruments.
+        snapshot["counters"]["a"] = 999
+        snapshot["histograms"]["lat"]["counts"][0] = 999
+        assert registry.snapshot()["counters"]["a"] == 1
+        assert sum(registry.snapshot()["histograms"]["lat"]["counts"]) == 1
+
+    def test_reset_keeps_handles_valid(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        counter.add(4)
+        registry.reset()
+        assert int(counter) == 0
+        counter.add(1)  # the pre-reset handle still feeds the registry
+        assert registry.snapshot()["counters"]["events"] == 1
+
+    def test_histogram_custom_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("custom", buckets=(1.0, 2.0))
+        assert histogram.boundaries == (1.0, 2.0)
+        again = registry.histogram("custom")
+        assert again is histogram  # first creation pins the geometry
+
+
+class TestPrometheusExposition:
+    def test_counters_gauges_histograms_render(self):
+        registry = MetricsRegistry()
+        registry.counter("service.cache.hits", shard=0).add(3)
+        gauge = registry.gauge("wire.queue_depth")
+        gauge.set(5.0)
+        gauge.set(2.0)
+        histogram = registry.histogram("wire.request_seconds")
+        histogram.observe(2e-5)
+        histogram.observe(3e-5)
+        histogram.observe(99.0)  # overflow
+        text = to_prometheus(registry)
+        lines = text.splitlines()
+        assert "# TYPE repro_service_cache_hits_total counter" in lines
+        assert 'repro_service_cache_hits_total{shard="0"} 3' in lines
+        assert "repro_wire_queue_depth 2.0" in lines
+        assert "repro_wire_queue_depth_high_water 5.0" in lines
+        # Cumulative buckets: 2e-5 alone fits under the 2.5e-05 bound,
+        # both small observations under 5e-05; +Inf equals the count.
+        assert 'repro_wire_request_seconds_bucket{le="2.5e-05"} 1' in lines
+        assert 'repro_wire_request_seconds_bucket{le="5e-05"} 2' in lines
+        assert 'repro_wire_request_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_wire_request_seconds_count 3" in lines
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_bucket_series_is_cumulative_and_ordered(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        for bound in DEFAULT_LATENCY_BUCKETS:
+            histogram.observe(bound)  # one observation per bucket
+        text = to_prometheus(registry)
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_lat_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == len(DEFAULT_LATENCY_BUCKETS)  # the +Inf series

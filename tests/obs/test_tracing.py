@@ -1,0 +1,202 @@
+"""Unit tests for request-scoped tracing (span trees, contextvar nesting).
+
+Durations are made deterministic by injecting a fake monotonic clock —
+the same seam the differential harness relies on to prove observability
+is response-invariant.
+"""
+
+import pytest
+
+from repro.obs import Observability, Tracer, current_span
+from repro.obs.tracing import DEFAULT_TRACE_CAPACITY
+from tests.concurrent.test_locks import join_all, spawn
+
+
+class FakeClock:
+    """A monotonic clock advancing one second per read."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestSpanTrees:
+    def test_nested_spans_assemble_a_tree_with_durations(self):
+        tracer = Tracer(FakeClock())
+        with tracer.request_trace("request", request="LivenessQuery") as root:
+            with tracer.span("dispatch") as dispatch:
+                with tracer.span("checker_lookup", function="fn0"):
+                    pass
+                with tracer.span("kernel_query", kind="live_in"):
+                    pass
+        assert root.trace_id == "local-1"
+        assert [child.name for child in root.children] == ["dispatch"]
+        assert [child.name for child in dispatch.children] == [
+            "checker_lookup",
+            "kernel_query",
+        ]
+        # Fake clock: every span's end comes after its start, children
+        # nest strictly inside their parent.
+        for span in root.walk():
+            assert span.end is not None and span.end > span.start
+        assert dispatch.start > root.start
+        assert dispatch.end < root.end
+        tree = root.tree()
+        assert tree["trace_id"] == "local-1"
+        assert tree["root"]["name"] == "request"
+        assert tree["root"]["attributes"] == {"request": "LivenessQuery"}
+        inner = tree["root"]["children"][0]["children"]
+        assert [node["name"] for node in inner] == [
+            "checker_lookup",
+            "kernel_query",
+        ]
+        assert all(node["duration_seconds"] > 0 for node in inner)
+
+    def test_span_without_active_trace_is_a_noop(self):
+        tracer = Tracer(FakeClock())
+        with tracer.span("orphan") as span:
+            assert span is None
+        assert tracer.finished_traces() == []
+        assert current_span() is None
+
+    def test_trace_ids_are_deterministic_and_explicit_ids_win(self):
+        tracer = Tracer(FakeClock())
+        with tracer.request_trace("a"):
+            pass
+        with tracer.request_trace("b", trace_id="wire-77"):
+            pass
+        with tracer.request_trace("c"):
+            pass
+        ids = [root.trace_id for root in tracer.finished_traces()]
+        assert ids == ["local-1", "wire-77", "local-2"]
+        assert tracer.find_trace("wire-77").name == "b"
+        assert tracer.find_trace("nope") is None
+
+    def test_find_trace_returns_the_most_recent_match(self):
+        tracer = Tracer(FakeClock())
+        with tracer.request_trace("first", trace_id="dup"):
+            pass
+        with tracer.request_trace("second", trace_id="dup"):
+            pass
+        assert tracer.find_trace("dup").name == "second"
+
+    def test_capacity_bounds_retained_traces(self):
+        tracer = Tracer(FakeClock(), capacity=3)
+        for index in range(10):
+            with tracer.request_trace(f"r{index}"):
+                pass
+        names = [root.name for root in tracer.finished_traces()]
+        assert names == ["r7", "r8", "r9"]
+        assert DEFAULT_TRACE_CAPACITY == 64
+        tracer.clear()
+        assert tracer.finished_traces() == []
+
+    def test_current_span_tracks_nesting(self):
+        tracer = Tracer(FakeClock())
+        assert current_span() is None
+        with tracer.request_trace("request") as root:
+            assert current_span() is root
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is root
+        assert current_span() is None
+
+
+class TestDisabledTracer:
+    def test_disabled_request_trace_is_a_noop(self):
+        tracer = Tracer(FakeClock(), enabled=False)
+        with tracer.request_trace("request") as root:
+            assert root is None
+            with tracer.span("inner") as span:
+                assert span is None
+        assert tracer.finished_traces() == []
+
+    def test_explicit_wire_id_traces_even_when_disabled(self):
+        # A wire caller that *asked* to be traced gets its tree even
+        # against a tracer whose local tracing is off.
+        tracer = Tracer(FakeClock(), enabled=False)
+        with tracer.request_trace("request", trace_id="wire-1") as root:
+            assert root is not None
+            with tracer.span("inner"):
+                pass
+        trace = tracer.find_trace("wire-1")
+        assert trace is not None
+        assert [child.name for child in trace.children] == ["inner"]
+
+    def test_disabled_clock_is_never_read(self):
+        class ExplodingClock:
+            def __call__(self):
+                raise AssertionError("clock read on the disabled path")
+
+        tracer = Tracer(ExplodingClock(), enabled=False)
+        with tracer.request_trace("request"):
+            with tracer.span("inner"):
+                pass
+
+
+class TestThreadIsolation:
+    def test_concurrent_traces_never_mix_spans(self):
+        obs = Observability()
+        errors = []
+
+        def worker():
+            try:
+                for index in range(50):
+                    with obs.request_trace("request") as root:
+                        with obs.span("child"):
+                            pass
+                        assert len(root.children) == 1, root.children
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        join_all(spawn(worker, 8))
+        assert not errors
+        for root in obs.tracer.finished_traces():
+            assert [child.name for child in root.children] == ["child"]
+
+
+class TestSlowRequestReporting:
+    def test_hooks_receive_the_report_and_never_raise(self):
+        obs = Observability(clock=FakeClock())
+        reports = []
+        obs.on_slow_request(reports.append)
+        obs.on_slow_request(lambda report: 1 / 0)  # a broken hook
+        with obs.request_trace("request", trace_id="wire-9"):
+            pass
+        root = obs.tracer.find_trace("wire-9")
+        obs.emit_slow_request(
+            2.5, 1.0, trace_root=root, request_type="liveness_query"
+        )
+        assert len(reports) == 1
+        report = reports[0]
+        assert report["duration_seconds"] == 2.5
+        assert report["threshold_seconds"] == 1.0
+        assert report["request_type"] == "liveness_query"
+        assert report["trace"]["trace_id"] == "wire-9"
+        assert int(obs.counter("obs.slow_requests")) == 1
+
+    def test_without_hooks_the_logger_is_the_fallback(self, caplog):
+        import logging
+
+        obs = Observability()
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            obs.emit_slow_request(0.5, 0.1)
+        assert any("slow request" in record.message for record in caplog.records)
+
+    def test_untraced_report_has_no_trace_key(self):
+        obs = Observability()
+        reports = []
+        obs.on_slow_request(reports.append)
+        obs.emit_slow_request(1.0, 0.5)
+        assert "trace" not in reports[0]
+
+
+def test_observability_repr_and_passthroughs():
+    obs = Observability(tracing=False)
+    obs.counter("a").add(1)
+    assert "tracing=False" in repr(obs)
+    assert obs.snapshot()["counters"]["a"] == 1
+    assert "repro_a_total 1" in obs.prometheus()
