@@ -74,6 +74,34 @@ def test_wire_loop_throughput_is_recorded_per_worker_count(concurrency_rows):
         )
 
 
+def test_bin2_wire_loop_beats_json_per_worker_count(concurrency_rows):
+    """The codec headline: binary frames serve faster than JSON text.
+
+    The committed ``BENCH_concurrency.json`` shows ~4x on the mixed
+    profile; under pytest (shared machine, no best-of amplification
+    tuning) we assert a conservative floor at every pool size rather
+    than the headline ratio.
+    """
+    for row in concurrency_rows:
+        assert set(row.wire_bin2_rps) == set(row.wire_rps), row.profile
+        for workers, json_rps in row.wire_rps.items():
+            bin2_rps = row.wire_bin2_rps[workers]
+            assert bin2_rps > 1.5 * json_rps, (
+                f"profile {row.profile!r} at {workers}w: bin2 serves "
+                f"{bin2_rps:,.0f} req/s vs. JSON {json_rps:,.0f} req/s"
+            )
+
+
+def test_bin2_latency_percentiles_are_recorded(concurrency_rows):
+    for row in concurrency_rows:
+        assert set(row.wire_bin2_p50_ms) == set(row.wire_bin2_rps)
+        assert set(row.wire_bin2_p99_ms) == set(row.wire_bin2_rps)
+        for workers in row.wire_bin2_rps:
+            p50 = row.wire_bin2_p50_ms[workers]
+            p99 = row.wire_bin2_p99_ms[workers]
+            assert 0.0 < p50 <= p99, (row.profile, workers, p50, p99)
+
+
 def test_wire_latency_percentiles_are_recorded_per_worker_count(
     concurrency_rows,
 ):

@@ -16,7 +16,10 @@ interleave.
 
 The wire loop (:func:`repro.serve_loop`) turns ``dispatch_json`` into a
 server: JSON envelopes in a work queue, a configurable worker pool
-draining it, responses in request order.
+draining it, responses in request order.  On the wire the server speaks
+two negotiated codecs — JSON text and the ``bin2`` binary framing — and
+the final section negotiates bin2 with a :class:`BytesClient` and reads
+the per-codec byte counters back over the wire with a ``StatsRequest``.
 """
 
 import random
@@ -28,8 +31,10 @@ from repro.api import (
     DestructRequest,
     LivenessQuery,
     NotifyRequest,
+    StatsRequest,
     encode_request,
 )
+from repro.api.codec import BytesClient
 
 SOURCE = """
 func gcd(a, b) {
@@ -171,6 +176,26 @@ def main() -> None:
         f"{int(stats.hits)} hits / {int(stats.misses)} misses "
         f"(hit rate {stats.hit_rate:.0%}), "
         f"{int(stats.stale_handle_rejections)} stale handles rejected"
+    )
+
+    # --- the binary codec: negotiate bin2, watch the bytes ------------
+    session = client.bytes_session()       # one connection's server half
+    peer = BytesClient(session.dispatch_frame)   # offers bin2, then json
+    print(f"\nnegotiated wire codec: {peer.codec}")
+    for _ in range(200):
+        response = peer.dispatch(batch_query())
+        assert response.error is None
+    wire_stats = peer.dispatch(StatsRequest())
+    counters = wire_stats.snapshot["counters"]
+    for codec in ("bin2", "json"):
+        bytes_in = counters.get(f"wire.bytes_in{{codec={codec}}}", 0)
+        bytes_out = counters.get(f"wire.bytes_out{{codec={codec}}}", 0)
+        print(
+            f"  codec={codec}: {bytes_in} bytes in, {bytes_out} bytes out"
+        )
+    print(
+        "  (the json rows are the hello handshake; every query after it "
+        "rode the binary framing)"
     )
 
 

@@ -26,6 +26,7 @@ guards that this layer stays within 10% of calling ``submit`` directly.
 
 from __future__ import annotations
 
+import json
 from typing import Iterable
 
 from repro.api.errors import ApiError, ErrorCode, ProtocolError
@@ -119,6 +120,16 @@ def dispatch_json_via(dispatch, payload, obs: "Observability | None" = None) -> 
     enters a response — and old payloads, which simply lack the trace
     key, flow through the untraced path unchanged.
     """
+    if isinstance(payload, (str, bytes)):
+        # Parse wire text exactly once: both the trace sniff and the
+        # request decode below accept a parsed dict, so a text payload
+        # must not pay for two full JSON parses.  Parse failures stay
+        # with the payload — decode_request turns them into the
+        # structured INVALID_REQUEST error.
+        try:
+            payload = json.loads(payload)
+        except (ValueError, UnicodeDecodeError):
+            pass
     trace_id = parent_span = None
     if obs is not None:
         trace_id, parent_span = trace_context(payload)
@@ -184,6 +195,8 @@ class CompilerClient:
         #: published with one atomic dict store, and edits cannot run
         #: concurrently with readers (the sharded layer write-locks them).
         self._variable_maps: dict[str, tuple[int, dict[str, Variable]]] = {}
+        #: Lazily-created session backing :meth:`dispatch_bytes`.
+        self._default_bytes_session = None
 
     @property
     def service(self) -> LivenessService:
@@ -230,6 +243,74 @@ class CompilerClient:
     def dispatch_json(self, payload) -> dict:
         """Wire driver: JSON envelope in, JSON envelope out."""
         return dispatch_json_via(self.dispatch, payload, obs=self.obs)
+
+    def bytes_session(self):
+        """A fresh byte-speaking connection over this client.
+
+        Each session owns one string table (connection state), so two
+        independent byte callers need two sessions.  The session answers
+        in the caller's own framing — ``bin2`` frames or JSON text —
+        and negotiates via the JSON ``hello`` envelope.
+        """
+        from repro.api.codec import BytesServerSession
+
+        return BytesServerSession(
+            self.dispatch, obs=self.obs, fast_query=self.fast_liveness
+        )
+
+    def dispatch_bytes(self, data) -> bytes:
+        """Wire driver: one frame in, one frame out, never raises.
+
+        Convenience over a lazily-created default session; transports
+        serving several connections should create one
+        :meth:`bytes_session` per connection instead.
+        """
+        if self._default_bytes_session is None:
+            self._default_bytes_session = self.bytes_session()
+        return self._default_bytes_session.dispatch_frame(data)
+
+    def fast_liveness(
+        self,
+        name: str,
+        revision: int | None,
+        want_in: bool,
+        variable: str,
+        block: str,
+    ) -> bool | None:
+        """Lean lane for the hottest message: a single liveness bit.
+
+        Answers a :class:`LivenessQuery` without building request or
+        response objects — the binary codec's fast path rides this.
+        Returns ``None`` for *any* unusual condition (unknown function,
+        stale or pinned-mismatched revision, unknown variable or block)
+        so the caller falls back to full dispatch and gets exactly the
+        structured error and stats accounting that path produces.
+        """
+        service = self._service
+        try:
+            current = service.revision(name)
+        except KeyError:
+            return None
+        if revision is not None and revision != current:
+            return None
+        cached = self._variable_maps.get(name)
+        if cached is not None and cached[0] == current:
+            variables = cached[1]
+        else:
+            variables = {
+                var.name: var for var in service.function(name).variables()
+            }
+            self._variable_maps[name] = (current, variables)
+        var = variables.get(variable)
+        if var is None:
+            return None
+        if block not in service.function(name):
+            return None
+        checker = service.checker(name)
+        service.stats.queries += 1
+        if want_in:
+            return checker.batch.is_live_in(var, block)
+        return checker.batch.is_live_out(var, block)
 
     def _failure(self, request, error: ApiError) -> Response:
         return failure_response(request, error)

@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from enum import Enum, unique
-from typing import Union
+from typing import Callable, Union
 
 from repro.api.errors import ApiError, ErrorCode, ProtocolError
 from repro.api.handles import FunctionHandle
@@ -31,6 +31,20 @@ from repro.api.registry import FAST
 
 #: Version stamped on (and required in) every envelope.
 PROTOCOL_VERSION = 1
+
+#: One shared decoder/encoder pair for the whole wire layer.  ``json.loads``
+#: and ``json.dumps`` build a fresh ``JSONDecoder``/``JSONEncoder`` whenever
+#: non-default options are involved; the hot path reuses these instances
+#: instead, and the compact separators drop the cosmetic whitespace from
+#: every wire envelope (the canonical form tests compare is unaffected —
+#: it re-serializes with its own options).
+_JSON_DECODER = json.JSONDecoder()
+_JSON_ENCODER = json.JSONEncoder(separators=(",", ":"))
+
+
+def dumps_compact(obj) -> str:
+    """Compact (separator-free) JSON text via the shared encoder instance."""
+    return _JSON_ENCODER.encode(obj)
 
 
 @unique
@@ -809,6 +823,17 @@ for _tag, _cls in REQUEST_TYPES.items():
 for _tag, _cls in RESPONSE_TYPES.items():
     _TAG_OF[_cls] = _tag
 
+#: tag → bound ``from_json`` decoder, built once at import so the wire
+#: hot path does a single dict probe per message instead of a class
+#: lookup plus attribute fetch (the dispatch-overhead bench guard in
+#: ``bench/table_service.py --smoke`` is what holds this layer honest).
+_REQUEST_DECODERS: dict[str, Callable] = {
+    tag: cls.from_json for tag, cls in REQUEST_TYPES.items()
+}
+_RESPONSE_DECODERS: dict[str, Callable] = {
+    tag: cls.from_json for tag, cls in RESPONSE_TYPES.items()
+}
+
 
 def _encode(message, expected: dict[str, type]) -> dict:
     tag = _TAG_OF.get(type(message))
@@ -820,11 +845,18 @@ def _encode(message, expected: dict[str, type]) -> dict:
     return {"api": PROTOCOL_VERSION, "type": tag, "body": message.to_json()}
 
 
-def _decode(payload, expected: dict[str, type]):
+def _decode(payload, decoders: dict[str, Callable]):
     if isinstance(payload, (str, bytes)):
+        if isinstance(payload, bytes):
+            try:
+                payload = payload.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ProtocolError(
+                    ErrorCode.INVALID_REQUEST, f"envelope is not JSON: {exc}"
+                ) from None
         try:
-            payload = json.loads(payload)
-        except json.JSONDecodeError as exc:
+            payload = _JSON_DECODER.decode(payload)
+        except ValueError as exc:
             raise ProtocolError(
                 ErrorCode.INVALID_REQUEST, f"envelope is not JSON: {exc}"
             ) from None
@@ -838,13 +870,13 @@ def _decode(payload, expected: dict[str, type]):
             f"this server speaks {PROTOCOL_VERSION}",
         )
     tag = payload.get("type")
-    cls = expected.get(tag)
-    if cls is None:
+    decoder = decoders.get(tag)
+    if decoder is None:
         raise ProtocolError(
             ErrorCode.INVALID_REQUEST, f"unknown message type {tag!r}"
         )
     try:
-        return cls.from_json(payload["body"])
+        return decoder(payload["body"])
     except ProtocolError:
         raise
     except (KeyError, TypeError, ValueError) as exc:
@@ -860,7 +892,7 @@ def encode_request(request: Request) -> dict:
 
 def decode_request(payload) -> Request:
     """Inverse of :func:`encode_request`; accepts a dict or a JSON string."""
-    return _decode(payload, REQUEST_TYPES)
+    return _decode(payload, _REQUEST_DECODERS)
 
 
 def encode_response(response: Response) -> dict:
@@ -870,7 +902,7 @@ def encode_response(response: Response) -> dict:
 
 def decode_response(payload) -> Response:
     """Inverse of :func:`encode_response`; accepts a dict or a JSON string."""
-    return _decode(payload, RESPONSE_TYPES)
+    return _decode(payload, _RESPONSE_DECODERS)
 
 
 # ----------------------------------------------------------------------

@@ -8,9 +8,13 @@ Three questions, one mixed multi-function request stream:
   :class:`~repro.service.LivenessService`?  This is the no-regression
   guard: existing single-threaded users must not pay more than
   :data:`MAX_SHARDED_OVERHEAD` for the thread-safety they do not use.
-* **wire throughput** — how many JSON envelopes per second does the
+* **wire throughput** — how many requests per second does the
   worker-pool :func:`~repro.concurrent.serve_loop` sustain over a
-  :class:`~repro.concurrent.ShardedClient`, across worker counts?
+  :class:`~repro.concurrent.ShardedClient`, across worker counts,
+  measured on *real bytes*: the same stream framed as UTF-8 JSON text
+  (``wire_Nw``) and as binary ``bin2`` frames (``wire_bin2_Nw``), both
+  decoded and answered through the client's
+  :class:`~repro.api.codec.BytesServerSession`.
   (CPython's GIL means query throughput does not *scale* with workers —
   the pool buys concurrency, overlap with I/O-bound callers and
   bounded-queue backpressure, not parallel bit-twiddling; the table
@@ -31,7 +35,8 @@ import sys
 import time
 from dataclasses import dataclass, field
 
-from repro.api.protocol import LivenessQuery, encode_request
+from repro.api.codec import StringInterner, encode_request_bin2, encode_request_json
+from repro.api.protocol import LivenessQuery
 from repro.bench.reporting import format_table, parse_bench_argv, write_json_report
 from repro.bench.table_service import (
     ServiceProfile,
@@ -75,12 +80,24 @@ class TableConcurrencyRow:
     shards: int
     #: Best-of-N total wall-clock, milliseconds, per mode.
     millis: dict[str, float] = field(default_factory=dict)
-    #: Wire requests/second through serve_loop, per worker count.
+    #: Wire requests/second through serve_loop on UTF-8 JSON text
+    #: frames, per worker count.
     wire_rps: dict[int, float] = field(default_factory=dict)
     #: Per-request service-time percentiles (ms), per worker count,
     #: derived from the pool's ``wire.request_seconds`` histogram.
     wire_p50_ms: dict[int, float] = field(default_factory=dict)
     wire_p99_ms: dict[int, float] = field(default_factory=dict)
+    #: The same stream as binary ``bin2`` frames, per worker count.
+    wire_bin2_rps: dict[int, float] = field(default_factory=dict)
+    wire_bin2_p50_ms: dict[int, float] = field(default_factory=dict)
+    wire_bin2_p99_ms: dict[int, float] = field(default_factory=dict)
+
+    def bin2_speedup(self, workers: int) -> float:
+        """bin2 wire throughput over JSON wire throughput, same pool size."""
+        json_rps = self.wire_rps.get(workers, 0.0)
+        if not json_rps:
+            return 0.0
+        return self.wire_bin2_rps.get(workers, 0.0) / json_rps
 
     @property
     def sharded_overhead(self) -> float:
@@ -101,6 +118,18 @@ class TableConcurrencyRow:
             "wire_rps": {str(k): v for k, v in self.wire_rps.items()},
             "wire_p50_ms": {str(k): v for k, v in self.wire_p50_ms.items()},
             "wire_p99_ms": {str(k): v for k, v in self.wire_p99_ms.items()},
+            "wire_bin2_rps": {
+                str(k): v for k, v in self.wire_bin2_rps.items()
+            },
+            "wire_bin2_p50_ms": {
+                str(k): v for k, v in self.wire_bin2_p50_ms.items()
+            },
+            "wire_bin2_p99_ms": {
+                str(k): v for k, v in self.wire_bin2_p99_ms.items()
+            },
+            "bin2_speedup": {
+                str(k): self.bin2_speedup(k) for k in self.wire_bin2_rps
+            },
         }
 
 
@@ -154,22 +183,33 @@ def measure_profile(
         submit_repeats, lambda: sharded.submit(requests), inner=5
     )
 
-    # Wire level: the same stream as JSON envelopes through the pool.
+    # Wire level: the same stream as real bytes through the pool, in
+    # both framings.  Both codecs pay the full wire cost — frame decode,
+    # dispatch, response encode — through the client's byte session, so
+    # the bin2-vs-JSON comparison is apples to apples.
     client = ShardedClient(
         module, shards=BENCH_SHARDS, capacity=len(module) + BENCH_SHARDS
     )
-    payloads = [
-        encode_request(
-            LivenessQuery(
-                function=request.function,
-                kind=request.kind,
-                variable=request.variable.name,
-                block=request.block,
-            )
+    queries = [
+        LivenessQuery(
+            function=request.function,
+            kind=request.kind,
+            variable=request.variable.name,
+            block=request.block,
         )
         for request in requests
     ]
-    serve_loop(client.dispatch_json, payloads, workers=2)  # warm-up
+    json_frames = [encode_request_json(query) for query in queries]
+    interner = StringInterner()  # one connection: names sent once
+    bin2_frames = [encode_request_bin2(query, interner) for query in queries]
+    # A session's string table is connection state: replaying the interned
+    # stream needs a fresh session per run, exactly like a reconnect.
+    serve_loop(
+        client.dispatch_json,
+        json_frames,
+        workers=2,
+        bytes_session=client.bytes_session(),
+    )  # warm-up
     for workers in worker_counts:
         # A fresh Observability per pool size keeps the latency
         # distribution per configuration; all measurement repeats feed
@@ -178,14 +218,35 @@ def measure_profile(
         millis = _best_of(
             repeats,
             lambda w=workers: serve_loop(
-                client.dispatch_json, payloads, workers=w, obs=wire_obs
+                client.dispatch_json,
+                json_frames,
+                workers=w,
+                obs=wire_obs,
+                bytes_session=client.bytes_session(),
             ),
         )
         row.millis[f"wire_{workers}w"] = millis
-        row.wire_rps[workers] = len(payloads) / (millis / 1000.0)
+        row.wire_rps[workers] = len(json_frames) / (millis / 1000.0)
         latency = wire_obs.metrics.histogram("wire.request_seconds")
         row.wire_p50_ms[workers] = latency.percentile(50) * 1000.0
         row.wire_p99_ms[workers] = latency.percentile(99) * 1000.0
+
+        bin2_obs = Observability()
+        millis = _best_of(
+            repeats,
+            lambda w=workers: serve_loop(
+                client.dispatch_json,
+                bin2_frames,
+                workers=w,
+                obs=bin2_obs,
+                bytes_session=client.bytes_session(),
+            ),
+        )
+        row.millis[f"wire_bin2_{workers}w"] = millis
+        row.wire_bin2_rps[workers] = len(bin2_frames) / (millis / 1000.0)
+        latency = bin2_obs.metrics.histogram("wire.request_seconds")
+        row.wire_bin2_p50_ms[workers] = latency.percentile(50) * 1000.0
+        row.wire_bin2_p99_ms[workers] = latency.percentile(99) * 1000.0
     return row
 
 
@@ -205,6 +266,8 @@ def format_table_concurrency(rows: list[TableConcurrencyRow]) -> str:
     headers = ["Profile", "#Fn", "#Q", "Shards", "serial ms", "sharded ms", "ovh%"]
     worker_counts = sorted(rows[0].wire_rps) if rows else []
     headers.extend(f"wire {count}w req/s" for count in worker_counts)
+    headers.extend(f"bin2 {count}w req/s" for count in worker_counts)
+    headers.extend(f"bin2 {count}w x" for count in worker_counts)
     headers.extend(f"{count}w p50/p99 ms" for count in worker_counts)
     table_rows = []
     for row in rows:
@@ -218,6 +281,8 @@ def format_table_concurrency(rows: list[TableConcurrencyRow]) -> str:
             100.0 * row.sharded_overhead,
         ]
         cells.extend(row.wire_rps[count] for count in worker_counts)
+        cells.extend(row.wire_bin2_rps[count] for count in worker_counts)
+        cells.extend(row.bin2_speedup(count) for count in worker_counts)
         cells.extend(
             f"{row.wire_p50_ms[count]:.3f}/{row.wire_p99_ms[count]:.3f}"
             for count in worker_counts
@@ -228,7 +293,7 @@ def format_table_concurrency(rows: list[TableConcurrencyRow]) -> str:
         table_rows,
         title=(
             "Table C — sharded serving: single-thread overhead vs. the serial "
-            "service, and wire throughput per worker count"
+            "service, and wire throughput per worker count (JSON vs. bin2)"
         ),
     )
 
@@ -258,10 +323,15 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"\n{headline.profile} profile: sharded submit() costs "
         f"{headline.sharded_overhead:+.1%} over the serial service at "
-        f"1 thread (budget {MAX_SHARDED_OVERHEAD:.0%}); wire loop at "
+        f"1 thread (budget {MAX_SHARDED_OVERHEAD:.0%}); JSON wire loop at "
         + ", ".join(
             f"{count}w={rps:,.0f} req/s"
             for count, rps in sorted(headline.wire_rps.items())
+        )
+        + "; bin2 at "
+        + ", ".join(
+            f"{count}w={rps:,.0f} req/s ({headline.bin2_speedup(count):.1f}x)"
+            for count, rps in sorted(headline.wire_bin2_rps.items())
         )
     )
     written = write_report(rows, json_path)
@@ -279,15 +349,35 @@ def main(argv: list[str] | None = None) -> int:
                 )
             return 1
         # The observability guard: every pool size must report sane
-        # latency percentiles (present, nonzero, p50 ≤ p99).
+        # latency percentiles (present, nonzero, p50 ≤ p99) — for both
+        # codecs.
         for row in rows:
             for count in worker_counts:
-                p50 = row.wire_p50_ms.get(count, 0.0)
-                p99 = row.wire_p99_ms.get(count, 0.0)
-                if not (0.0 < p50 <= p99):
+                for label, p50s, p99s in (
+                    ("json", row.wire_p50_ms, row.wire_p99_ms),
+                    ("bin2", row.wire_bin2_p50_ms, row.wire_bin2_p99_ms),
+                ):
+                    p50 = p50s.get(count, 0.0)
+                    p99 = p99s.get(count, 0.0)
+                    if not (0.0 < p50 <= p99):
+                        print(
+                            f"FAIL: profile {row.profile!r} ({label}) at "
+                            f"{count}w has implausible latency percentiles "
+                            f"p50={p50} p99={p99}"
+                        )
+                        return 1
+        # The codec guard: the binary framing must actually be faster
+        # on the wire than JSON text at every measured pool size.  (The
+        # full profiles show ~4x; smoke only asserts direction to stay
+        # robust against CI jitter.)
+        for row in rows:
+            for count in worker_counts:
+                speedup = row.bin2_speedup(count)
+                if speedup <= 1.0:
                     print(
-                        f"FAIL: profile {row.profile!r} at {count}w has "
-                        f"implausible latency percentiles p50={p50} p99={p99}"
+                        f"FAIL: profile {row.profile!r} at {count}w: bin2 "
+                        f"wire loop is not faster than JSON "
+                        f"(speedup {speedup:.2f}x)"
                     )
                     return 1
     return 0

@@ -102,6 +102,8 @@ class ShardedClient:
         self._dispatch_seconds = self.obs.histogram("dispatch.seconds")
         self._observer = observer
         self._observed = threading.local()
+        #: Lazily-created session backing :meth:`dispatch_bytes`.
+        self._default_bytes_session = None
         if module is not None:
             self._sharded.register_all(list(module))
 
@@ -149,6 +151,55 @@ class ShardedClient:
     def dispatch_json(self, payload) -> dict:
         """Wire driver: JSON envelope in, JSON envelope out, thread-safe."""
         return dispatch_json_via(self.dispatch, payload, obs=self.obs)
+
+    def bytes_session(self):
+        """A fresh byte-speaking connection over this client.
+
+        One session per connection (the string table is connection
+        state); many submitter threads may share one session when the
+        wire server serializes ingestion.  The binary fast-query lane is
+        only taken when no :class:`Observer` is installed — the
+        differential harness must see every request as a full dispatch.
+        """
+        from repro.api.codec import BytesServerSession
+
+        return BytesServerSession(
+            self.dispatch, obs=self.obs, fast_query=self._fast_query_raw
+        )
+
+    def dispatch_bytes(self, data) -> bytes:
+        """Wire driver: one frame in, one frame out, never raises."""
+        if self._default_bytes_session is None:
+            self._default_bytes_session = self.bytes_session()
+        return self._default_bytes_session.dispatch_frame(data)
+
+    def _fast_query_raw(
+        self,
+        name: str,
+        revision: int | None,
+        want_in: bool,
+        variable: str,
+        block: str,
+    ) -> bool | None:
+        """Lean liveness lane under a directly-held shard read lock.
+
+        ``None`` means "take the full dispatch path" — either an
+        observer needs the linearization callback, the function is
+        unregistered, or the per-shard client's own fast lane declined.
+        """
+        if self._observer is not None:
+            return None
+        entry = self._sharded.query_shard(name)
+        if entry is None:
+            return None
+        index, lock, _service = entry
+        lock.acquire_read()
+        try:
+            return self._clients[index].fast_liveness(
+                name, revision, want_in, variable, block
+            )
+        finally:
+            lock.release_read()
 
     _failure = staticmethod(failure_response)
 

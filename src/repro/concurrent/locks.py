@@ -62,6 +62,11 @@ class RWLock:
     def acquire_read(self, timeout: float | None = None) -> bool:
         """Take the lock shared; ``False`` on timeout (no lock held)."""
         with self._cond:
+            # Uncontended fast path: no predicate lambda, no wait_for
+            # machinery — this is the per-query cost of every read.
+            if not self._writer_active and not self._writers_waiting:
+                self._readers += 1
+                return True
             ok = self._cond.wait_for(
                 lambda: not self._writer_active and not self._writers_waiting,
                 timeout=timeout,

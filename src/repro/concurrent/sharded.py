@@ -231,6 +231,21 @@ class ShardedService:
         hold the shard's lock (see :meth:`read_locked`/:meth:`write_locked`)."""
         return self._shards[self.shard_of(name)].service
 
+    def query_shard(self, name: str):
+        """Lock-free routing for the lean query lane.
+
+        Returns ``(index, lock, service)`` for a *registered* ``name``,
+        ``None`` otherwise — the caller acquires the read lock itself,
+        skipping the ``read_locked`` span/contextmanager overhead.  Only
+        the ``_shard_index`` dict is probed (atomic under the GIL), so
+        this never blocks behind a writer.
+        """
+        index = self._shard_index.get(name)
+        if index is None:
+            return None
+        shard = self._shards[index]
+        return index, shard.lock, shard.service
+
     def shard_services(self) -> tuple[LivenessService, ...]:
         """Every shard's service, by shard index (for per-shard clients)."""
         return tuple(shard.service for shard in self._shards)
