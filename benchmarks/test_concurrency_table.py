@@ -14,6 +14,8 @@ import pytest
 from repro.bench.table_concurrency import (
     CONCURRENCY_PROFILES,
     MAX_SHARDED_OVERHEAD,
+    PROC_SCALING_FLOOR,
+    PROC_SCALING_MIN_CORES,
     compute_table_concurrency,
     format_table_concurrency,
 )
@@ -124,3 +126,73 @@ def test_wire_latency_percentiles_are_recorded_per_worker_count(
             # Sanity-bound the scale: a per-request p99 beyond ten
             # seconds means the histogram recorded garbage, not serving.
             assert p99 < 10_000.0, (row.profile, workers, p99)
+
+
+def test_multiprocess_columns_are_recorded_per_codec(concurrency_rows):
+    """Both codecs gain multi-process rows with throughput and p50/p99."""
+    for row in concurrency_rows:
+        assert row.cores >= 1, row.profile
+        for label, rpss, p50s, p99s in (
+            ("json", row.wire_proc_rps, row.wire_proc_p50_ms, row.wire_proc_p99_ms),
+            (
+                "bin2",
+                row.wire_proc_bin2_rps,
+                row.wire_proc_bin2_p50_ms,
+                row.wire_proc_bin2_p99_ms,
+            ),
+        ):
+            assert rpss, (row.profile, label)
+            assert 1 in rpss and 4 in rpss, (row.profile, label, rpss)
+            assert set(p50s) == set(rpss), (row.profile, label)
+            assert set(p99s) == set(rpss), (row.profile, label)
+            for workers, rps in rpss.items():
+                assert rps > 0, (row.profile, label, workers)
+                p50, p99 = p50s[workers], p99s[workers]
+                assert 0.0 < p50 <= p99, (row.profile, label, workers, p50, p99)
+                assert p99 < 10_000.0, (row.profile, label, workers, p99)
+
+
+def test_multiprocess_throughput_does_not_collapse(concurrency_rows):
+    """Adding worker processes must never crater throughput.
+
+    This floor holds on any machine, including the 1-core containers
+    where the full scale-out cannot manifest — pipe transport and
+    coordination overhead must stay bounded regardless.
+    """
+    for row in concurrency_rows:
+        for label, rpss in (
+            ("json", row.wire_proc_rps),
+            ("bin2", row.wire_proc_bin2_rps),
+        ):
+            fastest = max(rpss.values())
+            slowest = min(rpss.values())
+            assert slowest > 0.25 * fastest, (
+                f"profile {row.profile!r} ({label}): adding worker "
+                f"processes collapsed throughput ({rpss})"
+            )
+
+
+def test_multiprocess_scales_past_the_gil_when_cores_allow(concurrency_rows):
+    """The tentpole headline: ≥2x at 4 workers on the mixed profile.
+
+    Gated on core count: 4 worker processes cannot run in parallel on
+    fewer than 4 cores, and asserting a physically impossible speed-up
+    would just train the suite to ignore failures.  The committed
+    ``BENCH_concurrency.json`` records ``cores`` alongside the figures,
+    so the regime of any given report is visible.
+    """
+    for row in concurrency_rows:
+        if row.cores < PROC_SCALING_MIN_CORES:
+            pytest.skip(
+                f"only {row.cores} core(s) available; scaling guard needs "
+                f"{PROC_SCALING_MIN_CORES}"
+            )
+        if row.profile != "mixed":
+            continue
+        for codec in ("json", "bin2"):
+            scaling = row.proc_scaling(4, codec)
+            assert scaling >= PROC_SCALING_FLOOR, (
+                f"mixed profile ({codec}): 4 worker processes deliver only "
+                f"{scaling:.2f}x the single-process figure on "
+                f"{row.cores} cores (floor {PROC_SCALING_FLOOR:.1f}x)"
+            )

@@ -51,7 +51,13 @@ from repro.cfg import (
     PostDominatorTree,
     is_reducible,
 )
-from repro.concurrent import ShardedClient, ShardedService, WireServer, serve_loop
+from repro.concurrent import (
+    ProcClient,
+    ShardedClient,
+    ShardedService,
+    WireServer,
+    serve_loop,
+)
 from repro.core import (
     BitsetChecker,
     FastLivenessChecker,
@@ -184,7 +190,8 @@ __all__ = [
     "LivenessService",
     "LivenessRequest",
     "ServiceStats",
-    # concurrent (sharded thread-safe serving)
+    # concurrent (sharded thread-safe + multi-process serving)
+    "ProcClient",
     "ShardedClient",
     "ShardedService",
     "WireServer",

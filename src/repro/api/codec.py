@@ -894,6 +894,48 @@ def _read_defs(r: _Reader, table: StringTable) -> None:
         table.define(ident, r.str_())
 
 
+# ----------------------------------------------------------------------
+# Relay support (the multi-process coordinator in repro.concurrent.procs)
+# ----------------------------------------------------------------------
+#: Opcodes whose frames a coordinator may forward verbatim to the worker
+#: owning the function they lead with: single-function requests whose
+#: only string ref is the leading handle name, so a frame decodes
+#: identically against any table that defines that one ref.
+RELAY_OPCODES = frozenset((OP_LIVENESS_QUERY, OP_LIVE_SET, OP_EVICT))
+
+
+def relay_route(data: bytes, body_pos: int, table: StringTable) -> tuple[int, str]:
+    """The leading handle ref of an already-ingested single-function frame.
+
+    Returns ``(ident, name)``.  Raises exactly the :class:`ProtocolError`
+    the worker-side decoder would raise (same ``lookup``, same truncation
+    message), so a coordinator that cannot route a frame answers with the
+    identical error a single-process server produces.
+    """
+    r = _Reader(data, body_pos)
+    ident = r.uvarint()
+    return ident, table.lookup(ident)
+
+
+def frame_defs(data: bytes) -> list[tuple[int, str]]:
+    """The ``(ident, text)`` definition pairs an ingested frame carries."""
+    r = _Reader(data, 7)
+    return [(r.uvarint(), r.str_()) for _ in range(r.uvarint())]
+
+
+def reframe_with_defs(
+    opcode: int, defs: Sequence[tuple[int, str]], data: bytes, body_pos: int
+) -> bytes:
+    """Rebuild an ingested frame with an explicit definitions block.
+
+    Used when a frame must be forwarded to a worker connection that has
+    not seen the leading ref's definition yet (it arrived on an earlier
+    frame this worker never received): the body bytes are reused
+    verbatim, only the defs block is replaced.
+    """
+    return _frame(opcode, defs, data[body_pos:])
+
+
 def encode_request_bin2(
     request: Request, interner: StringInterner | None = None
 ) -> bytes:
@@ -1228,6 +1270,11 @@ class BytesServerSession:
     def reset(self) -> None:
         """Forget the connection's string table (the reconnect contract)."""
         self._table.reset()
+
+    @property
+    def string_table(self) -> StringTable:
+        """The connection's receive-side table (relay routing reads it)."""
+        return self._table
 
     # ------------------------------------------------------------------
     # The two-phase path (wire-server integration)

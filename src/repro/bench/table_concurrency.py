@@ -31,6 +31,7 @@ guard**, ``--json PATH`` overrides where the machine-readable report
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from dataclasses import dataclass, field
@@ -43,7 +44,7 @@ from repro.bench.table_service import (
     generate_request_stream,
     generate_service_module,
 )
-from repro.concurrent import ShardedClient, ShardedService, serve_loop
+from repro.concurrent import ProcClient, ShardedClient, ShardedService, serve_loop
 from repro.obs import Observability
 from repro.service import LivenessService
 
@@ -57,8 +58,30 @@ MAX_SHARDED_OVERHEAD = 0.15
 #: Worker counts the wire loop is measured at.
 WORKER_COUNTS = (1, 2, 4, 8)
 
+#: Worker-*process* counts the multi-process coordinator is measured at.
+PROC_WORKER_COUNTS = (1, 2, 4)
+
+#: Cores required before the multi-process scaling guard is meaningful:
+#: process scale-out cannot beat the GIL on a box with fewer cores than
+#: workers, so the ≥2x-at-4-workers assertion only runs where 4 workers
+#: can actually run in parallel.  The ``cores`` field in the report says
+#: which regime a given JSON was measured in.
+PROC_SCALING_MIN_CORES = 4
+
+#: The scaling guard itself: 4 worker processes must deliver at least
+#: this multiple of the 1-worker (single-process) wire figure.
+PROC_SCALING_FLOOR = 2.0
+
 #: Default shard count for the measured sharded configurations.
 BENCH_SHARDS = 8
+
+
+def available_cores() -> int:
+    """Cores this process may schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
 
 CONCURRENCY_PROFILES: tuple[ServiceProfile, ...] = (
     ServiceProfile("mixed", functions=60, target_blocks=12, queries=2000),
@@ -91,6 +114,17 @@ class TableConcurrencyRow:
     wire_bin2_rps: dict[int, float] = field(default_factory=dict)
     wire_bin2_p50_ms: dict[int, float] = field(default_factory=dict)
     wire_bin2_p99_ms: dict[int, float] = field(default_factory=dict)
+    #: Multi-process serving (``ProcClient.serve``): the same streams
+    #: through N worker *processes*, per codec.  ``cores`` records how
+    #: many cores the measurement actually had — on a 1-core container
+    #: these columns are honest pipe-overhead numbers, not a speed-up.
+    cores: int = 0
+    wire_proc_rps: dict[int, float] = field(default_factory=dict)
+    wire_proc_p50_ms: dict[int, float] = field(default_factory=dict)
+    wire_proc_p99_ms: dict[int, float] = field(default_factory=dict)
+    wire_proc_bin2_rps: dict[int, float] = field(default_factory=dict)
+    wire_proc_bin2_p50_ms: dict[int, float] = field(default_factory=dict)
+    wire_proc_bin2_p99_ms: dict[int, float] = field(default_factory=dict)
 
     def bin2_speedup(self, workers: int) -> float:
         """bin2 wire throughput over JSON wire throughput, same pool size."""
@@ -98,6 +132,14 @@ class TableConcurrencyRow:
         if not json_rps:
             return 0.0
         return self.wire_bin2_rps.get(workers, 0.0) / json_rps
+
+    def proc_scaling(self, workers: int, codec: str = "json") -> float:
+        """Multi-process throughput at ``workers`` over the 1-process figure."""
+        rps = self.wire_proc_bin2_rps if codec == "bin2" else self.wire_proc_rps
+        baseline = rps.get(1, 0.0)
+        if not baseline:
+            return 0.0
+        return rps.get(workers, 0.0) / baseline
 
     @property
     def sharded_overhead(self) -> float:
@@ -130,6 +172,32 @@ class TableConcurrencyRow:
             "bin2_speedup": {
                 str(k): self.bin2_speedup(k) for k in self.wire_bin2_rps
             },
+            "cores": self.cores,
+            "wire_proc_rps": {
+                str(k): v for k, v in self.wire_proc_rps.items()
+            },
+            "wire_proc_p50_ms": {
+                str(k): v for k, v in self.wire_proc_p50_ms.items()
+            },
+            "wire_proc_p99_ms": {
+                str(k): v for k, v in self.wire_proc_p99_ms.items()
+            },
+            "wire_proc_bin2_rps": {
+                str(k): v for k, v in self.wire_proc_bin2_rps.items()
+            },
+            "wire_proc_bin2_p50_ms": {
+                str(k): v for k, v in self.wire_proc_bin2_p50_ms.items()
+            },
+            "wire_proc_bin2_p99_ms": {
+                str(k): v for k, v in self.wire_proc_bin2_p99_ms.items()
+            },
+            "proc_scaling": {
+                str(k): self.proc_scaling(k) for k in self.wire_proc_rps
+            },
+            "proc_bin2_scaling": {
+                str(k): self.proc_scaling(k, "bin2")
+                for k in self.wire_proc_bin2_rps
+            },
         }
 
 
@@ -155,6 +223,7 @@ def measure_profile(
     seed: int = 0,
     repeats: int = 3,
     worker_counts: tuple[int, ...] = WORKER_COUNTS,
+    proc_worker_counts: tuple[int, ...] = PROC_WORKER_COUNTS,
 ) -> TableConcurrencyRow:
     """Time one profile's stream through every serving configuration."""
     module = generate_service_module(profile, scale=scale, seed=seed)
@@ -164,6 +233,7 @@ def measure_profile(
         functions=len(module),
         queries=len(requests),
         shards=BENCH_SHARDS,
+        cores=available_cores(),
     )
 
     serial = LivenessService(module, capacity=len(module))
@@ -247,6 +317,45 @@ def measure_profile(
         latency = bin2_obs.metrics.histogram("wire.request_seconds")
         row.wire_bin2_p50_ms[workers] = latency.percentile(50) * 1000.0
         row.wire_bin2_p99_ms[workers] = latency.percentile(99) * 1000.0
+
+    # Multi-process serving: the identical byte streams through
+    # ``ProcClient.serve`` — worker processes behind pipes, so decode,
+    # liveness and encode burn *their* CPUs, not the caller's GIL.  A
+    # bin2 frame's string defs are idempotent re-definitions on replay,
+    # so one client (one logical connection) serves every repeat and all
+    # samples land in one latency histogram, like the thread pools above.
+    for workers in proc_worker_counts:
+        proc_obs = Observability()
+        with ProcClient(
+            module,
+            workers=workers,
+            capacity=len(module) + workers,
+            obs=proc_obs,
+        ) as proc_client:
+            proc_client.serve(json_frames)  # warm-up (page in the workers)
+            millis = _best_of(repeats, lambda: proc_client.serve(json_frames))
+            row.millis[f"wire_proc_{workers}w"] = millis
+            row.wire_proc_rps[workers] = len(json_frames) / (millis / 1000.0)
+            latency = proc_obs.metrics.histogram("wire.request_seconds")
+            row.wire_proc_p50_ms[workers] = latency.percentile(50) * 1000.0
+            row.wire_proc_p99_ms[workers] = latency.percentile(99) * 1000.0
+
+        proc_obs = Observability()
+        with ProcClient(
+            module,
+            workers=workers,
+            capacity=len(module) + workers,
+            obs=proc_obs,
+        ) as proc_client:
+            proc_client.serve(bin2_frames)  # warm-up + table priming
+            millis = _best_of(repeats, lambda: proc_client.serve(bin2_frames))
+            row.millis[f"wire_proc_bin2_{workers}w"] = millis
+            row.wire_proc_bin2_rps[workers] = len(bin2_frames) / (
+                millis / 1000.0
+            )
+            latency = proc_obs.metrics.histogram("wire.request_seconds")
+            row.wire_proc_bin2_p50_ms[workers] = latency.percentile(50) * 1000.0
+            row.wire_proc_bin2_p99_ms[workers] = latency.percentile(99) * 1000.0
     return row
 
 
@@ -255,9 +364,16 @@ def compute_table_concurrency(
     seed: int = 0,
     profiles: tuple[ServiceProfile, ...] = CONCURRENCY_PROFILES,
     worker_counts: tuple[int, ...] = WORKER_COUNTS,
+    proc_worker_counts: tuple[int, ...] = PROC_WORKER_COUNTS,
 ) -> list[TableConcurrencyRow]:
     return [
-        measure_profile(profile, scale=scale, seed=seed, worker_counts=worker_counts)
+        measure_profile(
+            profile,
+            scale=scale,
+            seed=seed,
+            worker_counts=worker_counts,
+            proc_worker_counts=proc_worker_counts,
+        )
         for profile in profiles
     ]
 
@@ -265,10 +381,13 @@ def compute_table_concurrency(
 def format_table_concurrency(rows: list[TableConcurrencyRow]) -> str:
     headers = ["Profile", "#Fn", "#Q", "Shards", "serial ms", "sharded ms", "ovh%"]
     worker_counts = sorted(rows[0].wire_rps) if rows else []
+    proc_counts = sorted(rows[0].wire_proc_rps) if rows else []
     headers.extend(f"wire {count}w req/s" for count in worker_counts)
     headers.extend(f"bin2 {count}w req/s" for count in worker_counts)
     headers.extend(f"bin2 {count}w x" for count in worker_counts)
     headers.extend(f"{count}w p50/p99 ms" for count in worker_counts)
+    headers.extend(f"proc {count}p req/s" for count in proc_counts)
+    headers.extend(f"proc bin2 {count}p req/s" for count in proc_counts)
     table_rows = []
     for row in rows:
         cells: list[object] = [
@@ -287,13 +406,16 @@ def format_table_concurrency(rows: list[TableConcurrencyRow]) -> str:
             f"{row.wire_p50_ms[count]:.3f}/{row.wire_p99_ms[count]:.3f}"
             for count in worker_counts
         )
+        cells.extend(row.wire_proc_rps[count] for count in proc_counts)
+        cells.extend(row.wire_proc_bin2_rps[count] for count in proc_counts)
         table_rows.append(cells)
     return format_table(
         headers,
         table_rows,
         title=(
             "Table C — sharded serving: single-thread overhead vs. the serial "
-            "service, and wire throughput per worker count (JSON vs. bin2)"
+            "service, wire throughput per worker count (JSON vs. bin2), and "
+            "multi-process serving per worker-process count"
         ),
     )
 
@@ -332,6 +454,19 @@ def main(argv: list[str] | None = None) -> int:
         + ", ".join(
             f"{count}w={rps:,.0f} req/s ({headline.bin2_speedup(count):.1f}x)"
             for count, rps in sorted(headline.wire_bin2_rps.items())
+        )
+    )
+    print(
+        f"multi-process ({headline.cores} core(s) available): JSON at "
+        + ", ".join(
+            f"{count}p={rps:,.0f} req/s ({headline.proc_scaling(count):.2f}x)"
+            for count, rps in sorted(headline.wire_proc_rps.items())
+        )
+        + "; bin2 at "
+        + ", ".join(
+            f"{count}p={rps:,.0f} req/s "
+            f"({headline.proc_scaling(count, 'bin2'):.2f}x)"
+            for count, rps in sorted(headline.wire_proc_bin2_rps.items())
         )
     )
     written = write_report(rows, json_path)
@@ -380,6 +515,51 @@ def main(argv: list[str] | None = None) -> int:
                         f"(speedup {speedup:.2f}x)"
                     )
                     return 1
+        # The multi-process guards.  Percentile sanity is unconditional;
+        # the ≥2x scaling floor needs enough cores for 4 workers to run
+        # in parallel (a 1-core container records honest flat numbers —
+        # asserting a speed-up the hardware cannot produce would only
+        # teach the suite to ignore red).
+        for row in rows:
+            for label, rpss, p50s, p99s in (
+                ("json", row.wire_proc_rps, row.wire_proc_p50_ms, row.wire_proc_p99_ms),
+                (
+                    "bin2",
+                    row.wire_proc_bin2_rps,
+                    row.wire_proc_bin2_p50_ms,
+                    row.wire_proc_bin2_p99_ms,
+                ),
+            ):
+                for count in rpss:
+                    p50, p99 = p50s.get(count, 0.0), p99s.get(count, 0.0)
+                    if not (0.0 < p50 <= p99):
+                        print(
+                            f"FAIL: profile {row.profile!r} (proc {label}) at "
+                            f"{count}p has implausible latency percentiles "
+                            f"p50={p50} p99={p99}"
+                        )
+                        return 1
+                # No-collapse floor: whatever the core count, adding
+                # worker processes must never crater throughput.
+                fastest = max(rpss.values())
+                slowest = min(rpss.values())
+                if slowest <= 0.25 * fastest:
+                    print(
+                        f"FAIL: profile {row.profile!r} (proc {label}): "
+                        f"throughput collapses across process counts "
+                        f"({slowest:,.0f} vs {fastest:,.0f} req/s)"
+                    )
+                    return 1
+                if row.cores >= PROC_SCALING_MIN_CORES and 4 in rpss:
+                    scaling = row.proc_scaling(4, label)
+                    if scaling < PROC_SCALING_FLOOR:
+                        print(
+                            f"FAIL: profile {row.profile!r} (proc {label}): "
+                            f"4 workers deliver only {scaling:.2f}x the "
+                            f"single-process figure on {row.cores} cores "
+                            f"(floor {PROC_SCALING_FLOOR:.1f}x)"
+                        )
+                        return 1
     return 0
 
 

@@ -15,25 +15,34 @@ threads at once:
   linearization ``observer`` hook the differential concurrency harness
   records through;
 * :mod:`repro.concurrent.server` — :func:`serve_loop` and
-  :class:`WireServer`, the wire-level work queue + worker pool.
+  :class:`WireServer`, the wire-level work queue + worker pool;
+* :mod:`repro.concurrent.procs` — :class:`ProcClient`, the multi-process
+  scale-out: the same crc32 shard partition, but each shard is a worker
+  *process* behind a pipe, so CPU-bound serving is no longer pinned
+  under one GIL.
 
 ``bench/table_concurrency.py`` measures this layer; the differential
 harness in ``tests/support/concurrency.py`` proves that every concurrent
-run is bit-identical to its serial replay.
+run — thread-sharded or process-sharded — is bit-identical to its serial
+replay.
 """
 
 from repro.concurrent.client import ShardedClient
 from repro.concurrent.locks import LockMetrics, RWLock
+from repro.concurrent.procs import DEFAULT_WORKERS, ProcClient, is_worker_failure
 from repro.concurrent.server import WireServer, serve_loop
 from repro.concurrent.sharded import DEFAULT_SHARDS, ShardedService, shard_of
 
 __all__ = [
     "DEFAULT_SHARDS",
+    "DEFAULT_WORKERS",
     "LockMetrics",
+    "ProcClient",
     "RWLock",
     "ShardedClient",
     "ShardedService",
     "WireServer",
+    "is_worker_failure",
     "serve_loop",
     "shard_of",
 ]

@@ -90,6 +90,7 @@ class RWLock:
         """Take the lock exclusive; ``False`` on timeout (no lock held)."""
         with self._cond:
             self._writers_waiting += 1
+            ok = False
             try:
                 ok = self._cond.wait_for(
                     lambda: not self._writer_active and not self._readers,
@@ -100,6 +101,12 @@ class RWLock:
                 return ok
             finally:
                 self._writers_waiting -= 1
+                if not ok and not self._writers_waiting:
+                    # A timed-out (or interrupted) writer was the only
+                    # thing holding readers back; without this wake-up
+                    # readers parked on "no writer queued" sleep forever
+                    # even though their predicate is now true.
+                    self._cond.notify_all()
 
     def release_write(self) -> None:
         with self._cond:

@@ -22,8 +22,10 @@ that routes an over-threshold request's trace tree through the
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
+import time
 from typing import Callable, Sequence
 
 from repro.api.codec import BytesServerSession, IngestedFrame
@@ -154,18 +156,43 @@ class WireServer:
                 self._threads.append(thread)
             return self
 
-    def stop(self, timeout: float | None = 10.0) -> None:
-        """Drain the pool: workers finish queued work, then exit."""
+    def stop(self, timeout: float | None = 10.0) -> int:
+        """Drain the pool: workers finish queued work, then exit.
+
+        ``timeout`` bounds the *whole* drain, not each join — one shared
+        deadline across the pool, so a wedged pool costs ``timeout``
+        seconds, never ``workers × timeout``.  Survivors are reported:
+        the count is returned and logged through the :mod:`repro.obs`
+        logger (they are daemon threads, so they cannot block exit).
+        """
         with self._lifecycle:
             if not self._started:
-                return
+                return 0
             for _ in self._threads:
                 self._queue.put(_STOP)
             threads = list(self._threads)
             self._threads.clear()
             self._started = False
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        survivors = 0
         for thread in threads:
-            thread.join(timeout)
+            if deadline is None:
+                thread.join()
+            else:
+                thread.join(max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                survivors += 1
+        if survivors:
+            logging.getLogger("repro.obs").warning(
+                "WireServer.stop: %d of %d worker thread(s) still running "
+                "after the %.3fs drain deadline (wedged dispatcher?)",
+                survivors,
+                len(threads),
+                timeout if timeout is not None else float("inf"),
+            )
+        return survivors
 
     def __enter__(self) -> "WireServer":
         return self.start()
@@ -203,6 +230,9 @@ class WireServer:
         the difference shows directly in wire req/s, which is why
         :func:`serve_loop` drives this path.
         """
+        # Materialize once: callers may hand a generator, and the gauge
+        # pre-charge below needs the batch size before the first put.
+        payloads = list(payloads)
         pendings: list[_Pending] = []
         session = self._bytes_session
         put = self._queue.put

@@ -214,3 +214,41 @@ class TestRWLock:
         with lock.write():
             assert lock.writer_active
         assert "RWLock" in repr(lock)
+
+    def test_timed_out_writer_wakes_queued_readers(self):
+        """Regression: a writer timing out must notify queued readers.
+
+        Pre-fix, ``acquire_write`` decremented ``_writers_waiting`` on
+        the timeout path without a ``notify_all()``, so a reader parked
+        on "no writer active or queued" behind the timed-out writer
+        slept forever even though its predicate had become true (the
+        original read hold does not block other readers).
+        """
+        lock = RWLock()
+        assert lock.acquire_read()  # keeps the writer waiting until timeout
+        reader_in = threading.Event()
+
+        def late_reader():
+            # Writer preference parks this behind the waiting writer.
+            if lock.acquire_read(timeout=WATCHDOG):
+                reader_in.set()
+                lock.release_read()
+
+        writer = threading.Thread(
+            target=lambda: lock.acquire_write(timeout=0.5), daemon=True
+        )
+        writer.start()
+        deadline = time.monotonic() + WATCHDOG
+        while "waiting_writers=1" not in repr(lock):
+            assert time.monotonic() < deadline, "writer never queued"
+            time.sleep(0.001)
+        reader = threading.Thread(target=late_reader, daemon=True)
+        reader.start()
+        time.sleep(0.05)  # let the reader park behind the writer
+        # The writer times out at ~0.5s; the queued reader must proceed
+        # promptly even though the original read hold never moves.
+        assert reader_in.wait(5.0), (
+            "reader stayed parked behind a timed-out writer (lost wakeup)"
+        )
+        join_all([writer, reader])
+        lock.release_read()

@@ -1,0 +1,65 @@
+"""The multi-process fuzz suite: 200 randomized traces through ProcClient.
+
+The same differential contract as ``test_fuzz.py`` — mixed traffic
+(point and batch queries, live-set enumerations, edit notifications,
+destructions, allocations, evictions, stale and bogus handles) recorded
+in linearization order and replayed serially to bit-identical responses
+— but the server under test is the multi-process coordinator, so every
+trace also exercises pipe transport, typed-lane encoding, cross-worker
+batch splits and the per-worker mutation logs.
+
+Every fourth trace injects hard worker crashes mid-trace
+(``os._exit(1)`` in the worker, auto-restart in the parent).  Requests
+lost to a crash are answered with the structured worker-failure marker
+and excluded from replay; everything else — including every response
+from the restarted workers — must still replay bit-identically, which is
+what proves the restart rebuild (sources + confirmed mutation log) is
+deterministic.
+
+The serial replay target is a fresh *in-process* ``ShardedClient`` with
+``shards == workers``: the coordinator keeps the crc32 partition and the
+per-shard capacity split, so thread-shards and process-shards must be
+observationally identical.
+"""
+
+import pytest
+
+from tests.support.concurrency import differential_run
+
+#: Total traces (the satellite requirement: the same ≥200-trace workload
+#: that guards the thread-sharded layer, now through worker processes).
+NUM_TRACES = 200
+
+pytestmark = pytest.mark.timeout(300)
+
+
+def trace_params(index: int) -> dict:
+    """Derive one trace's configuration from its index, deterministically."""
+    return {
+        "corpus_size": 4 + (index % 5),          # 4..8 functions
+        "workers": 2 + (index % 2),              # 2..3 driver threads
+        "requests_per_worker": 6 + (index % 5),  # 6..10 requests each
+        "seed": 0xBEEF + index,
+        "shards": 1 + (index % 4),               # 1..4 worker processes
+        "capacity": 1 + (index % 3),             # tight: constant eviction
+        "base_seed": index % 7,                  # rotate the corpus pool
+        "edit_rate": (0.1, 0.2, 0.35)[index % 3],
+        "mode": "scheduled" if index % 2 else "free",
+        "transport": "procs",
+        # Every fourth trace: hard-kill a rotating worker every 7th
+        # request, so crashes land mid-trace with requests in flight.
+        "crash_every": 7 if index % 4 == 3 else None,
+    }
+
+
+@pytest.mark.parametrize("index", range(NUM_TRACES))
+def test_procs_trace_replays_bit_identically(index):
+    params = trace_params(index)
+    checked = differential_run(timeout=120.0, **params)
+    total = params["workers"] * params["requests_per_worker"]
+    if params["crash_every"] is None:
+        assert checked == total
+    else:
+        # Crash-lost requests are excluded from replay; everything the
+        # fleet *did* answer must have replayed bit-identically.
+        assert 0 < checked <= total

@@ -120,3 +120,52 @@ class TestWireServer:
         finally:
             gate.set()
             server.stop()
+
+    def test_submit_many_accepts_generator(self):
+        """Regression: submit_many pre-charged the depth gauge with
+        ``len(payloads)``, which raises ``TypeError`` on a generator."""
+        module = make_module(3, seed=29)
+        sharded = ShardedClient(module, shards=2)
+        payloads = make_payloads(module, 40)
+        with WireServer(sharded.dispatch_json, workers=2) as server:
+            pendings = server.submit_many(payload for payload in payloads)
+            assert len(pendings) == len(payloads)
+            responses = [pending.result(30.0) for pending in pendings]
+        serial = CompilerClient(module)
+        assert responses == [serial.dispatch_json(p) for p in payloads]
+
+    def test_stop_shares_one_deadline_across_wedged_workers(self, caplog):
+        """Regression: stop() passed the full timeout to *each* join
+        (worst case ``workers × timeout``) and returned silently even
+        when workers survived the drain."""
+        import logging
+        import threading
+        import time
+
+        gate = threading.Event()
+        entered = threading.Semaphore(0)
+
+        def wedged(payload):
+            entered.release()
+            gate.wait(60.0)
+            return payload
+
+        server = WireServer(wedged, workers=6).start()
+        try:
+            server.submit_many([{"i": i} for i in range(6)])
+            for _ in range(6):  # every worker is parked in the dispatcher
+                assert entered.acquire(timeout=30.0)
+            start = time.monotonic()
+            with caplog.at_level(logging.WARNING, logger="repro.obs"):
+                survivors = server.stop(timeout=0.5)
+            elapsed = time.monotonic() - start
+        finally:
+            gate.set()
+        assert survivors == 6
+        # One shared deadline: ~0.5s total, nowhere near 6 x 0.5s.
+        assert elapsed < 2.0, f"stop took {elapsed:.2f}s (per-join timeouts?)"
+        assert any(
+            "still running" in record.getMessage()
+            and record.name == "repro.obs"
+            for record in caplog.records
+        )

@@ -401,10 +401,24 @@ def differential_run(
     edit_rate: float = 0.2,
     mode: str = "free",
     timeout: float = 120.0,
+    transport: str = "threads",
+    crash_every: int | None = None,
 ) -> int:
     """Run concurrent traffic, replay it serially, assert bit-identity.
 
-    Returns the number of linearized requests checked.  Raises
+    ``transport`` selects the server under test: ``"threads"`` is the
+    PR-5 in-process :class:`ShardedClient`; ``"procs"`` drives the
+    multi-process :class:`~repro.concurrent.procs.ProcClient` with
+    ``shards`` worker processes (same crc32 partition, same per-shard
+    capacity split, so the serial replay target is *still* a fresh
+    ``ShardedClient``).  With ``crash_every=N`` (procs only) every Nth
+    dispatched request first hard-kills a rotating worker process —
+    requests lost to the crash come back as structured ``INTERNAL``
+    errors (:func:`repro.concurrent.procs.is_worker_failure`) and are
+    excluded from replay; every *other* response, including everything
+    answered by the auto-restarted workers, must still be bit-identical.
+
+    Returns the number of linearized requests actually replayed.  Raises
     ``AssertionError`` carrying every divergence otherwise.
     """
     from repro.concurrent import ShardedClient
@@ -412,23 +426,53 @@ def differential_run(
     functions = corpus_functions(corpus_size, base_seed=base_seed)
     infos = [fn_info(function) for function in functions]
     recorder = TraceRecorder()
-    client = ShardedClient(
-        functions, shards=shards, capacity=capacity, observer=recorder
-    )
+    close: Callable[[], None] | None = None
+    if transport == "threads":
+        if crash_every is not None:
+            raise ValueError("crash_every requires transport='procs'")
+        client = ShardedClient(
+            functions, shards=shards, capacity=capacity, observer=recorder
+        )
+        dispatch = client.dispatch
+    elif transport == "procs":
+        from repro.concurrent.procs import ProcClient
+
+        client = ProcClient(
+            functions, workers=shards, capacity=capacity, observer=recorder
+        )
+        close = client.close
+        dispatch = client.dispatch
+        if crash_every is not None:
+            dispatch = _crashing_dispatch(client, shards, crash_every)
+    else:
+        raise ValueError(f"unknown transport {transport!r}")
     rng = random.Random(seed)
     traces = random_traces(
         rng, infos, workers, requests_per_worker, edit_rate=edit_rate
     )
-    if mode == "free":
-        run_free(client.dispatch, traces, timeout=timeout)
-    elif mode == "scheduled":
-        run_scheduled(client.dispatch, traces, seed=seed, timeout=timeout)
-    else:
-        raise ValueError(f"unknown mode {mode!r}")
+    try:
+        if mode == "free":
+            run_free(dispatch, traces, timeout=timeout)
+        elif mode == "scheduled":
+            run_scheduled(dispatch, traces, seed=seed, timeout=timeout)
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+    finally:
+        if close is not None:
+            close()
     total = workers * requests_per_worker
     assert len(recorder.entries) == total, (
         f"observer saw {len(recorder.entries)} of {total} requests"
     )
+    entries = recorder.entries
+    if transport == "procs":
+        from repro.concurrent.procs import is_worker_failure
+
+        entries = [
+            (request, response)
+            for request, response in entries
+            if not is_worker_failure(response.error)
+        ]
     # The serial replay: a fresh, identical server over a regenerated
     # (bit-identical) corpus, fed the linearized trace one by one.
     fresh = ShardedClient(
@@ -436,11 +480,30 @@ def differential_run(
         shards=shards,
         capacity=capacity,
     )
-    mismatches = replay_trace(recorder.entries, fresh.dispatch)
+    mismatches = replay_trace(entries, fresh.dispatch)
     if mismatches:
         preview = "\n".join(str(m) for m in mismatches[:5])
         raise AssertionError(
-            f"{len(mismatches)} of {total} responses diverged from the "
-            f"serial replay (seed={seed}):\n{preview}"
+            f"{len(mismatches)} of {len(entries)} responses diverged from "
+            f"the serial replay (seed={seed}):\n{preview}"
         )
-    return total
+    return len(entries)
+
+
+def _crashing_dispatch(client, shards: int, crash_every: int):
+    """Wrap ``client.dispatch`` to hard-kill a rotating worker every Nth call.
+
+    ``itertools.count().__next__`` is atomic under the GIL, so the wrapper
+    is safe to share across the harness's worker threads.
+    """
+    import itertools
+
+    counter = itertools.count(1)
+
+    def dispatch(request: Request) -> Response:
+        n = next(counter)
+        if n % crash_every == 0:
+            client.inject_crash((n // crash_every - 1) % shards)
+        return client.dispatch(request)
+
+    return dispatch
