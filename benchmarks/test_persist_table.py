@@ -1,0 +1,93 @@
+"""Table P — the persistence layer as a measured workload.
+
+Regenerates :mod:`repro.bench.table_persist` on the smoke profile and
+asserts the direction guard (restore strictly faster than a cold
+rebuild), then validates the committed ``BENCH_persist.json`` so the
+cross-PR tracker keeps its column contract — including the headline
+claim: on the ``large`` profile, snapshot restore beats the cold
+rebuild by at least :data:`MIN_RESTORE_SPEEDUP`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.table_persist import (
+    MIN_RESTORE_SPEEDUP,
+    SMOKE_PROFILES,
+    compute_table_persist,
+    format_table_persist,
+)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_persist.json"
+
+ROW_KEYS = {
+    "profile",
+    "functions",
+    "blocks",
+    "cold_ms",
+    "restore_ms",
+    "restore_speedup",
+    "snapshot_bytes",
+    "snapshot_write_ms",
+    "wal_append_rps",
+    "replay_entries",
+    "replay_rps",
+}
+
+
+@pytest.fixture(scope="module")
+def persist_rows():
+    return compute_table_persist(scale=1, seed=2008, profiles=SMOKE_PROFILES)
+
+
+def test_table_persist_report(persist_rows, record_table):
+    record_table("table_persist", format_table_persist(persist_rows))
+    assert {row.profile for row in persist_rows} == {
+        profile.name for profile in SMOKE_PROFILES
+    }
+
+
+def test_restore_is_faster_than_cold_rebuild(persist_rows):
+    """The direction guard the CI smoke run enforces.
+
+    Restoring serialized precomputation arrays must beat re-running the
+    precomputation, even on the tiny smoke corpus; the full ≥5x claim
+    is asserted on the ``large`` profile of the committed JSON below.
+    """
+    for row in persist_rows:
+        assert 0 < row.restore_ms < row.cold_ms, (
+            f"profile {row.profile!r}: restore {row.restore_ms:.1f} ms vs "
+            f"cold {row.cold_ms:.1f} ms"
+        )
+
+
+def test_wal_and_replay_columns_are_populated(persist_rows):
+    for row in persist_rows:
+        assert row.snapshot_bytes > 0
+        assert row.snapshot_write_ms > 0
+        assert set(row.wal_append_rps) == {"never", "batch"}
+        assert all(rps > 0 for rps in row.wal_append_rps.values())
+        assert row.replay_entries > 0
+        assert row.replay_rps > 0
+
+
+def test_committed_bench_persist_json_schema():
+    """The repository-root report matches what the bench emits today."""
+    document = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+    assert document["bench"] == "table_persist"
+    assert document["schema"] == 1
+    assert document["min_restore_speedup"] == MIN_RESTORE_SPEEDUP
+    rows = {row["profile"]: row for row in document["rows"]}
+    assert set(rows) == {"mixed", "large"}
+    for row in rows.values():
+        assert set(row) == ROW_KEYS, row["profile"]
+        assert row["restore_ms"] < row["cold_ms"]
+        assert row["restore_speedup"] > 1.0
+        assert row["snapshot_bytes"] > 0
+        assert row["replay_rps"] > 0
+        assert set(row["wal_append_rps"]) == {"never", "batch"}
+    assert rows["large"]["restore_speedup"] >= MIN_RESTORE_SPEEDUP

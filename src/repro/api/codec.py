@@ -209,6 +209,16 @@ class _Reader:
             )
 
 
+# The persist layer (:mod:`repro.persist`) frames its on-disk snapshot
+# and WAL records with the same varint/string conventions as wire
+# frames; these public aliases are its sanctioned entry points into the
+# primitives above (the underscored names stay private to this module).
+Reader = _Reader
+write_uvarint = _w_uvarint
+write_svarint = _w_svarint
+write_str = _w_str
+
+
 # ----------------------------------------------------------------------
 # Per-connection string interning
 # ----------------------------------------------------------------------

@@ -1,0 +1,358 @@
+"""Table P — durable snapshots: restore vs cold rebuild, WAL throughput.
+
+Three questions about the persistence layer:
+
+* **restore speed** — how much faster is bringing a server up from a
+  snapshot (read + re-register printed IR + reinstall the serialized
+  precomputation arrays) than a *cold* rebuild (parse + register + run
+  the full liveness precomputation per function)?  On CFGs big enough
+  that the precomputation's quadratic set construction dominates, the
+  snapshot path skips exactly that work, so the gap is the paper's
+  precompute cost made visible — :data:`MIN_RESTORE_SPEEDUP` is the
+  guard on the ``large`` profile.
+* **WAL cost** — appends/second under each fsync policy (the price of
+  the durability knob), measured on real notify traffic.
+* **replay speed** — WAL records/second through recovery's dispatch
+  replay path, the figure that bounds catch-up and crash-restart time.
+
+Correctness rides along: every measured restore is probed against the
+cold server and must answer identically before its time is reported.
+
+Run directly with ``python -m repro.bench.table_persist [scale]``;
+``--smoke`` selects the tiny CI profile and enforces the direction
+guard (restore strictly faster than cold), ``--json PATH`` overrides
+where the machine-readable report (default ``BENCH_persist.json``) is
+written.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.api.handles import FunctionHandle
+from repro.api.protocol import (
+    LivenessQuery,
+    NotifyRequest,
+    encode_response,
+)
+from repro.bench.reporting import format_table, parse_bench_argv, write_json_report
+from repro.bench.table_service import ServiceProfile, generate_service_module
+from repro.concurrent.client import ShardedClient
+from repro.synth.random_function import random_ssa_function
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+from repro.persist.durability import capture_state
+from repro.persist.recovery import recover
+from repro.persist.snapshot import write_snapshot
+from repro.persist.wal import WriteAheadLog, read_wal
+
+#: Default output path of the machine-readable report.
+DEFAULT_JSON_PATH = "BENCH_persist.json"
+
+#: Bench guard (full profiles): restoring the ``large`` profile from a
+#: snapshot must be at least this many times faster than a cold rebuild.
+MIN_RESTORE_SPEEDUP = 5.0
+
+#: Fsync policies measured for the append-throughput column.
+APPEND_POLICIES = ("never", "batch")
+
+#: Sharding of the measured server (matches the serving-layer default).
+BENCH_SHARDS = 4
+
+
+@dataclass(frozen=True)
+class PersistProfile:
+    """One durability workload tier."""
+
+    name: str
+    #: Number of functions in the corpus.
+    functions: int
+    #: Target block count per function.
+    target_blocks: int
+    #: WAL append/replay record count.
+    records: int
+    #: ``"spec"`` — spec-profile shaped CFGs, instruction-heavy (parse
+    #: cost and precompute cost comparable: a service-like corpus);
+    #: ``"irreducible"`` — large sparse irreducible CFGs where the
+    #: precomputation's quadratic transitive closure dominates (the
+    #: regime snapshots exist for).
+    shape: str = "spec"
+
+
+PERSIST_PROFILES: tuple[PersistProfile, ...] = (
+    PersistProfile("mixed", functions=40, target_blocks=16, records=1500),
+    PersistProfile(
+        "large", functions=8, target_blocks=800, records=1500,
+        shape="irreducible",
+    ),
+)
+
+SMOKE_PROFILES: tuple[PersistProfile, ...] = (
+    PersistProfile(
+        "smoke", functions=6, target_blocks=120, records=200,
+        shape="irreducible",
+    ),
+)
+
+
+def generate_persist_functions(
+    profile: PersistProfile, scale: int = 1, seed: int = 0
+) -> list:
+    """The corpus for one profile (same args ⇒ bit-identical IR)."""
+    if profile.shape == "irreducible":
+        rng = random.Random(seed * 7919 + sum(map(ord, profile.name)))
+        return [
+            random_ssa_function(
+                rng,
+                num_blocks=profile.target_blocks,
+                num_variables=2,
+                instructions_per_block=0,
+                force_irreducible=True,
+                name=f"{profile.name}_{index}",
+            )
+            for index in range(profile.functions * scale)
+        ]
+    module = generate_service_module(
+        ServiceProfile(
+            profile.name, profile.functions, profile.target_blocks,
+            profile.records,
+        ),
+        scale=scale,
+        seed=seed,
+    )
+    return list(module)
+
+
+@dataclass
+class TablePersistRow:
+    """Measured durability costs of one profile."""
+
+    profile: str
+    functions: int
+    blocks: int
+    #: Cold start: parse + register + build every checker, milliseconds.
+    cold_ms: float = 0.0
+    #: Snapshot restore: read + register + reinstall arrays, milliseconds.
+    restore_ms: float = 0.0
+    #: Encoded snapshot size on disk, bytes.
+    snapshot_bytes: int = 0
+    #: Snapshot capture + atomic write, milliseconds.
+    snapshot_write_ms: float = 0.0
+    #: WAL appends/second, per fsync policy.
+    wal_append_rps: dict[str, float] = field(default_factory=dict)
+    #: WAL records replayed through dispatch (count and records/second).
+    replay_entries: int = 0
+    replay_rps: float = 0.0
+
+    @property
+    def restore_speedup(self) -> float:
+        """How many times faster restore is than the cold rebuild."""
+        return self.cold_ms / self.restore_ms if self.restore_ms else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "profile": self.profile,
+            "functions": self.functions,
+            "blocks": self.blocks,
+            "cold_ms": self.cold_ms,
+            "restore_ms": self.restore_ms,
+            "restore_speedup": self.restore_speedup,
+            "snapshot_bytes": self.snapshot_bytes,
+            "snapshot_write_ms": self.snapshot_write_ms,
+            "wal_append_rps": dict(self.wal_append_rps),
+            "replay_entries": self.replay_entries,
+            "replay_rps": self.replay_rps,
+        }
+
+
+def _warm_probes(functions) -> list[LivenessQuery]:
+    """One checker-building query per function (first variable/block)."""
+    probes = []
+    for function in functions:
+        variables = function.variables()
+        blocks = list(function)
+        if not variables or not blocks:
+            continue
+        probes.append(
+            LivenessQuery(
+                function=FunctionHandle(function.name),
+                kind="in",
+                variable=variables[0].name,
+                block=blocks[0].name,
+            )
+        )
+    return probes
+
+
+def _cold_start(sources: list[str], capacity: int) -> ShardedClient:
+    """The rebuild path: parse, register, run every precomputation."""
+    functions = [parse_function(source) for source in sources]
+    client = ShardedClient(functions, shards=BENCH_SHARDS, capacity=capacity)
+    for probe in _warm_probes(functions):
+        client.dispatch(probe)
+    return client
+
+
+def _canonical(response) -> str:
+    return json.dumps(encode_response(response), sort_keys=True)
+
+
+def compute_table_persist(
+    scale: int = 1,
+    seed: int = 0,
+    profiles: tuple[PersistProfile, ...] = PERSIST_PROFILES,
+    reps: int = 3,
+) -> list[TablePersistRow]:
+    rows = []
+    for profile in profiles:
+        functions = generate_persist_functions(profile, scale=scale, seed=seed)
+        sources = [print_function(function) for function in functions]
+        capacity = len(functions)
+        row = TablePersistRow(
+            profile=profile.name,
+            functions=len(functions),
+            blocks=sum(len(function.blocks) for function in functions),
+        )
+
+        # --- cold rebuild (best of reps) -------------------------------
+        best = float("inf")
+        cold = None
+        for _ in range(reps):
+            start = time.perf_counter()
+            candidate = _cold_start(sources, capacity)
+            best = min(best, time.perf_counter() - start)
+            cold = candidate
+        row.cold_ms = best * 1000.0
+
+        with tempfile.TemporaryDirectory(prefix="repro-persist-") as tmp:
+            # --- snapshot write ---------------------------------------
+            start = time.perf_counter()
+            state = capture_state(cold)
+            path = write_snapshot(tmp, state)
+            row.snapshot_write_ms = (time.perf_counter() - start) * 1000.0
+            with open(path, "rb") as handle:
+                row.snapshot_bytes = len(handle.read())
+
+            # --- restore (best of reps), then the identity probe ------
+            best = float("inf")
+            restored = None
+            for _ in range(reps):
+                start = time.perf_counter()
+                candidate, report = recover(tmp)
+                best = min(best, time.perf_counter() - start)
+                assert report.checkers_restored == len(state.precomps)
+                restored = candidate
+            row.restore_ms = best * 1000.0
+            for probe in _warm_probes(functions):
+                assert _canonical(restored.dispatch(probe)) == _canonical(
+                    cold.dispatch(probe)
+                ), f"restored answer diverged on {probe}"
+
+        # --- WAL append throughput, per fsync policy ------------------
+        records = profile.records * scale
+        names = [function.name for function in functions]
+        stream = [
+            NotifyRequest(function=FunctionHandle(names[i % len(names)]), kind="cfg")
+            for i in range(records)
+        ]
+        for policy in APPEND_POLICIES:
+            with tempfile.TemporaryDirectory(prefix="repro-wal-") as tmp:
+                with WriteAheadLog(tmp, fsync=policy) as wal:
+                    start = time.perf_counter()
+                    for request in stream:
+                        wal.append(request)
+                    elapsed = time.perf_counter() - start
+                row.wal_append_rps[policy] = records / elapsed
+
+        # --- replay throughput ----------------------------------------
+        with tempfile.TemporaryDirectory(prefix="repro-replay-") as tmp:
+            with WriteAheadLog(tmp, fsync="never") as wal:
+                for request in stream:
+                    wal.append(request)
+            scan = read_wal(tmp)
+            target = ShardedClient(
+                [parse_function(source) for source in sources],
+                shards=BENCH_SHARDS,
+                capacity=capacity,
+            )
+            start = time.perf_counter()
+            for _seq, request in scan.entries:
+                target.dispatch(request)
+            elapsed = time.perf_counter() - start
+            row.replay_entries = len(scan.entries)
+            row.replay_rps = row.replay_entries / elapsed
+
+        rows.append(row)
+    return rows
+
+
+def format_table_persist(rows: list[TablePersistRow]) -> str:
+    headers = (
+        "profile",
+        "functions",
+        "blocks",
+        "cold_ms",
+        "restore_ms",
+        "speedup",
+        "snap_KB",
+        "replay_rps",
+        "append_rps(batch)",
+    )
+    return format_table(
+        headers,
+        [
+            (
+                row.profile,
+                row.functions,
+                row.blocks,
+                row.cold_ms,
+                row.restore_ms,
+                row.restore_speedup,
+                row.snapshot_bytes / 1024.0,
+                row.replay_rps,
+                row.wal_append_rps.get("batch", 0.0),
+            )
+            for row in rows
+        ],
+        title="Table P — snapshot restore vs cold rebuild, WAL throughput",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    scale, smoke, json_path = parse_bench_argv(
+        sys.argv[1:] if argv is None else argv, DEFAULT_JSON_PATH
+    )
+    profiles = SMOKE_PROFILES if smoke else PERSIST_PROFILES
+    rows = compute_table_persist(scale=scale, profiles=profiles)
+    print(format_table_persist(rows))  # noqa: T201 - bench CLI output
+    write_json_report(
+        json_path,
+        "table_persist",
+        {
+            "min_restore_speedup": MIN_RESTORE_SPEEDUP,
+            "smoke": smoke,
+            "rows": [row.as_dict() for row in rows],
+        },
+    )
+    for row in rows:
+        assert row.restore_ms < row.cold_ms, (
+            f"profile {row.profile!r}: restore ({row.restore_ms:.1f} ms) is "
+            f"not faster than the cold rebuild ({row.cold_ms:.1f} ms)"
+        )
+    if not smoke:
+        large = {row.profile: row for row in rows}.get("large")
+        if large is not None:
+            assert large.restore_speedup >= MIN_RESTORE_SPEEDUP, (
+                f"large-profile restore speedup {large.restore_speedup:.1f}x "
+                f"is below the {MIN_RESTORE_SPEEDUP:.0f}x guard"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -119,6 +119,29 @@ class ShardedClient:
         """A fresh handle for ``name`` at its current revision."""
         return self._sharded.handle(name)
 
+    # ------------------------------------------------------------------
+    # Snapshot export / import (delegated to the sharded service)
+    # ------------------------------------------------------------------
+    def export_state(self, pin=None):
+        """A consistent state cut — see :meth:`ShardedService.export_state`."""
+        return self._sharded.export_state(pin=pin)
+
+    def import_state(self, functions) -> None:
+        """Reinstate exported ``(name, revision, source)`` triples."""
+        self._sharded.import_state(functions)
+
+    def install_checker(self, name: str, checker) -> None:
+        """Install a pre-built checker (snapshot-restore path)."""
+        self._sharded.install_checker(name, checker)
+
+    def topology(self) -> dict:
+        """Serving geometry for snapshot headers: shards/capacity/strategy."""
+        return {
+            "shards": self._sharded.num_shards,
+            "capacity": self._sharded.capacity,
+            "strategy": self._sharded.strategy,
+        }
+
     def compile(
         self, source: str, module_name: str = "module"
     ) -> tuple[FunctionHandle, ...]:

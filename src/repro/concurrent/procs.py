@@ -103,6 +103,7 @@ from repro.ir.parser import parse_function
 from repro.ir.printer import print_function
 from repro.obs import Observability
 from repro.obs.metrics import metric_key
+from repro.persist.policy import is_replayable, is_worker_failure
 from repro.service.service import DEFAULT_CAPACITY, STAT_FIELDS, LivenessService
 
 __all__ = [
@@ -186,20 +187,11 @@ def _timeout_detail(index: int, timeout: float) -> str:
     return f"worker {index} did not answer within {timeout:g}s"
 
 
-def is_worker_failure(error: ApiError | None) -> bool:
-    """Whether ``error`` marks a request lost to a worker crash/hang.
-
-    The differential harness excludes exactly these entries from serial
-    replay: the request never took effect on the (restarted) worker, so
-    the coordinator's structured ``INTERNAL`` answer has no serial
-    counterpart — every *other* response must still replay bit-identically.
-    """
-    if error is None or error.code != ErrorCode.INTERNAL:
-        return False
-    detail = error.detail or ""
-    return detail.startswith("worker ") and (
-        "crashed" in detail or "did not answer" in detail
-    )
+# ``is_worker_failure`` — whether an error marks a request lost to a
+# worker crash/hang — is re-exported from :mod:`repro.persist.policy`,
+# where it lives next to the rest of the replay policy: the differential
+# harness, the WAL appender and this module's restart log must all make
+# the same call, so there is exactly one definition.
 
 
 # ----------------------------------------------------------------------
@@ -301,6 +293,16 @@ def _worker_control(
         for text in header.get("sources", ()):
             service.register(parse_function(text))
         return {"ok": True}, b""
+    if op == "export":
+        # Snapshot surface: ``(name, revision, printed source)`` triples
+        # in this worker's registration order (see
+        # :meth:`LivenessService.export_functions`).
+        return {"ok": True, "functions": service.export_functions()}, b""
+    if op == "import":
+        # Restore surface: reinstate exported triples, revisions intact.
+        for name, revision, source in header.get("functions", ()):
+            service.import_function(name, int(revision), source)
+        return {"ok": True}, b""
     if op == "stats":
         snapshot = obs.snapshot()
         stats = service.stats.as_dict()
@@ -359,7 +361,7 @@ class _Link:
         "mutex",
         "pendings",
         "known",
-        "sources",
+        "baseline",
         "log",
         "alive",
         "inflight",
@@ -380,10 +382,14 @@ class _Link:
         self.pendings: list[_Reply] = []
         #: Outer-table idents this worker's session has definitions for.
         self.known: set[int] = set()
-        #: Printed IR of every function registered on this worker, in
-        #: registration order — the restart recipe's first half.
-        self.sources: list[str] = []
-        #: Confirmed mutating requests, FIFO — the recipe's second half.
+        #: ``(name, revision, printed IR)`` of every function on this
+        #: worker, in its registration order — the restart recipe's
+        #: first half.  Compaction folds the confirmed-mutation log into
+        #: it (re-exporting the worker's state), so the recipe stays
+        #: bounded no matter how long the deployment runs.
+        self.baseline: list[tuple[str, int, str]] = []
+        #: Confirmed mutating requests since the baseline, FIFO — the
+        #: recipe's second half (the tail replayed on restart).
         self.log: list[Request] = []
         #: Set while the link accepts traffic; cleared on crash/drain.
         self.alive = threading.Event()
@@ -430,9 +436,14 @@ class ProcClient:
         auto_restart: bool = True,
         timeout: float = 60.0,
         start_method: str | None = None,
+        compact_after: int = 64,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
+        if compact_after < 1:
+            raise ValueError(
+                f"compact_after must be at least 1, got {compact_after}"
+            )
         self.obs = obs if obs is not None else Observability()
         self._workers_n = workers
         self._per_worker = max(1, -(-capacity // workers))  # ceil division
@@ -441,7 +452,10 @@ class ProcClient:
         self._observed = threading.local()
         self._auto_restart = auto_restart
         self._timeout = timeout
+        self._compact_after = compact_after
         self._closing = False
+        self._closed = False
+        self._close_lock = threading.Lock()
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -489,7 +503,17 @@ class ProcClient:
         reader.start()
 
     def close(self, timeout: float = 5.0) -> None:
-        """Drain every worker; terminate any that outlive the deadline."""
+        """Drain every worker; terminate any that outlive the deadline.
+
+        Idempotent: the first call does the drain-and-join work; any
+        later call returns immediately (no second drain, no second
+        deadline wait) — double-shutdown paths in servers and test
+        teardowns must be cheap no-ops, never a second 5-second stall.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._closing = True
         for link in self._links:
             link.alive.clear()
@@ -576,10 +600,11 @@ class ProcClient:
     def _restart(self, link: _Link) -> None:
         """Respawn a dead worker and rebuild its state deterministically.
 
-        Registration replays from printed IR in registration order, then
-        the confirmed mutation log lands FIFO — the resulting state is
-        the one a serial replay of this worker's successfully-answered
-        requests produces (cache geometry aside, which is unobservable).
+        The baseline — printed IR plus revisions, as compaction last
+        exported it — is imported first, then the confirmed-mutation
+        tail lands FIFO: the resulting state is the one a serial replay
+        of this worker's successfully-answered requests produces (cache
+        geometry aside, which is unobservable).
         """
         try:
             self._spawn(link)
@@ -587,11 +612,14 @@ class ProcClient:
             _logger.exception("worker %d respawn failed", link.index)
             return
         try:
-            if link.sources:
+            if link.baseline:
                 self._post(
                     link,
                     _pack_control(
-                        {"op": "register", "sources": list(link.sources)}
+                        {
+                            "op": "import",
+                            "functions": [list(t) for t in link.baseline],
+                        }
                     ),
                     force=True,
                 )
@@ -704,6 +732,115 @@ class ProcClient:
         """The worker index owning function ``name`` (crc32 routing)."""
         return shard_of(name, self._workers_n)
 
+    # ------------------------------------------------------------------
+    # Snapshot export / import (the persist layer's surface)
+    # ------------------------------------------------------------------
+    def export_state(self, pin=None):
+        """A consistent cut of the fleet's observable state.
+
+        Holds the registry lock and *every* link mutex (in index order),
+        so no mutation is in flight anywhere; ``pin``, if given, is
+        called while they are held (the durability layer passes
+        ``lambda: wal.last_seq``).  Returns ``(functions, precomps,
+        pinned)`` like :meth:`ShardedService.export_state`, except
+        ``precomps`` is always empty — worker checker caches live across
+        a pipe and are rebuilt on demand, not serialized.
+
+        Raises :class:`ProtocolError` if a worker is down or hung — a
+        snapshot of half a fleet would be a lie.
+        """
+        with self._registry_lock:
+            with ExitStack() as stack:
+                for link in self._links:
+                    stack.enter_context(link.mutex)
+                pinned = pin() if pin is not None else 0
+                posted = []
+                for link in self._links:
+                    posted.append(
+                        (
+                            link,
+                            self._send_ready(
+                                link, _pack_control({"op": "export"})
+                            ),
+                        )
+                    )
+                by_name: dict[str, tuple[str, int, str]] = {}
+                for link, pending in posted:
+                    header, _payload = self._await_control(link, pending)
+                    for name, revision, source in header.get("functions") or ():
+                        by_name[name] = (name, int(revision), source)
+                functions = [by_name[name] for name in self._order]
+                return functions, [], pinned
+
+    def import_state(self, functions) -> None:
+        """Reinstate exported ``(name, revision, source)`` triples.
+
+        The restore-path mirror of :meth:`_register_functions`: same
+        atomicity (a worker failure force-restarts every worker that
+        already acknowledged, rolling the batch back), but revisions
+        land exactly as exported and the triples join each link's
+        restart baseline directly.
+        """
+        triples = [
+            (name, int(revision), source)
+            for name, revision, source in functions
+        ]
+        names = [name for name, _revision, _source in triples]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate function name in snapshot: {names!r}")
+        with self._registry_lock:
+            per_worker: dict[int, list[tuple[str, int, str]]] = {}
+            for triple in triples:
+                per_worker.setdefault(
+                    shard_of(triple[0], self._workers_n), []
+                ).append(triple)
+            involved = sorted(per_worker)
+            with ExitStack() as stack:
+                for index in involved:
+                    stack.enter_context(self._links[index].mutex)
+                for name in names:
+                    if name in self._names:
+                        raise ValueError(f"duplicate function name {name!r}")
+                acked: list[_Link] = []
+                try:
+                    posted = []
+                    for index in involved:
+                        link = self._links[index]
+                        msg = _pack_control(
+                            {
+                                "op": "import",
+                                "functions": [
+                                    list(t) for t in per_worker[index]
+                                ],
+                            }
+                        )
+                        posted.append((link, self._send_ready(link, msg)))
+                    for link, pending in posted:
+                        self._await_control(link, pending)
+                        acked.append(link)
+                except ProtocolError:
+                    for link in acked:
+                        self._force_restart(link)
+                    raise
+                for index in involved:
+                    self._links[index].baseline.extend(per_worker[index])
+                for name, _revision, _source in triples:
+                    self._names[name] = shard_of(name, self._workers_n)
+                    self._order.append(name)
+
+    def topology(self) -> dict:
+        """Serving geometry for snapshot headers: shards/capacity/strategy.
+
+        Workers play the role shards play in-process; ``capacity`` is
+        the whole fleet's budget (per-worker share times workers, the
+        same stable-fixpoint sum :class:`ShardedService` reports).
+        """
+        return {
+            "shards": self._workers_n,
+            "capacity": self._per_worker * self._workers_n,
+            "strategy": self._strategy,
+        }
+
     def compile(
         self, source: str, module_name: str = "module"
     ) -> tuple[FunctionHandle, ...]:
@@ -758,8 +895,10 @@ class ProcClient:
             link = self._link_for(request.function.name)
             with link.mutex:
                 response, _index = self._roundtrip(link, request)
-                if self._log_worthy(request, response):
+                if is_replayable(request, response):
                     link.log.append(request)
+                    if len(link.log) >= self._compact_after:
+                        self._compact_link(link)
                 self._notify(request, response)
                 return response
         if isinstance(request, BatchLiveness):
@@ -773,26 +912,29 @@ class ProcClient:
             f"unsupported request type {type(request).__name__}",
         )
 
-    @staticmethod
-    def _log_worthy(request: Request, response: Response) -> bool:
-        """Should this mutation be replayed into a restarted worker?
+    def _compact_link(self, link: _Link) -> None:
+        """Fold the confirmed-mutation log into the baseline (mutex held).
 
-        Successful mutations always.  *Failed* destructs/allocates too,
-        unless the error code proves nothing was touched — an allocate
-        can fail after pessimistically invalidating its function's
-        checker, and that (deterministic) side effect must survive a
-        restart for replay equivalence.
+        Re-exports the worker's state — printed IR plus revisions, which
+        already embodies every logged mutation — and clears the log, so
+        the restart recipe stays O(functions) instead of growing without
+        bound with mutation traffic.  On any failure the old recipe is
+        kept untouched: a restart then simply replays the longer tail,
+        which is correct, just slower.
         """
-        if response.error is None:
-            return True
-        if isinstance(request, NotifyRequest):
-            return False
-        return response.error.code not in (
-            ErrorCode.UNKNOWN_FUNCTION,
-            ErrorCode.STALE_HANDLE,
-            ErrorCode.INVALID_REQUEST,
-            ErrorCode.UNSUPPORTED,
-        )
+        try:
+            pending = self._post(link, _pack_control({"op": "export"}))
+            header, _payload = self._await_control(link, pending)
+        except (ProtocolError, BrokenPipeError, OSError):
+            return
+        functions = header.get("functions")
+        if functions is None:
+            return
+        link.baseline = [
+            (name, int(revision), source)
+            for name, revision, source in functions
+        ]
+        link.log.clear()
 
     # ------------------------------------------------------------------
     # Cross-worker requests
@@ -880,11 +1022,11 @@ class ProcClient:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate function name in batch: {names!r}")
         with self._registry_lock:
-            per_worker: dict[int, list[str]] = {}
+            per_worker: dict[int, list[tuple[str, str]]] = {}
             for function in functions:
                 per_worker.setdefault(
                     shard_of(function.name, self._workers_n), []
-                ).append(print_function(function))
+                ).append((function.name, print_function(function)))
             involved = sorted(per_worker)
             with ExitStack() as stack:
                 for index in involved:
@@ -900,7 +1042,13 @@ class ProcClient:
                     for index in involved:
                         link = self._links[index]
                         msg = _pack_control(
-                            {"op": "register", "sources": per_worker[index]}
+                            {
+                                "op": "register",
+                                "sources": [
+                                    source
+                                    for _name, source in per_worker[index]
+                                ],
+                            }
                         )
                         posted.append((link, self._send_ready(link, msg)))
                     for link, pending in posted:
@@ -911,7 +1059,10 @@ class ProcClient:
                         self._force_restart(link)
                     raise
                 for index in involved:
-                    self._links[index].sources.extend(per_worker[index])
+                    self._links[index].baseline.extend(
+                        (name, 0, source)
+                        for name, source in per_worker[index]
+                    )
                 for function in functions:
                     self._names[function.name] = shard_of(
                         function.name, self._workers_n

@@ -55,6 +55,7 @@ from typing import Iterable, Iterator, Sequence
 from repro.api.handles import FunctionHandle
 from repro.ir.function import Function
 from repro.ir.module import Module
+from repro.ir.printer import print_function
 from repro.ir.value import Variable
 from repro.obs import Observability
 from repro.service.service import (
@@ -129,6 +130,15 @@ class _ShardService(LivenessService):
         with self._cache_mutex:
             return super().resident()
 
+    def export_precomputations(self) -> list[tuple[str, object]]:
+        # Same iteration hazard as resident(): snapshot under the mutex.
+        with self._cache_mutex:
+            return super().export_precomputations()
+
+    def install_checker(self, name: str, checker) -> None:
+        with self._cache_mutex:
+            super().install_checker(name, checker)
+
 
 class _Shard:
     """One shard: its lock plus its service."""
@@ -188,6 +198,7 @@ class ShardedService:
         if capacity < 1:
             raise ValueError(f"capacity must be at least 1, got {capacity}")
         self.obs = obs if obs is not None else Observability()
+        self._strategy = strategy
         per_shard = max(1, -(-capacity // shards))  # ceil division
         self._shards = tuple(
             _Shard(index, per_shard, strategy, self.obs)
@@ -218,6 +229,11 @@ class ShardedService:
     def capacity(self) -> int:
         """Total resident-checker budget (sum of shard capacities)."""
         return sum(shard.service.capacity for shard in self._shards)
+
+    @property
+    def strategy(self) -> str:
+        """``TargetSets`` strategy handed to every shard's checkers."""
+        return self._strategy
 
     def shard_of(self, name: str) -> int:
         """The shard index owning function ``name``."""
@@ -389,6 +405,88 @@ class ShardedService:
         for shard in self._shards:
             with shard.lock.write():
                 shard.service.clear()
+
+    # ------------------------------------------------------------------
+    # Snapshot export / import (the persist layer's surface)
+    # ------------------------------------------------------------------
+    def export_state(self, pin=None):
+        """A consistent cut of the whole service's observable state.
+
+        Acquires the registry lock, then *every* shard's read lock in
+        index order — with all of them held no mutation is in flight
+        anywhere, so the cut is a linearization point.  ``pin``, if
+        given, is called **while the locks are held**; the durability
+        layer passes ``lambda: wal.last_seq`` so the snapshot and the
+        WAL position agree exactly (appends happen under shard write
+        locks, which are all excluded here).
+
+        Returns ``(functions, precomps, pinned)``: the
+        ``(name, revision, printed source)`` triples in registration
+        order, the ``(name, precomputation)`` pairs of every warm
+        checker (shard order, LRU within a shard), and ``pin``'s value
+        (0 when absent).
+        """
+        with self._registry_lock:
+            acquired: list[_Shard] = []
+            try:
+                with self.obs.span("shard_lock", mode="read"):
+                    for shard in self._shards:
+                        shard.lock.acquire_read()
+                        acquired.append(shard)
+                pinned = pin() if pin is not None else 0
+                functions = []
+                for name in self._order:
+                    service = self.service_for(name)
+                    functions.append(
+                        (
+                            name,
+                            service.revision(name),
+                            print_function(service.function(name)),
+                        )
+                    )
+                precomps: list[tuple[str, object]] = []
+                for shard in self._shards:
+                    precomps.extend(shard.service.export_precomputations())
+                return functions, precomps, pinned
+            finally:
+                for shard in reversed(acquired):
+                    shard.lock.release_read()
+
+    def import_state(self, functions) -> None:
+        """Reinstate exported ``(name, revision, source)`` triples.
+
+        The restore-path mirror of :meth:`register_all`: all-or-nothing
+        validation, global registration order preserved, but revisions
+        land exactly as exported instead of starting at 0.
+        """
+        triples = list(functions)
+        names = [name for name, _revision, _source in triples]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate function name in snapshot: {names!r}")
+        with self._registry_lock:
+            acquired: list[_Shard] = []
+            try:
+                with self.obs.span("shard_lock", mode="write"):
+                    for shard in self._shards:
+                        shard.lock.acquire_write()
+                        acquired.append(shard)
+                for name in names:
+                    if name in self.service_for(name):
+                        raise ValueError(f"duplicate function name {name!r}")
+                for name, revision, source in triples:
+                    self.service_for(name).import_function(
+                        name, revision, source
+                    )
+                    self._order.append(name)
+                    self._shard_index[name] = self.shard_of(name)
+            finally:
+                for shard in reversed(acquired):
+                    shard.lock.release_write()
+
+    def install_checker(self, name: str, checker) -> None:
+        """Install a pre-built checker on the owning shard (restore path)."""
+        with self.write_locked([name]):
+            self.service_for(name).install_checker(name, checker)
 
     # ------------------------------------------------------------------
     # Queries

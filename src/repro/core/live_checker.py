@@ -49,6 +49,39 @@ class FastLivenessChecker(LivenessOracle):
         self._batch: BatchQueryEngine | None = None
         self._plans: PlanCache | None = None
 
+    @classmethod
+    def from_precomputation(
+        cls,
+        function: Function,
+        pre,
+        strategy: str = "exact",
+        use_bitsets: bool = True,
+        reducible_fast_path: bool = True,
+    ) -> "FastLivenessChecker":
+        """Build a checker over an already-materialised precomputation.
+
+        The restore path of :mod:`repro.persist` hands in a
+        :class:`~repro.persist.precomp.RestoredPrecomputation` (the flat
+        numeric view read back from a snapshot) instead of paying for
+        DFS + dominators + the quadratic closure again.  Any real
+        ``LivenessPrecomputation`` works too.  Def–use chains and query
+        plans still build lazily from ``function``, exactly as after a
+        normal :meth:`prepare`; a later :meth:`notify_cfg_changed` drops
+        ``pre`` and the next query recomputes from scratch.
+        """
+        checker = cls(
+            function,
+            strategy=strategy,
+            use_bitsets=use_bitsets,
+            reducible_fast_path=reducible_fast_path,
+        )
+        checker._pre = pre
+        checker._bitset_checker = BitsetChecker(
+            pre, reducible_fast_path=reducible_fast_path
+        )
+        checker._set_checker = SetBasedChecker(pre)
+        return checker
+
     # ------------------------------------------------------------------
     # Precomputation management
     # ------------------------------------------------------------------
@@ -74,6 +107,27 @@ class FastLivenessChecker(LivenessOracle):
         self.prepare()
         assert self._pre is not None
         return self._pre
+
+    @property
+    def resident_precomputation(self):
+        """The precomputation if already materialised, else ``None``.
+
+        Unlike :attr:`precomputation` this never triggers a build — the
+        snapshot exporter uses it to capture exactly the checkers that
+        are warm, without warming the rest as a side effect.
+        """
+        return self._pre
+
+    @property
+    def is_restored(self) -> bool:
+        """Is the resident precomputation a snapshot-restored shim?
+
+        Restored shims answer every query but lack the object views
+        (``domtree``/``reach``/``dfs``); passes that need those — the
+        out-of-SSA pipeline shares the dominator tree — must swap in a
+        real rebuild first (the service layer does).
+        """
+        return getattr(self._pre, "restored", False)
 
     @property
     def defuse(self) -> DefUseChains:

@@ -1,0 +1,63 @@
+"""Durable snapshots, a write-ahead log, and replica catch-up.
+
+The serving stack's linearization witness — the ``observer`` hook fired
+with ``(request, response)`` while the shard locks are held — is a
+write-ahead log in everything but durability.  This package makes it
+durable and builds the production stories on top:
+
+* :mod:`repro.persist.records` — CRC-protected, length-prefixed record
+  framing shared by snapshots and the WAL (bin2 conventions via the
+  public primitives of :mod:`repro.api.codec`);
+* :mod:`repro.persist.snapshot` — the versioned snapshot format:
+  printed module IR, handle revisions and (optionally) each resident
+  checker's precomputation arrays, such that restore → re-snapshot is
+  byte-identical;
+* :mod:`repro.persist.wal` — the append-only log of mutating requests
+  with configurable fsync policy, segment rotation and compaction;
+* :mod:`repro.persist.policy` — which ``(request, response)`` pairs are
+  replayable (evictions never: cache geometry stays unobservable);
+* :mod:`repro.persist.durability` — the front door wiring a
+  :class:`~repro.concurrent.ShardedClient` / ``ProcClient`` observer to
+  the WAL, with snapshot compaction;
+* :mod:`repro.persist.recovery` — torn-tail-tolerant crash recovery:
+  newest valid snapshot + WAL tail replay, never raising on damage;
+* :mod:`repro.persist.replica` — a read-only follower tailing the
+  primary's log, with a state-digest divergence checker;
+* ``python -m repro.persist.inspect`` — a CLI dumping snapshot headers
+  and WAL records.
+"""
+
+from repro.persist.durability import Durability, live_state_digest
+from repro.persist.policy import is_replayable, is_worker_failure
+from repro.persist.records import RecordDamage, scan_records
+from repro.persist.recovery import load_state, recover
+from repro.persist.replica import Replica
+from repro.persist.snapshot import (
+    FunctionState,
+    PrecompState,
+    SnapshotState,
+    load_snapshot,
+    state_digest,
+    write_snapshot,
+)
+from repro.persist.wal import WriteAheadLog, read_wal
+
+__all__ = [
+    "Durability",
+    "FunctionState",
+    "PrecompState",
+    "RecordDamage",
+    "Replica",
+    "SnapshotState",
+    "WriteAheadLog",
+    "is_replayable",
+    "is_worker_failure",
+    "live_state_digest",
+    "load_snapshot",
+    "load_state",
+    "read_wal",
+    "recover",
+    "scan_records",
+    "state_digest",
+    "write_snapshot",
+]

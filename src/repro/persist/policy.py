@@ -1,0 +1,86 @@
+"""Which ``(request, response)`` pairs a write-ahead log must replay.
+
+One predicate, shared by every durability consumer — the WAL appender,
+crash recovery, replica catch-up and ``ProcClient``'s per-worker restart
+recipe — so "what counts as a mutation" cannot drift between them.
+
+The rules, and why:
+
+* **Queries never.**  ``LivenessQuery`` / ``BatchLiveness`` /
+  ``LiveSetRequest`` / ``StatsRequest`` read state; replaying them is
+  harmless but pointless, and logging them would make the WAL scale
+  with traffic instead of with edits.
+* **Evictions never.**  ``EvictRequest`` changes cache geometry only,
+  and cache geometry is *unobservable by protocol design* — eviction
+  bumps no revision and ``EvictResponse`` does not report residency.
+  Logging evictions would leak geometry into durable state and force
+  recovery to reproduce an LRU order no response can distinguish.
+* **Successful mutations always** — ``NotifyRequest``,
+  ``DestructRequest``, ``AllocateRequest``, ``CompileSourceRequest``.
+* **Failed destructs/allocates too**, *unless* the error code proves
+  nothing was touched.  An allocate can fail after pessimistically
+  invalidating its function's checker (revision bumped); that
+  deterministic side effect must survive into the replayed state or
+  later ``STALE_HANDLE`` responses diverge.  ``UNKNOWN_FUNCTION`` /
+  ``STALE_HANDLE`` / ``INVALID_REQUEST`` / ``UNSUPPORTED`` all fail
+  before any mutation, so those are skipped.
+* **Worker failures never.**  A multi-process dispatch answered with a
+  structured "worker crashed" INTERNAL error may or may not have
+  executed; the crash-injection differential excludes those responses
+  from replay, and the WAL must make the same call.
+"""
+
+from __future__ import annotations
+
+from repro.api.errors import ApiError, ErrorCode
+from repro.api.protocol import (
+    AllocateRequest,
+    CompileSourceRequest,
+    DestructRequest,
+    NotifyRequest,
+    Request,
+    Response,
+)
+
+#: Error codes that guarantee the request failed before mutating state.
+UNTOUCHED_CODES = frozenset(
+    (
+        ErrorCode.UNKNOWN_FUNCTION,
+        ErrorCode.STALE_HANDLE,
+        ErrorCode.INVALID_REQUEST,
+        ErrorCode.UNSUPPORTED,
+    )
+)
+
+
+def is_worker_failure(error: ApiError | None) -> bool:
+    """Is this the structured error of a crashed/unresponsive worker?
+
+    The canonical predicate (``repro.concurrent.procs`` re-exports it):
+    an ``INTERNAL`` whose detail names a worker that crashed or timed
+    out.  Such a response proves nothing about whether the request's
+    effects landed, so differential replay and the WAL both exclude it.
+    """
+    return (
+        error is not None
+        and error.code == ErrorCode.INTERNAL
+        and error.detail.startswith("worker ")
+        and ("crashed" in error.detail or "did not answer" in error.detail)
+    )
+
+
+def is_replayable(request: Request, response: Response) -> bool:
+    """Must this confirmed ``(request, response)`` land in durable state?"""
+    error = getattr(response, "error", None)
+    if is_worker_failure(error):
+        return False
+    if isinstance(request, (NotifyRequest, CompileSourceRequest)):
+        # A failed notify touched nothing (unknown/stale handles reject
+        # before the bump); a failed compile registered nothing
+        # (registration is all-or-nothing).
+        return error is None
+    if isinstance(request, (DestructRequest, AllocateRequest)):
+        if error is None:
+            return True
+        return error.code not in UNTOUCHED_CODES
+    return False

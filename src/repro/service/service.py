@@ -54,6 +54,8 @@ from repro.api.registry import FAST, get_engine
 from repro.core.live_checker import FastLivenessChecker
 from repro.ir.function import Function
 from repro.ir.module import Module
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
 from repro.ir.value import Variable
 from repro.obs import Observability
 from repro.utils import AtomicCounter
@@ -345,6 +347,77 @@ class LivenessService:
         self._checkers.clear()
 
     # ------------------------------------------------------------------
+    # Snapshot export / import (the persist layer's surface)
+    # ------------------------------------------------------------------
+    @property
+    def strategy(self) -> str:
+        """``TargetSets`` strategy handed to every checker."""
+        return self._strategy
+
+    def export_functions(self) -> list[tuple[str, int, str]]:
+        """``(name, revision, printed source)``, in registration order.
+
+        The printed text round-trips through the parser to the same
+        function (the printer/parser fixpoint the wire layer already
+        relies on), so re-registering these triples — with
+        :meth:`import_function` — reproduces this service's observable
+        state exactly.
+        """
+        return [
+            (name, self._revisions[name], print_function(function))
+            for name, function in self._functions.items()
+        ]
+
+    def import_function(self, name: str, revision: int, source: str) -> Function:
+        """Register a function at an explicit revision (restore path).
+
+        Unlike :meth:`register` — which is the *live* registration path
+        and always starts at revision 0 — this reinstates a function
+        exactly as a snapshot recorded it, revision included, so
+        outstanding handle semantics survive a restore.
+        """
+        function = parse_function(source)
+        if function.name != name:
+            raise ValueError(
+                f"snapshot names function {name!r} but its source parses "
+                f"as {function.name!r}"
+            )
+        if name in self._functions:
+            raise ValueError(f"duplicate function name {name!r}")
+        self._functions[name] = function
+        self._revisions[name] = revision
+        return function
+
+    def export_precomputations(self) -> list[tuple[str, object]]:
+        """``(name, precomputation)`` of every *warm* checker, LRU order.
+
+        Reads :attr:`FastLivenessChecker.resident_precomputation`, so
+        exporting never builds anything — the snapshot captures the
+        cache as it stands.  LRU order is preserved so a restore
+        re-creates the same eviction priorities.
+        """
+        exported: list[tuple[str, object]] = []
+        for name, checker in self._checkers.items():
+            pre = checker.resident_precomputation
+            if pre is not None:
+                exported.append((name, pre))
+        return exported
+
+    def install_checker(self, name: str, checker: FastLivenessChecker) -> None:
+        """Insert a pre-built checker as the most-recently-used entry.
+
+        The restore path's counterpart to the :meth:`checker` miss path:
+        no stats are bumped (a restore is not traffic), but capacity is
+        still enforced — installing beyond it evicts LRU entries without
+        counting them as traffic evictions either.
+        """
+        self._require_known(name)
+        self._checkers[name] = checker
+        self._checkers.move_to_end(name)
+        while len(self._checkers) > self._capacity:
+            self._checkers.popitem(last=False)
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def is_live_in(self, function: str, var: Variable, block: str) -> bool:
@@ -463,6 +536,12 @@ class LivenessService:
         spec = get_engine(engine)  # unknown engines fail before any mutation
         fn = self._functions[function]
         checker = self.checker(function) if spec.name == FAST else None
+        if checker is not None and checker.is_restored:
+            # The pipeline borrows the checker's dominator tree, which a
+            # snapshot-restored precomputation does not carry — swap in a
+            # genuine rebuild before translating.
+            self.evict(function)
+            checker = self.checker(function)
         self.obs.counter("engine.destructs", engine=spec.name).add(1)
         try:
             with self.obs.span("destruct", function=function, engine=spec.name):

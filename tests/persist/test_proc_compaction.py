@@ -1,0 +1,91 @@
+"""ProcClient restart-recipe compaction: bounded memory, same answers.
+
+Before compaction, every confirmed mutation since birth sat in a
+per-worker restart log forever.  Now the log folds into a per-worker
+*baseline* — (name, revision, printed IR) triples exported from the
+worker — every ``compact_after`` entries, so the restart recipe is
+O(registered functions), not O(total mutations ever).  The test drives
+enough mutations to force many compactions, checks the bound, then
+hard-kills workers and proves the rebuilt state still answers
+bit-identically to a server that never crashed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.api.errors import ProtocolError
+from repro.concurrent.client import ShardedClient
+from repro.concurrent.procs import ProcClient
+from repro.persist.durability import live_state_digest
+from tests.support.concurrency import (
+    corpus_functions,
+    fn_info,
+    random_request,
+)
+from tests.persist.test_recovery import assert_answers_identical
+
+COMPACT_AFTER = 4
+
+
+def wait_healthy(client, workers: int, timeout: float = 15.0) -> None:
+    """Ping every worker until its auto-restart has completed.
+
+    ``export_state`` deliberately refuses to snapshot half a fleet, so
+    the test — like a real operator — waits for health first.
+    """
+    deadline = time.monotonic() + timeout
+    for index in range(workers):
+        while True:
+            try:
+                client.ping(index)
+                break
+            except ProtocolError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.02)
+
+
+def test_restart_log_stays_bounded_and_restart_state_is_exact():
+    corpus = corpus_functions(6)
+    infos = [fn_info(fn) for fn in corpus]
+    reference = ShardedClient(corpus_functions(6), shards=2, capacity=8)
+    with ProcClient(
+        corpus, workers=2, capacity=8, compact_after=COMPACT_AFTER
+    ) as client:
+        rng = random.Random(13)
+        mutations = 0
+        for _ in range(200):
+            request = random_request(rng, infos, edit_rate=0.5)
+            client.dispatch(request)
+            reference.dispatch(request)
+            mutations += 1
+            # The invariant under test: no worker's tail log ever reaches
+            # the compaction threshold — it folds into the baseline first.
+            for link in client._links:
+                assert len(link.log) < COMPACT_AFTER
+                assert link.baseline, "baseline must never be empty"
+
+        # Worker baselines track real revisions, so a post-compaction
+        # restart reconstructs identical state: kill both workers...
+        client.inject_crash(0)
+        client.inject_crash(1)
+        wait_healthy(client, workers=2)
+        # ...and every probe must still match the never-crashed reference.
+        assert live_state_digest(client) == live_state_digest(reference)
+        assert_answers_identical(reference, client, infos)
+
+
+def test_baseline_is_bounded_by_function_count():
+    corpus = corpus_functions(4)
+    infos = [fn_info(fn) for fn in corpus]
+    with ProcClient(
+        corpus, workers=2, capacity=8, compact_after=COMPACT_AFTER
+    ) as client:
+        rng = random.Random(3)
+        for _ in range(100):
+            client.dispatch(random_request(rng, infos, edit_rate=0.6))
+        total_baseline = sum(len(link.baseline) for link in client._links)
+        # One triple per registered function — not one per mutation.
+        assert total_baseline == len(corpus)

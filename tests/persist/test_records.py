@@ -1,0 +1,161 @@
+"""Record framing: round-trips, and damage never raising.
+
+The contract under test is the one crash recovery leans on: for *any*
+byte string — torn tails, flipped bits, pure garbage — ``scan_records``
+returns structured damage instead of raising, and its ``clean_length``
+names a prefix that rescans clean.  Round-trips pin the layout itself.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.persist.records import (
+    MAX_RECORD,
+    PERSIST_MAGIC,
+    PERSIST_VERSION,
+    RecordDamage,
+    encode_record,
+    scan_records,
+)
+
+bodies = st.binary(max_size=200)
+rectypes = st.integers(min_value=0, max_value=0xFF)
+record_lists = st.lists(st.tuples(rectypes, bodies), max_size=8)
+
+
+def concat(records: list[tuple[int, bytes]]) -> bytes:
+    return b"".join(encode_record(rectype, body) for rectype, body in records)
+
+
+# ----------------------------------------------------------------------
+# Round-trips
+# ----------------------------------------------------------------------
+def test_single_record_round_trip():
+    data = encode_record(0x42, b"hello")
+    scan = scan_records(data)
+    assert scan.damage is None
+    assert scan.records == ((0x42, b"hello", 0),)
+    assert scan.clean_length == len(data)
+
+
+def test_empty_input_scans_clean():
+    scan = scan_records(b"")
+    assert scan.damage is None
+    assert scan.records == ()
+    assert scan.clean_length == 0
+
+
+@given(record_lists)
+@settings(max_examples=60)
+def test_record_sequences_round_trip(records):
+    data = concat(records)
+    scan = scan_records(data)
+    assert scan.damage is None
+    assert [(t, b) for t, b, _off in scan.records] == [
+        (t, bytes(b)) for t, b in records
+    ]
+    assert scan.clean_length == len(data)
+    # Offsets are strictly increasing and start at 0.
+    offsets = [off for _t, _b, off in scan.records]
+    assert offsets == sorted(set(offsets))
+    if offsets:
+        assert offsets[0] == 0
+
+
+def test_oversize_body_rejected_at_encode():
+    with pytest.raises(ValueError):
+        encode_record(0x01, b"\x00" * MAX_RECORD)
+
+
+# ----------------------------------------------------------------------
+# Damage never raises; clean prefix is honest
+# ----------------------------------------------------------------------
+@given(record_lists, st.data())
+@settings(max_examples=60)
+def test_torn_tail_truncates_cleanly(records, data_strategy):
+    data = concat(records)
+    if not data:
+        return
+    cut = data_strategy.draw(st.integers(0, len(data) - 1))
+    scan = scan_records(data[:cut])
+    # Whatever survived is a prefix of the originals...
+    recovered = [(t, bytes(b)) for t, b, _off in scan.records]
+    original = [(t, bytes(b)) for t, b in records]
+    assert recovered == original[: len(recovered)]
+    # ...and a real cut (not at a record boundary) is reported as damage
+    # whose offset is the safe truncation point.
+    if scan.damage is not None:
+        assert scan.damage.kind in ("torn", "oversize", "crc")
+        rescanned = scan_records(data[: scan.clean_length])
+        assert rescanned.damage is None
+        assert len(rescanned.records) == len(scan.records)
+
+
+@given(record_lists, st.data())
+@settings(max_examples=60)
+def test_single_bit_flip_never_raises(records, data_strategy):
+    data = bytearray(concat(records))
+    if not data:
+        return
+    pos = data_strategy.draw(st.integers(0, len(data) - 1))
+    bit = data_strategy.draw(st.integers(0, 7))
+    data[pos] ^= 1 << bit
+    scan = scan_records(bytes(data))  # must not raise
+    assert scan.clean_length <= len(data)
+    # Records lying entirely before the flipped byte are intact.
+    original = [(t, bytes(b)) for t, b in records]
+    for index, (rectype, body, offset) in enumerate(scan.records):
+        if offset + 8 + 3 + len(body) <= pos:
+            assert (rectype, bytes(body)) == original[index]
+
+
+@given(st.binary(max_size=400))
+@settings(max_examples=80)
+def test_garbage_never_raises(data):
+    scan = scan_records(data)
+    assert 0 <= scan.clean_length <= len(data)
+    rescanned = scan_records(data[: scan.clean_length])
+    assert rescanned.damage is None
+
+
+# ----------------------------------------------------------------------
+# Each damage kind is distinguishable (crafted headers)
+# ----------------------------------------------------------------------
+def _frame(payload: bytes) -> bytes:
+    return struct.pack("<II", len(payload) + 4, zlib.crc32(payload)) + payload
+
+
+def test_crc_damage_detected():
+    data = bytearray(encode_record(0x01, b"payload"))
+    data[-1] ^= 0xFF
+    scan = scan_records(bytes(data))
+    assert scan.damage is not None and scan.damage.kind == "crc"
+    assert scan.damage.offset == 0
+
+
+def test_wrong_magic_detected():
+    payload = bytes((0xB2, PERSIST_VERSION, 0x01)) + b"body"
+    scan = scan_records(_frame(payload))
+    assert scan.damage is not None and scan.damage.kind == "magic"
+
+
+def test_future_version_detected():
+    payload = bytes((PERSIST_MAGIC, PERSIST_VERSION + 1, 0x01)) + b"body"
+    scan = scan_records(_frame(payload))
+    assert scan.damage is not None and scan.damage.kind == "version"
+
+
+def test_oversize_length_prefix_detected():
+    header = struct.pack("<II", MAX_RECORD + 1, 0)
+    scan = scan_records(header + b"\x00" * 32)
+    assert scan.damage is not None and scan.damage.kind == "oversize"
+
+
+def test_damage_str_mentions_kind_and_offset():
+    damage = RecordDamage("torn", 17, "cut mid-record")
+    assert "torn" in str(damage) and "17" in str(damage)

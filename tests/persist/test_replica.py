@@ -1,0 +1,144 @@
+"""Replica catch-up: identical reads, rejected writes, honest digests.
+
+A follower over the primary's state directory must (1) answer every
+read query bit-identically to the primary once caught up, (2) refuse
+mutations with a structured error rather than forking history, (3) ride
+out torn tails, and (4) survive the primary compacting segments out
+from under it via a snapshot re-bootstrap.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.api.errors import ErrorCode
+from repro.api.handles import FunctionHandle
+from repro.api.protocol import LivenessQuery, NotifyRequest, StatsRequest
+from repro.concurrent.client import ShardedClient
+from repro.persist.durability import Durability
+from repro.persist.replica import Replica
+from repro.persist.wal import list_segments
+from tests.support.concurrency import (
+    canonical_response,
+    corpus_functions,
+    fn_info,
+    random_request,
+)
+from tests.persist.test_recovery import probe_requests
+
+CORPUS = 5
+
+
+def make_primary(directory: str):
+    functions = corpus_functions(CORPUS)
+    durability = Durability(directory, fsync="always")
+    client = ShardedClient(
+        functions, shards=2, capacity=4, observer=durability.observer
+    )
+    durability.attach(client)
+    return client, durability, [fn_info(fn) for fn in functions]
+
+
+def notify(client, name: str) -> None:
+    client.dispatch(NotifyRequest(function=FunctionHandle(name), kind="cfg"))
+
+
+def test_caught_up_replica_answers_reads_identically(tmp_path):
+    primary, durability, infos = make_primary(str(tmp_path))
+    rng = random.Random(5)
+    for _ in range(80):
+        primary.dispatch(random_request(rng, infos, edit_rate=0.3))
+    replica = Replica(str(tmp_path))
+    assert replica.position == durability.last_seq
+    assert replica.matches_primary(primary)
+    for probe in probe_requests(infos):
+        assert canonical_response(replica.dispatch(probe)) == (
+            canonical_response(primary.dispatch(probe))
+        )
+    durability.close()
+
+
+def test_replica_rejects_mutations(tmp_path):
+    primary, durability, infos = make_primary(str(tmp_path))
+    replica = Replica(str(tmp_path))
+    response = replica.dispatch(
+        NotifyRequest(function=FunctionHandle(infos[0].name), kind="cfg")
+    )
+    assert response.error is not None
+    assert response.error.code == ErrorCode.UNSUPPORTED
+    # The rejection forked nothing: the digests still agree.
+    assert replica.matches_primary(primary)
+    # Reads — including stats — still flow.
+    assert replica.dispatch(StatsRequest()).error is None
+    durability.close()
+
+
+def test_replica_tails_incremental_appends(tmp_path):
+    primary, durability, infos = make_primary(str(tmp_path))
+    replica = Replica(str(tmp_path))
+    position = replica.position
+    for round_ in range(3):
+        notify(primary, infos[round_ % len(infos)].name)
+        applied = replica.catch_up()
+        assert applied == 1
+        assert replica.position == position + round_ + 1
+        assert replica.matches_primary(primary)
+    assert replica.catch_up() == 0  # nothing new: a no-op, not an error
+    durability.close()
+
+
+def test_torn_tail_is_benign_for_the_follower(tmp_path):
+    primary, durability, infos = make_primary(str(tmp_path))
+    notify(primary, infos[0].name)
+    replica = Replica(str(tmp_path))
+    # The primary dies mid-append: garbage lands after the last record.
+    _first, path = list_segments(str(tmp_path))[-1]
+    with open(path, "ab") as handle:
+        handle.write(b"\x07torn!")
+    assert replica.catch_up() == 0  # no raise, nothing phantom-applied
+    assert replica.matches_primary(primary)
+    durability.close()
+
+
+def test_compaction_gap_triggers_rebootstrap(tmp_path):
+    primary, durability, infos = make_primary(str(tmp_path))
+    replica = Replica(str(tmp_path))  # position 0, from the baseline
+    for _ in range(6):
+        notify(primary, infos[0].name)
+    durability.snapshot()  # covers seq 6, prunes the segment the
+    for _ in range(2):  # follower would have tailed
+        notify(primary, infos[1].name)
+    applied = replica.catch_up()
+    assert applied == 2  # only the post-snapshot tail was replayed...
+    assert replica.position == 8
+    assert replica.matches_primary(primary)  # ...the snapshot covered the rest
+    for probe in probe_requests(infos):
+        assert canonical_response(replica.dispatch(probe)) == (
+            canonical_response(primary.dispatch(probe))
+        )
+    durability.close()
+
+
+def test_divergence_is_detected(tmp_path):
+    primary, durability, infos = make_primary(str(tmp_path))
+    replica = Replica(str(tmp_path))
+    assert replica.matches_primary(primary)
+    # An unlogged mutation (durability disarmed) diverges the primary
+    # from everything the log can ever tell the follower.
+    durability.close()
+    notify(primary, infos[0].name)
+    replica.catch_up()
+    assert not replica.matches_primary(primary)
+
+
+def test_replica_of_empty_directory_is_empty(tmp_path):
+    replica = Replica(str(tmp_path))
+    assert replica.position == 0
+    response = replica.dispatch(
+        LivenessQuery(
+            function=FunctionHandle("ghost"), kind="in", variable="v", block="b"
+        )
+    )
+    assert response.error.code == ErrorCode.UNKNOWN_FUNCTION
+    replica.close()
+    replica.close()  # idempotent
