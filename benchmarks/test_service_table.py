@@ -29,6 +29,7 @@ def test_table_service_report(service_rows, record_table):
     }
     for row in service_rows:
         assert row.millis["service"] > 0
+        assert row.millis["service_mask"] > 0
         assert row.millis["service_lru"] > 0
         assert row.millis["rebuild"] > 0
 
@@ -55,6 +56,18 @@ def test_cached_service_beats_per_query_rebuild_5x(service_rows):
         f"on the mixed profile, got {mixed.speedup('service'):.2f}x "
         f"({mixed.millis['service']:.0f} ms vs {mixed.millis['rebuild']:.0f} ms)"
     )
+
+
+def test_mask_engine_service_clears_the_same_bar(service_rows):
+    # The fifth engine behind the same serving front door: cached mask
+    # checkers must clear the ≥5x bar over per-query reconstruction too.
+    mixed = next(row for row in service_rows if row.profile == "mixed")
+    assert mixed.speedup("service_mask") >= 5.0, (
+        f"mask-engine service must beat per-query checker reconstruction "
+        f"by ≥5x on the mixed profile, got "
+        f"{mixed.speedup('service_mask'):.2f}x"
+    )
+    assert mixed.hit_rate["service_mask"] > 0.9, mixed.profile
 
 
 def test_dispatch_layer_overhead_is_within_budget():

@@ -526,7 +526,10 @@ class CompilerClient:
         self._resolve_function(request.function)
         name = request.function.name
         if request.kind is NotifyKind.CFG:
-            self._service.notify_cfg_changed(name)
+            # A delta-carrying notification lets the service patch the
+            # resident precomputation instead of discarding it; absent a
+            # delta this is the historical full invalidation.
+            self._service.notify_cfg_changed(name, delta=request.delta)
         else:
             self._service.notify_instructions_changed(name)
         return NotifyResponse(function=self._service.handle(name))

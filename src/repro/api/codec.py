@@ -490,16 +490,50 @@ def _dec_allocate(r: _Reader, table: StringTable) -> AllocateRequest:
 def _enc_notify(msg: NotifyRequest, out, interner, defs) -> None:
     _enc_handle_ref(msg.function, out, interner, defs)
     out.append(_NOTIFY_CODE[msg.kind])
+    # A presence byte, then (when present) the delta's four block-name
+    # lists, each uvarint-counted.  Block names are inlined rather than
+    # interned: edit deltas name blocks, not functions, and the same
+    # block name rarely repeats across requests.
+    delta = msg.delta
+    if delta is None:
+        out.append(0)
+        return
+    out.append(1)
+    for edges in (delta.added_edges, delta.removed_edges):
+        _w_uvarint(out, len(edges))
+        for source, target in edges:
+            _w_str(out, source)
+            _w_str(out, target)
+    for blocks in (delta.added_blocks, delta.removed_blocks):
+        _w_uvarint(out, len(blocks))
+        for block in blocks:
+            _w_str(out, block)
 
 
 def _dec_notify(r: _Reader, table: StringTable) -> NotifyRequest:
+    from repro.core.incremental import CfgDelta
+
     handle = _dec_handle_ref(r, table)
     code = r.u8()
     if code > 1:
         raise ProtocolError(
             ErrorCode.INVALID_REQUEST, f"unknown notify kind code {code}"
         )
-    return NotifyRequest(function=handle, kind=_NOTIFY_OF[code])
+    delta = None
+    if r.u8():
+        edge_lists = [
+            [(r.str_(), r.str_()) for _ in range(r.uvarint())] for _ in range(2)
+        ]
+        block_lists = [
+            [r.str_() for _ in range(r.uvarint())] for _ in range(2)
+        ]
+        delta = CfgDelta(
+            added_edges=edge_lists[0],
+            removed_edges=edge_lists[1],
+            added_blocks=block_lists[0],
+            removed_blocks=block_lists[1],
+        )
+    return NotifyRequest(function=handle, kind=_NOTIFY_OF[code], delta=delta)
 
 
 def _enc_evict(msg: EvictRequest, out, interner, defs) -> None:

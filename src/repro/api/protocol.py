@@ -250,23 +250,39 @@ class NotifyKind(str, Enum):
 class NotifyRequest:
     """Route one edit notification (the paper's invalidation contract)
     through the wire: bumps the function's revision, so every outstanding
-    handle goes stale — the response carries a fresh one."""
+    handle goes stale — the response carries a fresh one.
+
+    CFG notifications may carry a :class:`~repro.core.incremental.CfgDelta`
+    describing the edit (blocks are names here, so the delta is wire-safe);
+    the service then tries to patch the resident precomputation instead of
+    discarding it.  ``delta`` is ignored for instruction notifications and
+    optional everywhere — an absent delta is the historical full
+    invalidation."""
 
     function: FunctionHandle
     kind: NotifyKind = NotifyKind.INSTRUCTIONS
+    delta: "CfgDelta | None" = None
 
     def __post_init__(self) -> None:
+        from repro.core.incremental import CfgDelta
+
         object.__setattr__(self, "function", _coerce_handle(self.function))
         object.__setattr__(self, "kind", NotifyKind.coerce(self.kind))
+        if self.delta is not None and not isinstance(self.delta, CfgDelta):
+            object.__setattr__(self, "delta", CfgDelta.from_json(self.delta))
 
     def to_json(self) -> dict:
-        return {"function": self.function.to_json(), "kind": self.kind.value}
+        payload = {"function": self.function.to_json(), "kind": self.kind.value}
+        if self.delta is not None:
+            payload["delta"] = self.delta.to_json()
+        return payload
 
     @classmethod
     def from_json(cls, body: dict) -> "NotifyRequest":
         return cls(
             function=FunctionHandle.from_json(body["function"]),
             kind=NotifyKind.coerce(body.get("kind", NotifyKind.INSTRUCTIONS)),
+            delta=body.get("delta"),
         )
 
 

@@ -197,6 +197,62 @@ class DepthFirstSearch:
         """
         return any(edge.target == node for edge in self._back_edges)
 
+    # ------------------------------------------------------------------
+    # Incremental bookkeeping (repro.core.incremental)
+    # ------------------------------------------------------------------
+    def edge_kind(self, source: Node, target: Node) -> EdgeKind | None:
+        """The kind of an existing edge, or ``None`` if it was not traversed."""
+        return self._edge_kinds.get(Edge(source, target))
+
+    def classify_inserted_edge(self, source: Node, target: Node) -> EdgeKind | None:
+        """Kind the edge ``source -> target`` would get if appended now.
+
+        Assumes the edge would be appended *after* ``source``'s existing
+        successors, so a fresh DFS replays this traversal verbatim until it
+        reaches the new edge — which it does at the instant ``source`` is
+        about to finish.  At that point the numbering answers everything:
+
+        * ``target`` discovered no later and finished no earlier than
+          ``source`` → an open ancestor (or ``source`` itself): **back**;
+        * discovered later but already finished → a closed descendant
+          reached through an earlier successor: **forward**;
+        * discovered and finished earlier → **cross**;
+        * not yet discovered (later preorder *and* later postorder) → the
+          new edge would be taken as a **tree** edge, changing the
+          traversal — returned as ``None`` so callers fall back.
+        """
+        pre_s, pre_t = self._preorder[source], self._preorder[target]
+        post_s, post_t = self._postorder[source], self._postorder[target]
+        if pre_t <= pre_s and post_t >= post_s:
+            return EdgeKind.BACK
+        if pre_t > pre_s:
+            return EdgeKind.FORWARD if post_t < post_s else None
+        return EdgeKind.CROSS
+
+    def note_edge_added(self, source: Node, target: Node, kind: EdgeKind) -> None:
+        """Record an edge the graph gained without changing the traversal.
+
+        ``kind`` must come from :meth:`classify_inserted_edge` (i.e. not be
+        ``None``); the numberings stay untouched because, by construction,
+        the preserved traversal never followed the new edge.
+        """
+        edge = Edge(source, target)
+        self._edge_kinds[edge] = kind
+        if kind is EdgeKind.BACK:
+            self._back_edges.append(edge)
+
+    def note_edge_removed(self, source: Node, target: Node) -> None:
+        """Record the removal of a non-tree edge (numberings unaffected)."""
+        edge = Edge(source, target)
+        kind = self._edge_kinds.pop(edge)
+        if kind is EdgeKind.TREE:
+            raise ValueError(
+                f"tree edge {source!r} -> {target!r} cannot be removed "
+                "incrementally; rebuild the DFS"
+            )
+        if kind is EdgeKind.BACK:
+            self._back_edges.remove(edge)
+
     def edge_statistics(self) -> dict[str, int]:
         """Counts per edge kind plus totals (used by the §6.1 statistics)."""
         counts = {kind.value: 0 for kind in EdgeKind}

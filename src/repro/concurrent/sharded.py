@@ -146,7 +146,12 @@ class _Shard:
     __slots__ = ("index", "lock", "service")
 
     def __init__(
-        self, index: int, capacity: int, strategy: str, obs: Observability
+        self,
+        index: int,
+        capacity: int,
+        strategy: str,
+        obs: Observability,
+        engine: str | None = None,
     ) -> None:
         from repro.concurrent.locks import LockMetrics, RWLock
 
@@ -157,6 +162,7 @@ class _Shard:
             strategy=strategy,
             obs=obs,
             obs_labels={"shard": index},
+            engine=engine,
         )
 
 
@@ -192,6 +198,7 @@ class ShardedService:
         capacity: int = DEFAULT_CAPACITY,
         strategy: str = "exact",
         obs: Observability | None = None,
+        engine: str | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be at least 1, got {shards}")
@@ -201,7 +208,7 @@ class ShardedService:
         self._strategy = strategy
         per_shard = max(1, -(-capacity // shards))  # ceil division
         self._shards = tuple(
-            _Shard(index, per_shard, strategy, self.obs)
+            _Shard(index, per_shard, strategy, self.obs, engine)
             for index in range(shards)
         )
         #: Guards the global registration-order list (and multi-function
@@ -579,10 +586,15 @@ class ShardedService:
     # ------------------------------------------------------------------
     # Edit notifications and mutating passes (write-locked)
     # ------------------------------------------------------------------
-    def notify_cfg_changed(self, function: str) -> None:
-        """CFG edit: exclusive on the owning shard, bumps the revision."""
+    def notify_cfg_changed(self, function: str, delta=None) -> None:
+        """CFG edit: exclusive on the owning shard, bumps the revision.
+
+        ``delta`` (a :class:`~repro.core.incremental.CfgDelta`, when the
+        caller can describe the edit) is forwarded so the owning shard's
+        service can patch the precomputation instead of dropping it.
+        """
         with self.write_locked([function]):
-            self.service_for(function).notify_cfg_changed(function)
+            self.service_for(function).notify_cfg_changed(function, delta)
 
     def notify_instructions_changed(self, function: str) -> None:
         """Instruction edit: exclusive on the owning shard."""

@@ -20,6 +20,14 @@ The package is organised to mirror the paper:
   in the paper's outlook (Section 8).
 * :mod:`repro.core.invalidation` — a transformation session demonstrating
   which edits preserve the precomputation (all of them except CFG edits).
+* :mod:`repro.core.incremental` — :class:`CfgDelta` and
+  :func:`apply_cfg_delta`: described CFG edits patched into an existing
+  precomputation (only the reachable ``R``/``T`` rows), with a provable
+  fallback to a full rebuild when the preorder numbering is invalidated.
+* :mod:`repro.core.maskengine` — the accelerated ``mask`` engine:
+  :class:`FastLivenessChecker` behind a batch backend that packs the
+  ``R``/``T`` rows into flat word matrices (vectorised via ``numpy``
+  when present, gated to stay scalar on small functions).
 * :mod:`repro.core.plans` — :class:`QueryPlan` / :class:`PlanCache`, the
   precompiled numeric form of one variable's def–use chain (def number,
   dominance interval, use mask), shared by the single-query, batch and
@@ -32,8 +40,10 @@ The package is organised to mirror the paper:
 
 from repro.core.batch import BatchQueryEngine
 from repro.core.bitset_query import BitsetChecker
+from repro.core.incremental import CfgDelta, UpdateResult, apply_cfg_delta
 from repro.core.invalidation import TransformationSession
 from repro.core.live_checker import FastLivenessChecker
+from repro.core.maskengine import MaskLivenessChecker
 from repro.core.loopforest import LoopForestChecker
 from repro.core.plans import PlanCache, QueryPlan
 from repro.core.precompute import LivenessPrecomputation
@@ -51,6 +61,10 @@ __all__ = [
     "SetBasedChecker",
     "BitsetChecker",
     "FastLivenessChecker",
+    "MaskLivenessChecker",
     "LoopForestChecker",
     "TransformationSession",
+    "CfgDelta",
+    "UpdateResult",
+    "apply_cfg_delta",
 ]

@@ -24,10 +24,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.incremental import CfgDelta
 from repro.core.live_checker import FastLivenessChecker
 from repro.ir.function import Function
 from repro.ir.instruction import Instruction, Opcode
-from repro.ir.value import Variable
+from repro.ir.value import Constant, Variable
 from repro.liveness.dataflow import DataflowLiveness
 from repro.ssa.defuse import DefUseChains
 
@@ -39,6 +40,10 @@ class InvalidationStats:
     instruction_edits: int = 0
     cfg_edits: int = 0
     checker_precomputations: int = 0
+    #: CFG edits the checker absorbed by patching its precomputation in
+    #: place (a :class:`~repro.core.incremental.CfgDelta` was applied)
+    #: instead of paying a full recomputation.
+    checker_incremental_updates: int = 0
     dataflow_precomputations: int = 0
     queries: int = 0
     log: list[str] = field(default_factory=list)
@@ -164,15 +169,96 @@ class TransformationSession:
                 if isinstance(incoming_value, Variable) and incoming_value in self.defuse:
                     self.defuse.remove_use(incoming_value, source)
                     self.defuse.add_use(incoming_value, new_name)
-        self._note_cfg_edit(f"split_edge {source} -> {target}")
+        self._note_cfg_edit(
+            f"split_edge {source} -> {target}",
+            # Honest delta: a block-level edit, which the incremental
+            # patcher deliberately refuses (the bitset universe changes) —
+            # the session still records *what* happened on the wire shape.
+            CfgDelta(
+                added_blocks=(new_name,),
+                added_edges=((source, new_name), (new_name, target)),
+                removed_edges=((source, target),),
+            ),
+        )
         return new_name
 
-    def _note_cfg_edit(self, description: str) -> None:
+    def add_branch_target(self, block_name: str, new_target: str) -> None:
+        """Turn a block's ``jump`` into a ``branch``, gaining one CFG edge.
+
+        Models speculative-optimisation edits (guard insertion, deopt
+        exits): the block keeps its original fall-through as the first arm
+        and gains ``new_target`` as the second, so the new edge is
+        *appended* after the existing successor — the order the
+        incremental patcher's DFS-preservation argument relies on.  The
+        target must be φ-free (a new predecessor would otherwise need φ
+        operands this edit does not invent) and must not be the entry.
+        """
+        block = self.function.block(block_name)
+        terminator = block.terminator()
+        if terminator is None or terminator.opcode != Opcode.JUMP:
+            raise ValueError(f"block {block_name!r} does not end in a jump")
+        target_block = self.function.block(new_target)  # must exist
+        if target_block.phis():
+            raise ValueError(
+                f"cannot add an edge into {new_target!r}: it has φ-functions"
+            )
+        if target_block is self.function.entry:
+            raise ValueError("cannot add an edge into the entry block")
+        old_target = terminator.targets[0]
+        block.remove(terminator)
+        block.append(
+            Instruction(
+                Opcode.BRANCH,
+                operands=[Constant(1)],
+                targets=[old_target, new_target],
+            )
+        )
+        self._note_cfg_edit(
+            f"add_branch_target {block_name} -> {new_target}",
+            CfgDelta.edge_added(block_name, new_target),
+        )
+
+    def remove_branch_target(self, block_name: str, target: str) -> None:
+        """Turn a block's ``branch`` into a ``jump``, losing one CFG edge.
+
+        The inverse of :meth:`add_branch_target` (dead-guard elimination,
+        un-speculation).  ``target`` must be one arm of the branch (but
+        not both — a branch whose arms coincide has no terminator left to
+        keep) and must be φ-free, since the φs would otherwise keep an
+        operand for a predecessor that no longer reaches them.
+        """
+        block = self.function.block(block_name)
+        terminator = block.terminator()
+        if terminator is None or terminator.opcode != Opcode.BRANCH:
+            raise ValueError(f"block {block_name!r} does not end in a branch")
+        if target not in terminator.targets:
+            raise ValueError(f"{target!r} is not a target of {block_name!r}")
+        remaining = [t for t in terminator.targets if t != target]
+        if not remaining:
+            raise ValueError(
+                f"both arms of {block_name!r} target {target!r}; removing "
+                "them leaves no terminator"
+            )
+        if self.function.block(target).phis():
+            raise ValueError(
+                f"cannot remove the edge into {target!r}: it has φ-functions"
+            )
+        block.remove(terminator)
+        block.append(Instruction(Opcode.JUMP, targets=[remaining[0]]))
+        self._note_cfg_edit(
+            f"remove_branch_target {block_name} -> {target}",
+            CfgDelta.edge_removed(block_name, target),
+        )
+
+    def _note_cfg_edit(self, description: str, delta: CfgDelta | None = None) -> None:
         self.stats.cfg_edits += 1
         self.stats.log.append(description)
-        self.checker.notify_cfg_changed()
-        self.checker.prepare()
-        self.stats.checker_precomputations += 1
+        result = self.checker.notify_cfg_changed(delta)
+        if result.applied:
+            self.stats.checker_incremental_updates += 1
+        else:
+            self.checker.prepare()
+            self.stats.checker_precomputations += 1
         self._dataflow_valid = False
 
     # ------------------------------------------------------------------

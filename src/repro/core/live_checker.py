@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.core.batch import BatchQueryEngine
 from repro.core.bitset_query import BitsetChecker
+from repro.core.incremental import CfgDelta, UpdateResult, apply_cfg_delta
 from repro.core.plans import PlanCache
 from repro.core.precompute import LivenessPrecomputation
 from repro.core.query import SetBasedChecker
@@ -143,18 +144,46 @@ class FastLivenessChecker(LivenessOracle):
         assert self._plans is not None
         return self._plans
 
-    def notify_cfg_changed(self) -> None:
-        """Invalidate the precomputation after a CFG edit.
+    def notify_cfg_changed(self, delta: CfgDelta | None = None) -> UpdateResult:
+        """Invalidate — or incrementally patch — after a CFG edit.
 
         This is the *only* event that invalidates the checker.  Instruction
         and variable edits are absorbed by updating the def–use chains (see
         :class:`repro.core.invalidation.TransformationSession`).
+
+        When the caller can describe the edit as a :class:`CfgDelta` and a
+        precomputation is resident, :func:`apply_cfg_delta` patches it in
+        place instead of discarding it; the dominance numbering is then
+        provably unchanged, so the per-variable query plans survive too and
+        only the batch engine's hot masks (which fold in ``R`` rows) and
+        the bitset front-ends (whose fast-path flag may flip with
+        reducibility) are refreshed.  Any delta the patcher cannot absorb
+        degrades to the historical full invalidation — callers never need
+        to distinguish the cases, but the returned :class:`UpdateResult`
+        says which one happened.
         """
+        if delta is not None and self._pre is not None:
+            result = apply_cfg_delta(self._pre, delta)
+            if result.applied:
+                self._bitset_checker = BitsetChecker(
+                    self._pre, reducible_fast_path=self._reducible_fast_path
+                )
+                self._set_checker = SetBasedChecker(self._pre)
+                if self._batch is not None:
+                    self._batch.invalidate()
+                return result
+        elif delta is not None:
+            # Nothing resident: the next prepare() builds from the edited
+            # function, so there is nothing to patch or discard.
+            result = UpdateResult(True, "no-op")
+        else:
+            result = UpdateResult(False, "full-invalidation")
         self._pre = None
         self._bitset_checker = None
         self._set_checker = None
         self._batch = None
         self._plans = None
+        return result
 
     def notify_instructions_changed(self) -> None:
         """Drop the per-variable plans after instruction-level edits.
@@ -264,6 +293,14 @@ class FastLivenessChecker(LivenessOracle):
         self.prepare()
         assert self._pre is not None
         tracked = variables if variables is not None else self.live_variables()
+        if self._use_bitsets:
+            # One joint interval sweep per variable instead of
+            # |variables| × |blocks| independent Algorithm-3 runs.
+            in_map, out_map = self.batch.live_maps(tracked)
+            return LiveSets(
+                live_in={block: frozenset(vs) for block, vs in in_map.items()},
+                live_out={block: frozenset(vs) for block, vs in out_map.items()},
+            )
         blocks = list(self._pre.graph.nodes())
         live_in = {
             block: frozenset(v for v in tracked if self.is_live_in(v, block))

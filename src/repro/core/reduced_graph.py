@@ -75,6 +75,15 @@ class ReducedReachability:
         """True iff ``target ∈ R_source``."""
         return self._domtree.num(target) in self._sets[source]
 
+    def replace_row(self, node: Node, mask: int) -> None:
+        """Overwrite ``R_node`` with a recomputed raw mask.
+
+        Used by :mod:`repro.core.incremental` to patch the object-level
+        view in lockstep with the flat ``r_masks`` array after a CFG edit
+        that preserved the numbering.
+        """
+        self._sets[node] = BitSet.from_mask(self._universe, mask)
+
     def storage_bits(self) -> int:
         """Total payload bits of all ``R_v`` bitsets (memory ablation)."""
         return sum(bits.storage_bits() for bits in self._sets.values())

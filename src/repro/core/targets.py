@@ -180,6 +180,15 @@ class TargetSets:
             for index in self._sets[query].iter_range(lo, hi)
         ]
 
+    def replace_row(self, node: Node, mask: int) -> None:
+        """Overwrite ``T_node`` with a recomputed raw mask.
+
+        Used by :mod:`repro.core.incremental` to patch the object-level
+        view in lockstep with the flat ``t_masks`` array after a CFG edit
+        that preserved the numbering.
+        """
+        self._sets[node] = BitSet.from_mask(self._universe, mask)
+
     def storage_bits(self) -> int:
         """Total payload bits of all ``T_v`` bitsets (memory ablation)."""
         return sum(bits.storage_bits() for bits in self._sets.values())

@@ -44,14 +44,18 @@ Design points:
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.api.handles import FunctionHandle
 from repro.api.protocol import QueryKind
-from repro.api.registry import FAST, get_engine
+from repro.api.registry import FAST, MASK, get_engine
 from repro.core.live_checker import FastLivenessChecker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.incremental import CfgDelta
 from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.parser import parse_function
@@ -97,6 +101,8 @@ STAT_FIELDS = (
     "queries",
     "destructions",
     "stale_handle_rejections",
+    "cfg_incremental_applied",
+    "cfg_incremental_fallbacks",
 )
 
 
@@ -130,6 +136,13 @@ class ServiceStats:
     destructions: AtomicCounter = field(default_factory=AtomicCounter)
     #: Requests rejected because they carried a stale function handle.
     stale_handle_rejections: AtomicCounter = field(default_factory=AtomicCounter)
+    #: CFG notifications absorbed by patching the precomputation in place
+    #: (a :class:`~repro.core.incremental.CfgDelta` the patcher accepted).
+    cfg_incremental_applied: AtomicCounter = field(default_factory=AtomicCounter)
+    #: Delta-carrying CFG notifications that still had to rebuild (tree
+    #: shape changed, block edits, restored shims…) — the honest
+    #: complement of :attr:`cfg_incremental_applied`.
+    cfg_incremental_fallbacks: AtomicCounter = field(default_factory=AtomicCounter)
 
     @property
     def lookups(self) -> int:
@@ -191,6 +204,12 @@ class LivenessService:
     obs_labels:
         Label dimensions stamped on every cache metric — the sharded
         layer passes ``{"shard": i}`` so snapshots separate per shard.
+    engine:
+        Which checker implementation backs the cache: ``"fast"`` (the
+        default) or ``"mask"`` (the accelerated batch engine; answers are
+        bit-identical).  ``None`` reads the ``REPRO_ENGINE`` environment
+        variable so a deployment — or a CI lane — can switch the whole
+        service without touching call sites.
     """
 
     def __init__(
@@ -200,9 +219,21 @@ class LivenessService:
         strategy: str = "exact",
         obs: Observability | None = None,
         obs_labels: dict | None = None,
+        engine: str | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be at least 1, got {capacity}")
+        if engine is None:
+            engine = os.environ.get("REPRO_ENGINE", FAST)
+        if engine not in (FAST, MASK):
+            # The cache stores FastLivenessChecker-shaped objects (plans,
+            # batch engine, notify hooks); other registry engines don't
+            # fit that contract, so fail at construction, not query time.
+            raise ValueError(
+                f"service engine must be {FAST!r} or {MASK!r}, got {engine!r}"
+            )
+        self._engine = engine
+        self._checker_factory = self._resolve_checker_factory(engine)
         self._functions: dict[str, Function] = {}
         self._checkers: OrderedDict[str, FastLivenessChecker] = OrderedDict()
         self._revisions: dict[str, int] = {}
@@ -225,14 +256,29 @@ class LivenessService:
             "service.cache.evictions", self.stats.evictions, **labels
         )
         metrics.register_counter(
-            "engine.queries", self.stats.queries, engine=FAST, **labels
+            "engine.queries", self.stats.queries, engine=self._engine, **labels
         )
         self._obs_precomputations = metrics.counter(
-            "engine.precomputations", engine=FAST, **labels
+            "engine.precomputations", engine=self._engine, **labels
         )
         if module is not None:
             for function in module:
                 self.register(function)
+
+    @staticmethod
+    def _resolve_checker_factory(
+        engine: str,
+    ) -> Callable[..., FastLivenessChecker]:
+        if engine == MASK:
+            from repro.core.maskengine import MaskLivenessChecker
+
+            return MaskLivenessChecker
+        return FastLivenessChecker
+
+    @property
+    def engine(self) -> str:
+        """The checker implementation backing this service's cache."""
+        return self._engine
 
     # ------------------------------------------------------------------
     # Registration
@@ -325,7 +371,7 @@ class LivenessService:
             raise KeyError(f"unknown function {name!r}") from None
         self.stats.misses += 1
         with self.obs.span("checker_build", function=name):
-            checker = FastLivenessChecker(function, strategy=self._strategy)
+            checker = self._checker_factory(function, strategy=self._strategy)
             checker.prepare()
         self._obs_precomputations.add(1)
         self._checkers[name] = checker
@@ -477,14 +523,30 @@ class LivenessService:
         if function not in self._functions:
             raise KeyError(f"unknown function {function!r}")
 
-    def notify_cfg_changed(self, function: str) -> None:
-        """The function's CFG changed: its precomputation is gone."""
+    def notify_cfg_changed(
+        self, function: str, delta: "CfgDelta | None" = None
+    ) -> None:
+        """The function's CFG changed: patch or drop its precomputation.
+
+        Without a delta this is the historical full invalidation.  With
+        one, the cached checker tries the incremental patch first
+        (:mod:`repro.core.incremental`) and the stats record which way it
+        went — ``cfg_incremental_applied`` vs ``cfg_incremental_fallbacks``
+        — so the bench tables report an honest hit rate.  Either way the
+        revision bumps: the *function* changed, so outstanding handles
+        must go stale regardless of how cheaply the cache absorbed it.
+        """
         self._require_known(function)
         self.stats.cfg_invalidations += 1
         self._bump_revision(function)
         cached = self._checkers.get(function)
         if cached is not None:
-            cached.notify_cfg_changed()
+            result = cached.notify_cfg_changed(delta)
+            if delta is not None:
+                if result.applied:
+                    self.stats.cfg_incremental_applied += 1
+                else:
+                    self.stats.cfg_incremental_fallbacks += 1
 
     def notify_instructions_changed(self, function: str) -> None:
         """Instruction-level edits: drop the function's plans only."""
@@ -535,7 +597,10 @@ class LivenessService:
         self._require_known(function)
         spec = get_engine(engine)  # unknown engines fail before any mutation
         fn = self._functions[function]
-        checker = self.checker(function) if spec.name == FAST else None
+        # Both cache-backed engines answer through the FastLivenessChecker
+        # interface, so either can reuse the service's resident checker
+        # (and its warm plan cache) for the translation.
+        checker = self.checker(function) if spec.name in (FAST, MASK) else None
         if checker is not None and checker.is_restored:
             # The pipeline borrows the checker's dominator tree, which a
             # snapshot-restored precomputation does not carry — swap in a

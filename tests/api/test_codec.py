@@ -71,6 +71,7 @@ from repro.api.protocol import (
     encode_request,
 )
 from repro.concurrent.client import ShardedClient
+from repro.core.incremental import CfgDelta
 from repro.concurrent.server import serve_loop
 from tests.support.concurrency import (
     canonical_response,
@@ -104,6 +105,16 @@ liveness_queries = st.builds(
     block=names,
 )
 
+# CFG-edit deltas riding on notify frames (string nodes: wire-safe).
+edge_lists = st.lists(st.tuples(names, names), max_size=3).map(tuple)
+cfg_deltas = st.builds(
+    CfgDelta,
+    added_edges=edge_lists,
+    removed_edges=edge_lists,
+    added_blocks=st.lists(names, max_size=2).map(tuple),
+    removed_blocks=st.lists(names, max_size=2).map(tuple),
+)
+
 requests = st.one_of(
     liveness_queries,
     st.builds(BatchLiveness, queries=st.lists(liveness_queries, max_size=6)),
@@ -130,6 +141,7 @@ requests = st.one_of(
         NotifyRequest,
         function=handles,
         kind=st.sampled_from(("cfg", "instructions")),
+        delta=st.one_of(st.none(), cfg_deltas),
     ),
     st.builds(EvictRequest, function=handles),
     st.builds(

@@ -37,6 +37,7 @@ from repro.api.protocol import (
     LivenessResponse,
     LiveSetRequest,
     LiveSetResponse,
+    NotifyRequest,
     QueryKind,
     decode_request,
     decode_response,
@@ -561,3 +562,52 @@ class TestErrorChannel:
         response = client.dispatch(object())
         assert isinstance(response, ErrorResponse)
         assert response.error.code == ErrorCode.INVALID_REQUEST
+
+
+class TestNotifyDeltas:
+    """CFG deltas on notify frames: JSON shape and dispatch routing."""
+
+    def test_delta_round_trips_through_json(self):
+        from repro.core.incremental import CfgDelta
+
+        request = NotifyRequest(
+            function=FunctionHandle("fn", 3),
+            kind="cfg",
+            delta=CfgDelta(
+                added_edges=(("a", "b"),),
+                removed_edges=(("c", "d"), ("e", "f")),
+            ),
+        )
+        encoded = encode_request(request)
+        decoded = decode_request(encoded)
+        assert decoded == request
+        assert decoded.delta.added_edges == (("a", "b"),)
+
+    def test_plain_dict_delta_is_coerced(self):
+        from repro.core.incremental import CfgDelta
+
+        request = NotifyRequest(
+            function=FunctionHandle("fn"),
+            kind="cfg",
+            delta={"added_edges": [["a", "b"]]},
+        )
+        assert isinstance(request.delta, CfgDelta)
+        assert request.delta.added_edges == (("a", "b"),)
+
+    def test_absent_delta_is_omitted_on_the_wire(self):
+        request = NotifyRequest(function=FunctionHandle("fn"), kind="cfg")
+        assert "delta" not in request.to_json()
+
+    def test_dispatched_delta_reaches_the_service_counters(self):
+        from tests.service.test_service import applicable_delta, make_module
+
+        module = make_module(1, num_blocks=8)
+        client = CompilerClient(module)
+        delta = applicable_delta(module.function("fn0"))
+        assert delta is not None
+        client.service.checker("fn0")  # make a checker resident
+        response = client.dispatch(
+            NotifyRequest(function=FunctionHandle("fn0"), kind="cfg", delta=delta)
+        )
+        assert response.error is None
+        assert client.service.stats.cfg_incremental_applied.value == 1

@@ -351,3 +351,48 @@ def spawn_indexed(target, count):
     for thread in threads:
         thread.start()
     return threads
+
+
+class TestEngineAndDeltas:
+    def test_engine_reaches_every_shard(self):
+        from repro.core.maskengine import MaskLivenessChecker
+
+        module = make_module(6)
+        sharded = ShardedService(module, shards=3, engine="mask")
+        for fn in module:
+            assert isinstance(
+                sharded.service_for(fn.name).checker(fn.name),
+                MaskLivenessChecker,
+            )
+
+    def test_mask_sharded_answers_match_fast_sharded(self):
+        module = make_module(6, num_blocks=18)
+        requests = sample_requests(module, 150)
+        fast = ShardedService(module, shards=3)
+        mask = ShardedService(module, shards=3, engine="mask")
+        assert fast.submit(requests) == mask.submit(requests)
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            ShardedService(make_module(2), shards=2, engine="sets")
+
+    def test_delta_forwards_to_the_owning_shard(self):
+        from repro.core.incremental import CfgDelta
+        from tests.service.test_service import applicable_delta
+
+        module = make_module(4, num_blocks=8)
+        sharded = ShardedService(module, shards=2)
+        function = module.function("fn1")
+        delta = applicable_delta(function)
+        assert delta is not None
+        shard_service = sharded.service_for("fn1")
+        pre = shard_service.checker("fn1").precomputation
+        revision = sharded.revision("fn1")
+        sharded.notify_cfg_changed("fn1", delta)
+        assert sharded.stats.cfg_incremental_applied.value == 1
+        assert shard_service.checker("fn1").precomputation is pre
+        assert sharded.revision("fn1") > revision
+        # A block-level delta on another function falls back.
+        sharded.service_for("fn2").checker("fn2")
+        sharded.notify_cfg_changed("fn2", CfgDelta.block_added("zzz"))
+        assert sharded.stats.cfg_incremental_fallbacks.value == 1

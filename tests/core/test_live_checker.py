@@ -165,3 +165,106 @@ class TestOracleInterface:
         old_pre = checker.precomputation
         checker.notify_cfg_changed()
         assert checker.precomputation is not old_pre
+
+
+class TestRestoredCheckerEdits:
+    """Regression: edit notifications on a snapshot-restored checker that
+    has never prepared (plans and batch engine are still ``None``)."""
+
+    def restored_checker(self, function):
+        from repro.persist.precomp import (
+            RestoredPrecomputation,
+            export_precomputation,
+        )
+
+        warm = FastLivenessChecker(function)
+        warm.prepare()
+        state = export_precomputation(function.name, warm.precomputation)
+        return FastLivenessChecker.from_precomputation(
+            function, RestoredPrecomputation(state)
+        )
+
+    def test_variable_edit_before_first_query(self, sum_function):
+        checker = self.restored_checker(sum_function)
+        assert checker.is_restored
+        for var in sum_function.variables():
+            checker.notify_variable_changed(var)  # must not touch plans
+        reference = FastLivenessChecker(sum_function)
+        reference.prepare()
+        for var in reference.live_variables():
+            for block in sum_function.blocks:
+                assert checker.is_live_in(var, block) == reference.is_live_in(
+                    var, block
+                )
+                assert checker.is_live_out(var, block) == reference.is_live_out(
+                    var, block
+                )
+
+    def test_instruction_edit_before_first_query(self, sum_function):
+        checker = self.restored_checker(sum_function)
+        checker.notify_instructions_changed()
+        reference = FastLivenessChecker(sum_function)
+        reference.prepare()
+        var = reference.live_variables()[0]
+        block = next(iter(sum_function.blocks))
+        assert checker.is_live_in(var, block) == reference.is_live_in(var, block)
+
+    def test_cfg_delta_on_restored_shim_falls_back(self, sum_function):
+        from repro.core.incremental import CfgDelta
+
+        checker = self.restored_checker(sum_function)
+        result = checker.notify_cfg_changed(CfgDelta.edge_added("a", "b"))
+        assert not result.applied and result.reason == "restored"
+        # The shim was dropped; the next query rebuilds from the IR.
+        reference = FastLivenessChecker(sum_function)
+        reference.prepare()
+        var = reference.live_variables()[0]
+        block = next(iter(sum_function.blocks))
+        assert checker.is_live_in(var, block) == reference.is_live_in(var, block)
+        assert not checker.is_restored
+
+
+class TestLiveSetsBatchRouting:
+    """Regression: ``live_sets`` runs one joint batch sweep per variable,
+    not O(vars × blocks) independent Algorithm-3 queries — and the two
+    must agree exactly (as must the non-bitset engine's exhaustive path)."""
+
+    def test_batch_route_matches_exhaustive_queries(self):
+        from tests.support.genfn import fuzz_function
+
+        for index in (0, 5, 9, 14):
+            function = fuzz_function(index)
+            checker = FastLivenessChecker(function)
+            checker.prepare()
+            sets = checker.live_sets()
+            blocks = list(function.blocks)
+            for var in checker.live_variables():
+                for block in blocks:
+                    assert (var in sets.live_in[block]) == checker.is_live_in(
+                        var, block
+                    ), f"live-in({var.name}, {block}) fuzz {index}"
+                    assert (var in sets.live_out[block]) == checker.is_live_out(
+                        var, block
+                    ), f"live-out({var.name}, {block}) fuzz {index}"
+
+    def test_bitset_and_set_engines_produce_identical_sets(self):
+        from tests.support.genfn import fuzz_function
+
+        for index in (1, 6, 12):
+            function = fuzz_function(index)
+            fast = FastLivenessChecker(function)
+            fast.prepare()
+            sets_engine = FastLivenessChecker(function, use_bitsets=False)
+            sets_engine.prepare()
+            a = fast.live_sets()
+            b = sets_engine.live_sets()
+            assert a.live_in == b.live_in, f"fuzz {index}"
+            assert a.live_out == b.live_out, f"fuzz {index}"
+
+    def test_live_sets_of_selected_variables_only(self, sum_function):
+        checker = FastLivenessChecker(sum_function)
+        checker.prepare()
+        tracked = checker.live_variables()[:2]
+        sets = checker.live_sets(tracked)
+        for block, members in sets.live_in.items():
+            assert members <= set(tracked)

@@ -1,0 +1,211 @@
+"""Parity and gating tests for the accelerated ``mask`` engine.
+
+The engine's whole contract is "bit-identical to ``fast``, just faster":
+every test here compares :class:`MaskLivenessChecker` answers against a
+:class:`FastLivenessChecker` over the same function, for every query
+kind, on fuzzed reducible and irreducible corpora — both under natural
+gating (numpy kicks in at :data:`_MIN_BLOCKS`) and with the threshold
+forced to zero so small functions also take the vectorised path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.registry import FAST, MASK, available_engines, get_engine
+from repro.core import maskengine
+from repro.core.live_checker import FastLivenessChecker
+from repro.core.maskengine import (
+    _MIN_BLOCKS,
+    HAVE_NUMPY,
+    MaskBatchEngine,
+    MaskLivenessChecker,
+)
+from tests.support.genfn import GenSpec, fuzz_function, generate_function, structured_function
+
+
+def assert_engines_agree(function, context: str) -> None:
+    fast = FastLivenessChecker(function)
+    fast.prepare()
+    mask = MaskLivenessChecker(function)
+    mask.prepare()
+    blocks = list(function.blocks)
+    variables = fast.live_variables()
+    assert mask.live_variables() == variables
+    queries = [
+        (kind, var, block)
+        for var in variables
+        for block in blocks
+        for kind in ("in", "out")
+    ]
+    assert mask.query_batch(queries) == fast.query_batch(queries), context
+    for var in variables:
+        assert mask.live_in_set(var) == fast.live_in_set(var), (
+            f"live_in_set({var.name}) diverged: {context}"
+        )
+        assert mask.live_out_set(var) == fast.live_out_set(var), (
+            f"live_out_set({var.name}) diverged: {context}"
+        )
+    fast_sets = fast.live_sets()
+    mask_sets = mask.live_sets()
+    assert mask_sets.live_in == fast_sets.live_in, context
+    assert mask_sets.live_out == fast_sets.live_out, context
+    mask_in, mask_out = mask.batch.live_maps(variables)
+    fast_in, fast_out = fast.batch.live_maps(variables)
+    assert mask_in == fast_in, context
+    assert mask_out == fast_out, context
+
+
+class TestParity:
+    @pytest.mark.parametrize("index", range(16))
+    def test_fuzz_corpus(self, index):
+        assert_engines_agree(fuzz_function(index), f"fuzz {index}")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_large_structured_functions(self, seed):
+        # Comfortably above _MIN_BLOCKS: the vectorised path is active.
+        function = structured_function(seed, target_blocks=48)
+        assert len(function.blocks) >= _MIN_BLOCKS
+        assert_engines_agree(function, f"structured {seed}")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_irreducible_functions(self, seed):
+        function = generate_function(
+            seed, GenSpec(blocks=24, irreducible=True, loop_depth=2)
+        )
+        assert_engines_agree(function, f"irreducible {seed}")
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="vectorised path needs numpy")
+    @pytest.mark.parametrize("index", range(10))
+    def test_forced_vectorisation_on_small_functions(self, index, monkeypatch):
+        # Functions below the natural threshold, forced through numpy:
+        # catches packing/offset bugs the gate would otherwise hide.
+        monkeypatch.setattr(maskengine, "_MIN_BLOCKS", 0)
+        assert_engines_agree(fuzz_function(index), f"forced {index}")
+
+    def test_multi_word_universe(self):
+        # > 64 blocks exercises the multi-uint64-word row layout.
+        function = structured_function(11, target_blocks=80)
+        assert len(function.blocks) > 64
+        assert_engines_agree(function, "multi-word")
+
+
+class TestGating:
+    def test_numpy_disabled_falls_through_to_scalar(self, monkeypatch):
+        monkeypatch.setattr(maskengine, "HAVE_NUMPY", False)
+        function = structured_function(3, target_blocks=32)
+        assert_engines_agree(function, "no-numpy")
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs the numpy path")
+    def test_small_functions_take_the_scalar_path(self):
+        function = structured_function(0, target_blocks=4)
+        checker = MaskLivenessChecker(function)
+        checker.prepare()
+        assert len(checker.precomputation.r_masks) < _MIN_BLOCKS
+        checker.live_sets()
+        # The packed cache was never built for a sub-threshold function.
+        assert checker.batch._packed is None
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs the numpy path")
+    def test_packed_cache_dropped_on_invalidate(self):
+        function = structured_function(1, target_blocks=32)
+        checker = MaskLivenessChecker(function)
+        checker.prepare()
+        checker.live_sets()
+        engine = checker.batch
+        assert engine._packed is not None
+        engine.invalidate()
+        assert engine._packed is None
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs the numpy path")
+    def test_stale_packed_rows_never_survive_a_rebuild(self):
+        function = structured_function(1, target_blocks=32)
+        checker = MaskLivenessChecker(function)
+        checker.prepare()
+        engine = checker.batch
+        engine.live_maps(checker.live_variables())
+        stale = engine._packed
+        # A full invalidation rebuilds the precomputation; the identity
+        # check must refuse to read the old matrix.
+        checker.notify_cfg_changed()
+        checker.prepare()
+        fresh = checker.batch._arrays()
+        assert fresh is not stale
+        assert fresh.pre is checker.precomputation
+
+
+class TestKernelHelpers:
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy helpers")
+    def test_mask_flag_round_trip(self):
+        for mask, count, offset in [
+            (0b1011, 4, 0),
+            (0b1011 << 7, 4, 7),
+            ((1 << 130) | (1 << 64) | 1, 131, 0),
+            (0, 5, 3),
+        ]:
+            flags = maskengine._flags_of_mask(mask >> offset, count)
+            assert maskengine._mask_of_flags(flags, offset) == mask
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy helpers")
+    def test_pack_rows_round_trip(self):
+        masks = [0, 1, (1 << 100) | 5, (1 << 64) - 1]
+        rows = maskengine._pack_rows(masks, words=2)
+        assert rows.shape == (4, 2)
+        for index, mask in enumerate(masks):
+            rebuilt = int.from_bytes(rows[index].tobytes(), "little")
+            assert rebuilt == mask
+
+
+class TestRegistry:
+    def test_mask_is_a_registered_engine(self):
+        assert MASK in available_engines()
+        spec = get_engine(MASK)
+        assert spec.capabilities.supports_edits
+        assert spec.capabilities.batch_queries
+
+    def test_registry_factory_builds_the_mask_checker(self):
+        function = structured_function(0, target_blocks=8)
+        oracle = get_engine(MASK).oracle_factory(function)
+        assert isinstance(oracle, MaskLivenessChecker)
+        assert isinstance(oracle.batch, MaskBatchEngine)
+
+    def test_registry_answers_match_fast(self):
+        function = structured_function(4, target_blocks=24)
+        fast = get_engine(FAST).oracle_factory(function)
+        mask = get_engine(MASK).oracle_factory(function)
+        fast.prepare()
+        mask.prepare()
+        for var in fast.live_variables():
+            for block in function.blocks:
+                assert mask.is_live_in(var, block) == fast.is_live_in(var, block)
+                assert mask.is_live_out(var, block) == fast.is_live_out(var, block)
+
+
+class TestIncrementalInterplay:
+    def test_incremental_patch_refreshes_the_packed_rows(self):
+        # An applied CfgDelta patches r/t rows in place on the *same*
+        # precomputation object; the packed cache is identity-checked on
+        # (pre, n) so the engine must be invalidated through the normal
+        # notify path — which MaskLivenessChecker inherits unchanged.
+        import random
+
+        from repro.core.invalidation import TransformationSession
+        from tests.core.test_incremental import (
+            assert_checker_matches_rebuild,
+            session_edit_mix,
+        )
+
+        function = structured_function(5, target_blocks=20)
+        sess = TransformationSession(function)
+        sess.checker = MaskLivenessChecker(function, defuse=sess.defuse)
+        sess.checker.prepare()
+        sess.checker.live_sets()  # warm the packed cache
+        if session_edit_mix(sess, random.Random(3)) == 0:
+            pytest.skip("no applicable CFG edit on this function")
+        assert_checker_matches_rebuild(sess.checker, function, "mask+incremental")
+        mask_sets = sess.checker.live_sets()
+        fresh = MaskLivenessChecker(function)
+        fresh.prepare()
+        fresh_sets = fresh.live_sets()
+        assert mask_sets.live_in == fresh_sets.live_in
+        assert mask_sets.live_out == fresh_sets.live_out

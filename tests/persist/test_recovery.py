@@ -308,3 +308,39 @@ def test_recover_from_empty_directory_yields_empty_server(tmp_path):
 def test_recover_rejects_unknown_transport(tmp_path):
     with pytest.raises(ValueError):
         recover(str(tmp_path), transport="carrier-pigeon")
+
+
+# ----------------------------------------------------------------------
+# Edits straight after restore (regression: restored checkers must take
+# notifications before their lazily-built plans/def–use exist)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("transport", ["threads", "procs"])
+def test_edit_notifications_right_after_restore(transport, tmp_path):
+    directory = str(tmp_path)
+    primary, durability, infos = make_primary(directory, transport)
+    try:
+        drive(primary, infos, count=60, seed=17)
+        durability.snapshot()  # capture warm checkers for the restore path
+        durability.close()
+        recovered, report = recover(directory, transport=transport)
+        try:
+            if transport == "threads":
+                assert report.checkers_restored > 0
+            # First traffic the recovered server sees is an edit wave —
+            # instruction notifications hit restored checkers before any
+            # query forced them to build plans.
+            for info in infos:
+                for target in (primary, recovered):
+                    target.dispatch(
+                        NotifyRequest(
+                            function=FunctionHandle(info.name),
+                            kind="instructions",
+                        )
+                    )
+            assert_answers_identical(primary, recovered, infos)
+        finally:
+            if transport == "procs":
+                recovered.close()
+    finally:
+        if transport == "procs":
+            primary.close()

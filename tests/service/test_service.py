@@ -207,3 +207,140 @@ class TestEditRouting:
         assert payload["misses"] == 1
         assert 0.0 <= payload["hit_rate"] <= 1.0
         assert "LivenessService" in repr(service)
+
+
+def applicable_delta(function):
+    """A CfgDelta the incremental patcher is guaranteed to apply.
+
+    Adding ``s -> t`` where ``t`` strictly dominates ``s`` is always a
+    DFS back edge of the cached precomputation (a dominator is a DFS-tree
+    ancestor) and provably preserves the dominator tree.
+    """
+    from repro.cfg.dominance import DominatorTree
+    from repro.core.incremental import CfgDelta
+
+    cfg = function.build_cfg()
+    dom = DominatorTree(cfg)
+    for source in cfg.nodes():
+        for target in cfg.nodes():
+            if (
+                target != cfg.entry
+                and target != source
+                and dom.dominates(target, source)
+                and not cfg.has_edge(source, target)
+            ):
+                return CfgDelta.edge_added(source, target)
+    return None
+
+
+class TestEngineSelection:
+    def test_default_engine_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert LivenessService(make_module(1)).engine == "fast"
+
+    def test_unknown_engine_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="engine"):
+            LivenessService(make_module(1), engine="dataflow")
+
+    def test_env_variable_selects_the_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "mask")
+        assert LivenessService(make_module(1)).engine == "mask"
+        monkeypatch.setenv("REPRO_ENGINE", "bogus")
+        with pytest.raises(ValueError, match="engine"):
+            LivenessService(make_module(1))
+
+    def test_explicit_engine_beats_the_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "mask")
+        assert LivenessService(make_module(1), engine="fast").engine == "fast"
+
+    def test_mask_service_builds_mask_checkers(self):
+        from repro.core.maskengine import MaskLivenessChecker
+
+        service = LivenessService(make_module(1), engine="mask")
+        assert isinstance(service.checker("fn0"), MaskLivenessChecker)
+
+    def test_mask_service_answers_match_fast(self):
+        module = make_module(4, num_blocks=18)
+        requests = sample_requests(module, 120)
+        fast = LivenessService(module)
+        mask = LivenessService(module, engine="mask")
+        assert fast.submit(requests) == mask.submit(requests)
+
+
+class TestIncrementalRouting:
+    def test_delta_is_patched_into_the_cached_checker(self):
+        module = make_module(2, num_blocks=8)
+        service = LivenessService(module)
+        delta = applicable_delta(module.function("fn0"))
+        assert delta is not None, "corpus should offer a dominated pair"
+        checker = service.checker("fn0")
+        pre = checker.precomputation
+        revision = service.revision("fn0")
+        service.notify_cfg_changed("fn0", delta)
+        assert service.stats.cfg_incremental_applied.value == 1
+        assert service.stats.cfg_incremental_fallbacks.value == 0
+        # Patched in place: same precomputation object, still resident.
+        assert service.checker("fn0").precomputation is pre
+        # The function still changed: handles must observe a new revision.
+        assert service.revision("fn0") > revision
+        assert service.stats.cfg_invalidations == 1
+
+    def test_fallback_delta_drops_the_precomputation(self):
+        from repro.core.incremental import CfgDelta
+
+        module = make_module(2, num_blocks=8)
+        service = LivenessService(module)
+        pre = service.checker("fn0").precomputation
+        service.notify_cfg_changed("fn0", CfgDelta.block_added("zzz.new"))
+        assert service.stats.cfg_incremental_fallbacks.value == 1
+        assert service.stats.cfg_incremental_applied.value == 0
+        assert service.checker("fn0").precomputation is not pre
+
+    def test_no_delta_keeps_the_historical_counters(self):
+        module = make_module(1)
+        service = LivenessService(module)
+        service.checker("fn0")
+        service.notify_cfg_changed("fn0")
+        assert service.stats.cfg_invalidations == 1
+        assert service.stats.cfg_incremental_applied.value == 0
+        assert service.stats.cfg_incremental_fallbacks.value == 0
+
+    def test_delta_for_absent_checker_counts_nothing(self):
+        module = make_module(1, num_blocks=8)
+        service = LivenessService(module)
+        delta = applicable_delta(module.function("fn0"))
+        service.notify_cfg_changed("fn0", delta)  # nothing resident
+        assert service.stats.cfg_incremental_applied.value == 0
+        assert service.stats.cfg_incremental_fallbacks.value == 0
+        assert service.stats.cfg_invalidations == 1
+
+    def test_incremental_counters_in_stats_dict(self):
+        service = LivenessService(make_module(1))
+        payload = service.stats.as_dict()
+        assert payload["cfg_incremental_applied"] == 0
+        assert payload["cfg_incremental_fallbacks"] == 0
+
+
+class TestCapacityRegression:
+    def test_single_slot_cache_does_not_evict_its_own_query(self):
+        # Regression guard for the capacity bound: a capacity-1 service
+        # must answer a full batch against one function without ever
+        # evicting the checker it is actively using.
+        module = make_module(1, num_blocks=8)
+        service = LivenessService(module, capacity=1)
+        function = module.function("fn0")
+        requests = [
+            LivenessRequest("fn0", kind, var, block.name)
+            for var in function.variables()
+            for block in function
+            for kind in ("in", "out")
+        ]
+        answers = service.submit(requests)
+        assert len(answers) == len(requests)
+        assert service.stats.misses == 1
+        assert service.stats.evictions == 0
+
+    @pytest.mark.parametrize("capacity", [0, -3])
+    def test_nonpositive_capacity_rejected(self, capacity):
+        with pytest.raises(ValueError, match="capacity"):
+            LivenessService(capacity=capacity)
